@@ -1,0 +1,39 @@
+"""Experiment ``ablate-dp``: the §V optimization ladder.
+
+Measures each rung the paper climbs from Algorithm 1 to the production
+solver — naive quad DP, staged (min-plus) combine, binary tree, Lemma-5
+pruning — verifying that every optimization preserves the optimum for
+its tree while slashing runtime.
+"""
+
+import pytest
+
+from repro.experiments import run_ablation_dp
+
+from conftest import run_once
+
+
+def test_ablation_optimization_ladder(benchmark, record_table):
+    table = run_once(benchmark, run_ablation_dp, 100, 5)
+    record_table("ablate_dp", table)
+    rows = {r["variant"]: r for r in table.rows}
+
+    # Cost-preservation within each tree type.
+    assert rows["Algorithm 1 (naive)"]["cost"] == pytest.approx(
+        rows["staged min-plus"]["cost"]
+    )
+    assert rows["staged, no Lemma 5"]["cost"] == pytest.approx(
+        rows["staged + Lemma 5"]["cost"]
+    )
+
+    # The binary tree's optimum is at most the quad tree's (§V).
+    assert (
+        rows["staged + Lemma 5"]["cost"]
+        <= rows["Algorithm 1 (naive)"]["cost"] + 1e-6
+    )
+
+    # The staged combine crushes the naive product loop.
+    assert (
+        rows["staged min-plus"]["seconds"]
+        < rows["Algorithm 1 (naive)"]["seconds"]
+    )

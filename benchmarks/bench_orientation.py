@@ -1,0 +1,50 @@
+"""Extension benchmark: run-time orientation choice for the binary tree.
+
+§V fixes vertical semi-quadrants "for simplicity" but notes the
+implementation can choose between vertical and horizontal trees at run
+time.  This bench measures the utility spread between the two static
+orientations and the win from picking the better one per snapshot.
+"""
+
+import pytest
+
+from repro.core.binary_dp import solve, solve_best_orientation
+from repro.experiments import Table, sample_for
+from repro.trees import BinaryTree
+
+from conftest import run_once
+
+
+def _run_orientation(profile):
+    table = Table(
+        "Extension — binary-tree orientation choice (§V remark)",
+        ["n_users", "vertical", "horizontal", "best", "win_vs_vertical_pct"],
+    )
+    for n_users in profile.db_sweep:
+        region, db = sample_for(n_users, profile)
+        k = profile.k
+        costs = {}
+        for orientation in ("vertical", "horizontal"):
+            tree = BinaryTree.build(region, db, k, orientation=orientation)
+            costs[orientation] = solve(tree, k).optimal_cost
+        best = solve_best_orientation(region, db, k).optimal_cost
+        table.add(
+            n_users=len(db),
+            vertical=costs["vertical"],
+            horizontal=costs["horizontal"],
+            best=best,
+            win_vs_vertical_pct=100.0
+            * (costs["vertical"] - best)
+            / costs["vertical"],
+        )
+    return table
+
+
+def test_orientation_choice(benchmark, profile, record_table):
+    table = run_once(benchmark, _run_orientation, profile)
+    record_table("ext_orientation", table)
+    for row in table.rows:
+        assert row["best"] == pytest.approx(
+            min(row["vertical"], row["horizontal"])
+        )
+        assert row["win_vs_vertical_pct"] >= -1e-9

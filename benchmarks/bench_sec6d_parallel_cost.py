@@ -1,0 +1,26 @@
+"""Experiment ``sec6d``: utility loss of jurisdiction partitioning.
+
+Paper shape: splitting the map across servers leaves the cost within 1%
+of the single-server optimum even for thousands of jurisdictions (the
+paper stress-tested 4096; cost divergence appears only when an optimal
+cloak would have spanned a jurisdiction border).
+"""
+
+import pytest
+
+from repro.experiments import run_sec6d
+
+from conftest import run_once
+
+
+def test_sec6d_parallel_cost_divergence(benchmark, profile, record_table):
+    table = run_once(benchmark, run_sec6d, profile)
+    record_table("sec6d", table)
+    for row in table.rows:
+        # Never better than the optimum (sanity), never >1% worse (the
+        # paper's headline bound).
+        assert row["overhead_percent"] >= -1e-6
+        assert row["overhead_percent"] <= 1.0, row
+    # The single-jurisdiction row is exactly the optimum.
+    base = min(table.rows, key=lambda r: r["jurisdictions_requested"])
+    assert base["overhead_percent"] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Parallel anonymization: jurisdictions, speedup, and the cost of
+splitting the map (§V + §VI-A/D).
+
+Partitions a Bay-Area-style population greedily across anonymization
+servers, measures the idealized wall-clock speedup (slowest server) and
+the utility divergence from the single-server optimum, and shows how a
+master policy dispatches users to their jurisdiction's server.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from repro.core.binary_dp import solve
+from repro.core.requests import ServiceRequest
+from repro.data import bay_area_master, sample_users
+from repro.parallel import parallel_bulk_anonymize
+from repro.trees import BinaryTree, greedy_partition
+
+K = 50
+N_USERS = 30_000
+
+
+def main() -> None:
+    region, master = bay_area_master(seed=7, n_intersections=5_000)
+    db = sample_users(master, N_USERS, seed=13)
+    print(f"{len(db)} users, k={K}")
+
+    # The single-server optimum is the utility yardstick.
+    tree = BinaryTree.build(region, db, K)
+    optimum = solve(tree, K).optimal_cost
+    print(f"single-server optimal cost: {optimum:.4e} m²\n")
+
+    print(f"{'servers':>8}  {'used':>5}  {'wall(s)':>8}  {'cpu(s)':>7}  "
+          f"{'overhead%':>9}  {'imbalance':>9}")
+    result = None
+    for n_servers in (1, 2, 4, 8, 16, 32):
+        result = parallel_bulk_anonymize(
+            region, db, K, n_servers, partition_tree=tree
+        )
+        overhead = 100.0 * (result.cost - optimum) / optimum
+        print(f"{n_servers:>8}  {result.n_servers:>5}  "
+              f"{result.wall_clock_seconds:>8.3f}  "
+              f"{result.total_cpu_seconds:>7.3f}  "
+              f"{overhead:>9.4f}  {result.imbalance:>9.2f}")
+
+    # Peek at the last partition: jurisdictions and populations.
+    parts = greedy_partition(tree, 8)
+    print("\nGreedy partition into 8 jurisdictions:")
+    for part in parts:
+        kind = "semi" if part.is_semi else "quad"
+        print(f"  node {part.node_id:>5} ({kind})  {str(part.rect):>34}  "
+              f"{part.count:>6} users")
+
+    # The master policy routes each request to its server's policy.
+    master_policy = result.master
+    uid = db.user_ids()[42]
+    server = master_policy.server_for(uid)
+    ar = master_policy.anonymize(ServiceRequest(uid, db.location_of(uid)))
+    print(f"\nuser {uid} lives in jurisdiction node "
+          f"{server.jurisdiction.node_id} -> cloak {ar.cloak}")
+    print(f"system-wide policy-aware anonymity level: "
+          f"{master_policy.min_group_size()} (k={K})")
+
+
+if __name__ == "__main__":
+    main()

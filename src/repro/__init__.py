@@ -1,0 +1,67 @@
+"""repro — Policy-aware sender k-anonymity for location based services.
+
+A full reproduction of "Policy-Aware Sender Anonymity in Location Based
+Services" (Deutsch, Hull, Vyas, Zhao — ICDE 2010): the formal model
+(service requests, cloaks, policies, PREs), the optimal PTIME
+anonymization algorithm over quad/binary trees, the k-inside baselines
+it is compared against, policy-aware attack tooling, a synthetic
+SF-Bay-style workload generator, and parallel/incremental operation.
+
+Quickstart::
+
+    from repro import PolicyAwareAnonymizer, Rect
+    from repro.data import bay_area_master, sample_users
+
+    region, master = bay_area_master(seed=7, n_intersections=2000)
+    db = sample_users(master, 20_000, seed=7)
+    anonymizer = PolicyAwareAnonymizer(region, k=50).fit(db)
+    print(anonymizer.optimal_cost, anonymizer.policy.min_group_size())
+"""
+
+from .core import (
+    AnonymizedRequest,
+    AnonymityBreachError,
+    Circle,
+    CloakingPolicy,
+    Configuration,
+    ConfigurationError,
+    GeometryError,
+    IncrementalAnonymizer,
+    NoFeasiblePolicyError,
+    Point,
+    PolicyAwareAnonymizer,
+    PolicyError,
+    Rect,
+    ReproError,
+    ServiceRequest,
+    TreeError,
+    WorkloadError,
+    masks,
+)
+from .lbs import LocationDatabase, SnapshotSequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnonymizedRequest",
+    "AnonymityBreachError",
+    "Circle",
+    "CloakingPolicy",
+    "Configuration",
+    "ConfigurationError",
+    "GeometryError",
+    "IncrementalAnonymizer",
+    "LocationDatabase",
+    "NoFeasiblePolicyError",
+    "Point",
+    "PolicyAwareAnonymizer",
+    "PolicyError",
+    "Rect",
+    "ReproError",
+    "ServiceRequest",
+    "SnapshotSequence",
+    "TreeError",
+    "WorkloadError",
+    "masks",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Attacker formalism (§III): PREs, the policy-aware / policy-unaware
+attacker classes, and policy auditing."""
+
+from .attacker import AttackResult, PolicyAwareAttacker, PolicyUnawareAttacker
+from .audit import AuditReport, assert_policy_aware_k_anonymous, audit_policy
+from .frequency import FrequencyFinding, frequency_attack, max_duplicate_count
+from .trajectory import (
+    TrajectoryAttackResult,
+    anonymity_erosion,
+    trajectory_attack,
+)
+from .pre import (
+    KInsideFamily,
+    MaskingFamily,
+    PolicyFamily,
+    SingletonFamily,
+    enumerate_pres,
+    provides_sender_k_anonymity,
+    sender_anonymity_level,
+)
+
+__all__ = [
+    "AttackResult",
+    "AuditReport",
+    "FrequencyFinding",
+    "KInsideFamily",
+    "MaskingFamily",
+    "PolicyAwareAttacker",
+    "PolicyFamily",
+    "PolicyUnawareAttacker",
+    "SingletonFamily",
+    "TrajectoryAttackResult",
+    "anonymity_erosion",
+    "assert_policy_aware_k_anonymous",
+    "audit_policy",
+    "enumerate_pres",
+    "frequency_attack",
+    "max_duplicate_count",
+    "provides_sender_k_anonymity",
+    "sender_anonymity_level",
+    "trajectory_attack",
+]

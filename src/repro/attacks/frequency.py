@@ -1,0 +1,101 @@
+"""Frequency-counting attacks and their cache counter-measure (§VII
+"Beyond k-anonymity: l-diversity and t-closeness").
+
+The paper sketches the LBS-side analogue of the attacks l-diversity and
+t-closeness defend against in data anonymization: *count duplicate
+requests per (cloak, payload) within a snapshot*.  If a cloak holding
+``n`` users emits ``n`` identical requests in one snapshot (one request
+per user per snapshot), every one of those users must have sent it —
+all senders of that interest are exposed at once, even though each
+individual request was k-anonymous.
+
+This module implements that attack against a request log, and the check
+that the CSP-side answer cache (:mod:`repro.lbs.cache`) precludes it:
+with the cache in place the LBS never observes duplicates, so the
+counts it could log (or be subpoenaed for) are all 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.policy import CloakingPolicy
+from ..core.requests import AnonymizedRequest, Payload
+
+__all__ = ["FrequencyFinding", "frequency_attack", "max_duplicate_count"]
+
+#: What the attacker groups observed requests by.
+GroupKey = Tuple[object, Payload]
+
+
+@dataclass(frozen=True)
+class FrequencyFinding:
+    """One cloak whose request frequency leaks information."""
+
+    cloak: object
+    payload: Payload
+    observed_count: int
+    group_size: int
+    #: the users whose interest is exposed (the whole cloak group when
+    #: the count saturates it).
+    exposed_users: Tuple[str, ...]
+
+    @property
+    def saturated(self) -> bool:
+        """Every member of the group provably sent this request."""
+        return self.observed_count >= self.group_size
+
+
+def frequency_attack(
+    observed: Sequence[AnonymizedRequest],
+    policy: CloakingPolicy,
+) -> List[FrequencyFinding]:
+    """Count duplicate requests per (cloak, payload) within a snapshot.
+
+    ``observed`` is what the LBS logged for one snapshot; ``policy`` is
+    the (policy-aware attacker's) knowledge of the cloaking in use,
+    which yields each cloak's group size.  A finding is returned for
+    every group whose duplicate count saturates it — i.e. where the
+    attacker learns that *every* group member sent that exact request.
+
+    Assumes one request per user per snapshot (the paper calls this
+    reasonable given the short snapshot duration).
+    """
+    counts: Dict[GroupKey, int] = {}
+    for request in observed:
+        key = (request.cloak, request.payload)
+        counts[key] = counts.get(key, 0) + 1
+
+    groups = policy.groups()
+    findings: List[FrequencyFinding] = []
+    for (cloak, payload), count in sorted(
+        counts.items(), key=lambda item: -item[1]
+    ):
+        members = groups.get(cloak, [])
+        if not members:
+            continue
+        if count >= len(members):
+            findings.append(
+                FrequencyFinding(
+                    cloak=cloak,
+                    payload=payload,
+                    observed_count=count,
+                    group_size=len(members),
+                    exposed_users=tuple(sorted(members)),
+                )
+            )
+    return findings
+
+
+def max_duplicate_count(observed: Sequence[AnonymizedRequest]) -> int:
+    """The largest per-(cloak, payload) duplicate count in a log.
+
+    With the CSP answer cache enabled this is at most 1 — the §VII
+    counter-measure made checkable.
+    """
+    counts: Dict[GroupKey, int] = {}
+    for request in observed:
+        key = (request.cloak, request.payload)
+        counts[key] = counts.get(key, 0) + 1
+    return max(counts.values(), default=0)

@@ -1,0 +1,95 @@
+"""Trajectory-aware attacks across snapshots (the paper's declared
+future work, demonstrated).
+
+The paper's guarantee is **per snapshot**: each anonymized request has
+≥ k possible senders at the time it was sent.  §I's "Scope" explicitly
+leaves *trajectory-aware* attackers — who know that several requests
+(sent at different times, from different locations) originate from the
+same (a-priori unknown) user — to future work [6], [27], [11].
+
+This module shows why that matters: a trajectory-aware attacker
+intersects the candidate-sender sets of linked requests across
+snapshots.  Since cloak groups are re-drawn per snapshot, the
+intersection can shrink far below k even though every individual
+request was policy-aware k-anonymous.  The tooling here quantifies
+that erosion so future mitigation work can be evaluated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from ..core.policy import CloakingPolicy
+from ..core.requests import AnonymizedRequest
+from .attacker import PolicyAwareAttacker
+
+__all__ = ["TrajectoryAttackResult", "trajectory_attack", "anonymity_erosion"]
+
+
+@dataclass(frozen=True)
+class TrajectoryAttackResult:
+    """Outcome of linking one user's requests across snapshots."""
+
+    #: candidate sets per linked request, in observation order.
+    per_request: Tuple[Tuple[str, ...], ...]
+    #: candidates consistent with *all* linked requests.
+    surviving: Tuple[str, ...]
+
+    @property
+    def anonymity(self) -> int:
+        return len(self.surviving)
+
+    @property
+    def identified(self) -> bool:
+        return len(self.surviving) == 1
+
+
+def trajectory_attack(
+    linked: Sequence[Tuple[AnonymizedRequest, CloakingPolicy]],
+) -> TrajectoryAttackResult:
+    """Attack a *linked* request sequence.
+
+    ``linked`` pairs each observed anonymized request with the policy in
+    force at its snapshot (the policy-aware attacker knows every
+    deployed policy).  The attacker's candidate set for the whole
+    trajectory is the intersection of the per-snapshot candidate sets.
+    """
+    per_request: List[Tuple[str, ...]] = []
+    surviving: Set[str] = set()
+    first = True
+    for request, policy in linked:
+        candidates = PolicyAwareAttacker(policy).attack(request).candidates
+        per_request.append(candidates)
+        if first:
+            surviving = set(candidates)
+            first = False
+        else:
+            surviving &= set(candidates)
+    return TrajectoryAttackResult(
+        per_request=tuple(per_request),
+        surviving=tuple(sorted(surviving)),
+    )
+
+
+def anonymity_erosion(
+    user_id: str,
+    policies: Sequence[CloakingPolicy],
+) -> List[int]:
+    """Track how a user's trajectory anonymity erodes snapshot by
+    snapshot if she requests in every one of ``policies``.
+
+    Returns the surviving-candidate count after each snapshot; the first
+    entry is ≥ k (the per-snapshot guarantee), later entries may shrink.
+    """
+    linked = []
+    erosion: List[int] = []
+    for policy in policies:
+        request = AnonymizedRequest(
+            request_id=len(linked) + 1,
+            cloak=policy.cloak_for(user_id),
+            payload=(),
+        )
+        linked.append((request, policy))
+        erosion.append(trajectory_attack(linked).anonymity)
+    return erosion

@@ -1,0 +1,41 @@
+"""Baseline anonymization schemes the paper evaluates against (§VI-B)
+or breaks (§VII): the k-inside family (PUQ, PUB, Casper), the k-sharing
+and k-reciprocity refinements, and the NP-complete circular-cloak
+variant of Theorem 1."""
+
+from .casper import casper_cloak, casper_policy
+from .casper_adaptive import CasperPyramid
+from .circular import CircularSolution, solve_exact, solve_greedy, verify_solution
+from .kinside import policy_unaware_binary, policy_unaware_quad
+from .pir import PIRCostModel
+from .kreciprocity import (
+    satisfies_k_reciprocity,
+    station_circle_for,
+    station_circle_policy,
+)
+from .ksharing import (
+    first_request_candidates,
+    first_request_group,
+    ksharing_policy,
+    satisfies_k_sharing,
+)
+
+__all__ = [
+    "CasperPyramid",
+    "CircularSolution",
+    "PIRCostModel",
+    "casper_cloak",
+    "casper_policy",
+    "first_request_candidates",
+    "first_request_group",
+    "ksharing_policy",
+    "policy_unaware_binary",
+    "policy_unaware_quad",
+    "satisfies_k_reciprocity",
+    "satisfies_k_sharing",
+    "solve_exact",
+    "solve_greedy",
+    "station_circle_for",
+    "station_circle_policy",
+    "verify_solution",
+]

@@ -1,0 +1,100 @@
+"""Prototype of Casper's basic cloaking algorithm (Mokbel et al. [23]).
+
+Casper maintains a quadrant pyramid and, for a requester in cell ``c``:
+
+1. if ``c`` holds ≥ k users, ``c`` is the cloak;
+2. otherwise it considers the two *semi-quadrants* combining ``c`` with
+   its vertical / horizontal sibling inside the parent quadrant, and
+   returns one that holds ≥ k users;
+3. otherwise it recurses with the parent quadrant.
+
+The original system has no bulk interface (it reads one location at a
+time), so — exactly like the paper's authors — we re-implement the basic
+algorithm; the adaptive variant only changes running time, not cloak
+sizes, and is therefore irrelevant to the Figure 5(a) comparison.
+
+Casper is the utility yardstick: it can pick between horizontal *and*
+vertical semi-quadrants (our binary tree statically fixes the split
+orientation per level), so its average cloak is the smallest of all four
+compared policies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import NoFeasiblePolicyError
+from ..core.geometry import Point, Rect
+from ..core.policy import CloakingPolicy
+from ..core.locationdb import LocationDatabase
+from ..trees.node import SpatialNode
+from ..trees.quadtree import QuadTree
+
+__all__ = ["casper_policy", "casper_cloak"]
+
+
+def _semi_candidates(node: SpatialNode) -> List[Tuple[Rect, int]]:
+    """The two semi-quadrants pairing ``node`` with a sibling, with their
+    user counts (the union of two tree nodes' counts — O(1)).
+
+    Empty at the root, which has no siblings.
+    """
+    parent = node.parent
+    if parent is None:
+        return []
+    out: List[Tuple[Rect, int]] = []
+    for sibling in parent.children:
+        if sibling is node:
+            continue
+        same_column = sibling.rect.x1 == node.rect.x1
+        same_row = sibling.rect.y1 == node.rect.y1
+        if not (same_column or same_row):
+            continue  # the diagonal sibling does not form a semi-quadrant
+        union = Rect(
+            min(node.rect.x1, sibling.rect.x1),
+            min(node.rect.y1, sibling.rect.y1),
+            max(node.rect.x2, sibling.rect.x2),
+            max(node.rect.y2, sibling.rect.y2),
+        )
+        out.append((union, node.count + sibling.count))
+    return out
+
+
+def casper_cloak(tree: QuadTree, point: Point, k: int) -> Rect:
+    """The cloak Casper's basic algorithm picks for a user at ``point``."""
+    node = tree.leaf_for(point)
+    while node is not None:
+        if node.count >= k:
+            return node.rect
+        best: Optional[Rect] = None
+        best_count = -1
+        for semi, count in _semi_candidates(node):
+            # Both semis have equal area; prefer the more populated one
+            # (deterministic tie-break: first candidate wins).
+            if count >= k and count > best_count:
+                best = semi
+                best_count = count
+        if best is not None:
+            return best
+        node = node.parent
+    raise NoFeasiblePolicyError(
+        f"fewer than k={k} users on the whole map — Casper cannot cloak"
+    )
+
+
+def casper_policy(
+    region: Rect,
+    db: LocationDatabase,
+    k: int,
+    max_depth: int = 20,
+    tree: Optional[QuadTree] = None,
+) -> CloakingPolicy:
+    """Bulk-apply the Casper prototype to every user of the snapshot."""
+    if tree is None:
+        tree = QuadTree.build_adaptive(
+            region, db, split_threshold=k, max_depth=max_depth
+        )
+    cloaks: Dict[str, Rect] = {}
+    for user_id, point in db.items():
+        cloaks[user_id] = casper_cloak(tree, point, k)
+    return CloakingPolicy(cloaks, db, name="Casper")

@@ -1,0 +1,168 @@
+"""Casper's *adaptive* pyramid (the variant the paper did not rebuild).
+
+§VI-B: "We did not implement the adaptive algorithm since it only
+affects the running time and not the size of the cloak."  We implement
+it anyway, completing the baseline: the original Casper [23] maintains a
+complete pyramid of grid levels with per-cell user counts, updated
+incrementally as users move (O(height) per move), so cloaking stays
+available between snapshots without rebuilding any structure.
+
+The cloaking rule is the same basic algorithm as
+:func:`repro.baselines.casper.casper_policy`; the tests verify that on a
+static snapshot both produce identically-sized cloaks, and that
+incremental maintenance tracks a from-scratch rebuild exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import NoFeasiblePolicyError, TreeError
+from ..core.geometry import Point, Rect
+from ..core.locationdb import LocationDatabase
+from ..core.policy import CloakingPolicy
+
+__all__ = ["CasperPyramid"]
+
+
+class CasperPyramid:
+    """A complete quadrant pyramid with incrementally-maintained counts.
+
+    Level ``0`` is the whole map; level ``h`` is a ``2^h × 2^h`` grid.
+    Each move touches one cell per level — the adaptive structure's
+    whole point.
+    """
+
+    def __init__(self, region: Rect, db: LocationDatabase, height: int):
+        if height < 0:
+            raise TreeError("pyramid height must be ≥ 0")
+        if region.width != region.height:
+            raise TreeError(f"pyramid needs a square map, got {region}")
+        self.region = region
+        self.height = height
+        self.db = db
+        #: per level: (2^h, 2^h) int array of user counts (x-major).
+        self.counts: List[np.ndarray] = [
+            np.zeros((1 << h, 1 << h), dtype=np.int64)
+            for h in range(height + 1)
+        ]
+        self._cell_of_user: Dict[str, Tuple[int, int]] = {}
+        for user_id, point in db.items():
+            cell = self._bottom_cell(point)
+            self._cell_of_user[user_id] = cell
+            self._bump(cell, +1)
+
+    # -- geometry ----------------------------------------------------------------
+
+    def _bottom_cell(self, point: Point) -> Tuple[int, int]:
+        if not self.region.contains(point):
+            raise TreeError(f"point {point} outside the map {self.region}")
+        side = 1 << self.height
+        cx = min(
+            int((point.x - self.region.x1) / self.region.width * side),
+            side - 1,
+        )
+        cy = min(
+            int((point.y - self.region.y1) / self.region.height * side),
+            side - 1,
+        )
+        return (cx, cy)
+
+    def _cell_rect(self, level: int, cx: int, cy: int) -> Rect:
+        side = 1 << level
+        w = self.region.width / side
+        h = self.region.height / side
+        x1 = self.region.x1 + cx * w
+        y1 = self.region.y1 + cy * h
+        return Rect(x1, y1, x1 + w, y1 + h)
+
+    def _bump(self, bottom_cell: Tuple[int, int], delta: int) -> None:
+        cx, cy = bottom_cell
+        for level in range(self.height, -1, -1):
+            self.counts[level][cx, cy] += delta
+            cx >>= 1
+            cy >>= 1
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def apply_moves(self, moves: Mapping[str, Point]) -> int:
+        """Relocate users; returns the number of pyramid cells touched
+        (2·(height+1) per user that changed bottom cell)."""
+        touched = 0
+        new_points: Dict[str, Point] = {}
+        for user_id, point in moves.items():
+            user_id = str(user_id)
+            if user_id not in self._cell_of_user:
+                raise TreeError(f"cannot move unknown user {user_id!r}")
+            new_cell = self._bottom_cell(point)
+            old_cell = self._cell_of_user[user_id]
+            new_points[user_id] = point
+            if new_cell == old_cell:
+                continue
+            self._bump(old_cell, -1)
+            self._bump(new_cell, +1)
+            self._cell_of_user[user_id] = new_cell
+            touched += 2 * (self.height + 1)
+        self.db = self.db.with_moves(new_points)
+        return touched
+
+    # -- cloaking ------------------------------------------------------------------
+
+    def cloak(self, point: Point, k: int) -> Rect:
+        """The basic Casper cloak for a user at ``point``."""
+        cx, cy = self._bottom_cell(point)
+        for level in range(self.height, -1, -1):
+            grid = self.counts[level]
+            if grid[cx, cy] >= k:
+                return self._cell_rect(level, cx, cy)
+            if level > 0:
+                # The two semi-quadrants pairing this cell with its
+                # sibling inside the parent quadrant.
+                sib_x = cx ^ 1  # horizontal neighbour within the parent
+                sib_y = cy ^ 1  # vertical neighbour within the parent
+                best: Optional[Rect] = None
+                best_count = -1
+                horizontal = grid[cx, cy] + grid[sib_x, cy]
+                if horizontal >= k and horizontal > best_count:
+                    best = self._cell_rect(level, min(cx, sib_x), cy)
+                    wide = self._cell_rect(level, max(cx, sib_x), cy)
+                    best = Rect(best.x1, best.y1, wide.x2, wide.y2)
+                    best_count = horizontal
+                vertical = grid[cx, cy] + grid[cx, sib_y]
+                if vertical >= k and vertical > best_count:
+                    low = self._cell_rect(level, cx, min(cy, sib_y))
+                    high = self._cell_rect(level, cx, max(cy, sib_y))
+                    best = Rect(low.x1, low.y1, high.x2, high.y2)
+                    best_count = vertical
+                if best is not None:
+                    return best
+            cx >>= 1
+            cy >>= 1
+        raise NoFeasiblePolicyError(
+            f"fewer than k={k} users on the whole map — Casper cannot cloak"
+        )
+
+    def policy(self, k: int) -> CloakingPolicy:
+        """Bulk-apply the current pyramid to every user."""
+        cloaks = {
+            user_id: self.cloak(point, k) for user_id, point in self.db.items()
+        }
+        return CloakingPolicy(cloaks, self.db, name="Casper-adaptive")
+
+    def check_counts(self) -> None:
+        """Validate the count hierarchy (test hook)."""
+        for level in range(self.height):
+            parent = self.counts[level]
+            child = self.counts[level + 1]
+            rollup = (
+                child[0::2, 0::2]
+                + child[1::2, 0::2]
+                + child[0::2, 1::2]
+                + child[1::2, 1::2]
+            )
+            if not np.array_equal(parent, rollup):
+                raise TreeError(f"count rollup broken at level {level}")
+        if self.counts[0][0, 0] != len(self.db):
+            raise TreeError("pyramid lost users")

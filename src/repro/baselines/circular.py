@@ -1,0 +1,243 @@
+"""Optimal Policy-aware Bulk-anonymization with Circular cloaks
+(Theorem 1: NP-complete).
+
+Problem: given a location database ``D`` and a set ``SC`` of candidate
+circle centers (public landmarks, cell towers, ...), find a policy-aware
+sender k-anonymous policy of minimum cost where every cloak is a circle
+centered at some point of ``SC`` (radius free).
+
+Policy-aware anonymity forces every used cloak to be *shared* by ≥ k
+users, so a solution is a partition of the users into groups of size
+≥ k, each group assigned a center; the group's circle must reach its
+farthest member, and each of its ``|group|`` requests pays the circle's
+area — cost ``|group| · π · r²``.
+
+Since the problem is NP-complete, this module offers:
+
+* :func:`solve_exact` — a bitmask dynamic program over user subsets,
+  optimal but exponential (the Theorem-1 benchmark measures its blow-up);
+* :func:`solve_greedy` — a polynomial heuristic: repeatedly open the
+  cheapest (center, k-nearest-unassigned) group, then attach leftovers
+  to their cheapest group.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import NoFeasiblePolicyError, ReproError
+from ..core.geometry import Circle, Point
+from ..core.policy import CloakingPolicy
+from ..core.locationdb import LocationDatabase
+
+__all__ = ["CircularSolution", "solve_exact", "solve_greedy", "verify_solution"]
+
+_INF = float("inf")
+_MAX_EXACT_USERS = 16
+
+
+@dataclass(frozen=True)
+class CircularSolution:
+    """A grouping of users into shared circular cloaks."""
+
+    policy: CloakingPolicy
+    cost: float
+    groups: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+
+def _build_solution(
+    db: LocationDatabase,
+    groups: Sequence[Sequence[str]],
+    centers_of_groups: Sequence[Point],
+    name: str,
+) -> CircularSolution:
+    cloaks: Dict[str, Circle] = {}
+    total = 0.0
+    for members, center in zip(groups, centers_of_groups):
+        radius = max(center.distance_to(db.location_of(uid)) for uid in members)
+        circle = Circle(center, radius)
+        for uid in members:
+            cloaks[uid] = circle
+        total += len(members) * circle.area
+    policy = CloakingPolicy(cloaks, db, name=name)
+    return CircularSolution(
+        policy=policy,
+        cost=total,
+        groups=tuple(tuple(sorted(members)) for members in groups),
+    )
+
+
+def _group_cost(
+    db: LocationDatabase, members: Sequence[str], centers: Sequence[Point]
+) -> Tuple[float, Point]:
+    """Cheapest (cost, center) for cloaking ``members`` together."""
+    best_cost, best_center = _INF, centers[0]
+    points = [db.location_of(uid) for uid in members]
+    for center in centers:
+        radius = max(center.distance_to(p) for p in points)
+        cost = len(members) * math.pi * radius * radius
+        if cost < best_cost:
+            best_cost, best_center = cost, center
+    return best_cost, best_center
+
+
+def solve_exact(
+    db: LocationDatabase, centers: Sequence[Point], k: int
+) -> CircularSolution:
+    """Optimal circular-cloak anonymization by subset DP.
+
+    ``best[mask]`` = cheapest way to cloak exactly the users of ``mask``;
+    transitions peel off one group (of size ≥ k) containing the lowest
+    set bit.  O(3^n · |SC|) time — Theorem 1 says we cannot do
+    fundamentally better, and the guard below enforces sanity.
+    """
+    users = db.user_ids()
+    n = len(users)
+    if n < k:
+        raise NoFeasiblePolicyError(f"fewer than k={k} users in the snapshot")
+    if n > _MAX_EXACT_USERS:
+        raise ReproError(
+            f"exact circular solver limited to {_MAX_EXACT_USERS} users "
+            f"(NP-complete problem); got {n}"
+        )
+    if not centers:
+        raise NoFeasiblePolicyError("no candidate centers supplied")
+
+    full = (1 << n) - 1
+    # Pre-compute the cheapest cost/center for every subset of size ≥ k.
+    group_cost: Dict[int, Tuple[float, Point]] = {}
+    for mask in range(1, full + 1):
+        if bin(mask).count("1") >= k:
+            members = [users[i] for i in range(n) if mask >> i & 1]
+            group_cost[mask] = _group_cost(db, members, centers)
+
+    best = [_INF] * (full + 1)
+    choice: List[int] = [0] * (full + 1)
+    best[0] = 0.0
+    for mask in range(1, full + 1):
+        if bin(mask).count("1") < k:
+            continue
+        low = mask & (-mask)
+        # Enumerate submasks of mask that contain the lowest set bit —
+        # the group that cloaks that user.
+        sub = mask
+        while sub:
+            if sub & low and sub in group_cost:
+                rest = mask ^ sub
+                if best[rest] < _INF:
+                    cost = best[rest] + group_cost[sub][0]
+                    if cost < best[mask]:
+                        best[mask] = cost
+                        choice[mask] = sub
+            sub = (sub - 1) & mask
+
+    if best[full] == _INF:
+        raise NoFeasiblePolicyError(
+            "no feasible circular grouping (need groups of size ≥ k)"
+        )
+
+    groups: List[List[str]] = []
+    group_centers: List[Point] = []
+    mask = full
+    while mask:
+        sub = choice[mask]
+        groups.append([users[i] for i in range(n) if sub >> i & 1])
+        group_centers.append(group_cost[sub][1])
+        mask ^= sub
+    return _build_solution(db, groups, group_centers, name="circular-exact")
+
+
+def verify_solution(
+    db: LocationDatabase,
+    centers: Sequence[Point],
+    k: int,
+    solution: CircularSolution,
+    budget: Optional[float] = None,
+) -> None:
+    """Polynomial certificate verifier (the NP-membership half of
+    Theorem 1): check a proposed grouping is a valid policy-aware
+    k-anonymization with circular cloaks, optionally within a budget.
+
+    Raises :class:`ReproError` naming the first violated condition.
+    """
+    allowed = {(c.x, c.y) for c in centers}
+    seen: set = set()
+    recomputed = 0.0
+    for members in solution.groups:
+        if len(members) < k:
+            raise ReproError(f"group {members} smaller than k={k}")
+        for uid in members:
+            if uid in seen:
+                raise ReproError(f"user {uid!r} appears in two groups")
+            seen.add(uid)
+        circles = {solution.policy.cloak_for(uid) for uid in members}
+        if len(circles) != 1:
+            raise ReproError(f"group {members} does not share one cloak")
+        circle = next(iter(circles))
+        if (circle.center.x, circle.center.y) not in allowed:
+            raise ReproError(f"cloak centered off the allowed set: {circle}")
+        for uid in members:
+            if not circle.contains(db.location_of(uid)):
+                raise ReproError(f"user {uid!r} outside the group's circle")
+        recomputed += len(members) * circle.area
+    if seen != set(db.user_ids()):
+        raise ReproError("groups do not partition the user set")
+    if abs(recomputed - solution.cost) > 1e-6 * max(recomputed, 1.0):
+        raise ReproError(
+            f"claimed cost {solution.cost} ≠ recomputed {recomputed}"
+        )
+    if budget is not None and recomputed > budget + 1e-9:
+        raise ReproError(f"cost {recomputed} exceeds budget {budget}")
+
+
+def solve_greedy(
+    db: LocationDatabase, centers: Sequence[Point], k: int
+) -> CircularSolution:
+    """Polynomial heuristic for the circular-cloak problem.
+
+    While ≥ k users are unassigned: over all centers, find the k
+    unassigned users nearest to it, and open the group with the smallest
+    resulting cost.  Remaining users join whichever existing group grows
+    the total cost least.
+    """
+    users = db.user_ids()
+    if len(users) < k:
+        raise NoFeasiblePolicyError(f"fewer than k={k} users in the snapshot")
+    if not centers:
+        raise NoFeasiblePolicyError("no candidate centers supplied")
+
+    unassigned = set(users)
+    groups: List[List[str]] = []
+    group_centers: List[Point] = []
+    while len(unassigned) >= k:
+        best_cost, best_members, best_center = _INF, None, None
+        for center in centers:
+            ranked = sorted(
+                unassigned,
+                key=lambda uid: (center.distance_to(db.location_of(uid)), uid),
+            )[:k]
+            cost, __ = _group_cost(db, ranked, [center])
+            if cost < best_cost:
+                best_cost, best_members, best_center = cost, ranked, center
+        groups.append(list(best_members))
+        group_centers.append(best_center)
+        unassigned.difference_update(best_members)
+
+    for uid in sorted(unassigned):
+        point = db.location_of(uid)
+        best_idx, best_delta = 0, _INF
+        for idx, (members, center) in enumerate(zip(groups, group_centers)):
+            old_cost, __ = _group_cost(db, members, [center])
+            new_cost, __ = _group_cost(db, members + [uid], [center])
+            delta = new_cost - old_cost
+            if delta < best_delta:
+                best_idx, best_delta = idx, delta
+        groups[best_idx].append(uid)
+
+    return _build_solution(db, groups, group_centers, name="circular-greedy")

@@ -1,0 +1,72 @@
+"""Optimal k-inside baselines: PUQ and PUB (§VI-B).
+
+A *k-inside* policy cloaks every requester with the tightest region (of
+the allowed vocabulary) containing at least k users.  It maximizes
+utility and defends policy-unaware attackers (Proposition 2) but not
+policy-aware ones (Proposition 3).
+
+* **PUQ** — optimum policy-unaware *quad tree* policy: the smallest
+  quadrant containing the requester and ≥ k users (Gruteser &
+  Grunwald [16]).
+* **PUB** — the same rule over the *binary tree* of quadrants and
+  semi-quadrants, i.e. the k-inside counterpart of our policy-aware
+  algorithm, using the identical cloak vocabulary (the fairest utility
+  comparison in Figure 5(a)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.errors import NoFeasiblePolicyError
+from ..core.geometry import Rect
+from ..core.policy import CloakingPolicy
+from ..core.locationdb import LocationDatabase
+from ..trees.binarytree import BinaryTree
+from ..trees.quadtree import QuadTree
+
+__all__ = ["policy_unaware_quad", "policy_unaware_binary"]
+
+
+def _tightest_cloaks(tree, db: LocationDatabase, k: int) -> Dict[str, Rect]:
+    cloaks: Dict[str, Rect] = {}
+    for user_id, point in db.items():
+        node = tree.smallest_node_with(point, k)
+        if node is None:
+            raise NoFeasiblePolicyError(
+                f"fewer than k={k} users on the whole map — no k-inside "
+                "cloak exists"
+            )
+        cloaks[user_id] = node.rect
+    return cloaks
+
+
+def policy_unaware_quad(
+    region: Rect,
+    db: LocationDatabase,
+    k: int,
+    max_depth: int = 20,
+    tree: Optional[QuadTree] = None,
+) -> CloakingPolicy:
+    """PUQ: per-user tightest quadrant holding ≥ k users [16]."""
+    if tree is None:
+        tree = QuadTree.build_adaptive(region, db, split_threshold=k, max_depth=max_depth)
+    return CloakingPolicy(_tightest_cloaks(tree, db, k), db, name="PUQ")
+
+
+def policy_unaware_binary(
+    region: Rect,
+    db: LocationDatabase,
+    k: int,
+    max_depth: int = 40,
+    tree: Optional[BinaryTree] = None,
+) -> CloakingPolicy:
+    """PUB: per-user tightest (semi-)quadrant holding ≥ k users.
+
+    Uses exactly the cloak vocabulary of the policy-aware DP, so
+    ``Cost(PUB) ≤ Cost(policy-aware optimum)`` always — the gap is the
+    price of the stronger guarantee.
+    """
+    if tree is None:
+        tree = BinaryTree.build(region, db, k, max_depth=max_depth)
+    return CloakingPolicy(_tightest_cloaks(tree, db, k), db, name="PUB")

@@ -1,0 +1,147 @@
+"""The k-sharing cloaking scheme of Chow & Mokbel [11] and its
+policy-aware breach (paper §VII, Figure 6(a)).
+
+k-sharing strengthens k-inside: at least k-1 of the users inside a
+cloak must have that *same* region as their own cloak.  The reference
+algorithm builds *cloaking groups* on demand: when a request arrives
+from an ungrouped user, the user is grouped with her k-1 nearest
+(ungrouped) neighbours and the whole group shares the group's bounding
+box as cloak.
+
+The flaw the paper exploits: the realized grouping depends on *request
+arrival order*.  In Figure 6(a), if C requests first the group is
+{C, B}; had B requested first it would have been {B, A}.  An attacker
+who knows the algorithm and observes the cloak of {C, B} as the first
+request can therefore conclude the sender is C — a total breach, despite
+the k-sharing property holding for the realized cloaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import NoFeasiblePolicyError
+from ..core.geometry import Point, Rect, bounding_rect
+from ..core.policy import CloakingPolicy
+from ..core.locationdb import LocationDatabase
+
+__all__ = [
+    "ksharing_policy",
+    "first_request_group",
+    "first_request_candidates",
+    "satisfies_k_sharing",
+]
+
+
+def _nearest(
+    db: LocationDatabase, origin: Point, pool: Sequence[str], count: int
+) -> List[str]:
+    """The ``count`` users of ``pool`` nearest to ``origin``.
+
+    Distance ties break on user id, keeping group formation
+    deterministic for a given arrival order.
+    """
+    ranked = sorted(
+        pool, key=lambda uid: (origin.distance_to(db.location_of(uid)), uid)
+    )
+    return ranked[:count]
+
+
+def _group_cloak(db: LocationDatabase, group: Sequence[str]) -> Rect:
+    return bounding_rect(db.location_of(uid) for uid in group)
+
+
+def first_request_group(
+    db: LocationDatabase, k: int, requester: str
+) -> List[str]:
+    """The cloaking group formed when ``requester`` is the snapshot's
+    first request: herself plus her k-1 nearest users."""
+    origin = db.location_of(requester)
+    if origin is None:
+        raise NoFeasiblePolicyError(f"unknown requester {requester!r}")
+    others = [uid for uid in db.user_ids() if uid != requester]
+    if len(others) < k - 1:
+        raise NoFeasiblePolicyError(
+            f"fewer than k={k} users — cannot form a cloaking group"
+        )
+    return [requester] + _nearest(db, origin, others, k - 1)
+
+
+def first_request_candidates(
+    db: LocationDatabase, k: int, observed_cloak: Rect
+) -> List[str]:
+    """The policy-aware attack on the snapshot's *first* request.
+
+    The attacker knows the grouping algorithm and the location database;
+    for each hypothetical first sender ``u`` he simulates the group that
+    would form and keeps ``u`` iff its cloak matches the observation.
+    Fewer than k survivors = breach of sender k-anonymity.
+    """
+    candidates = []
+    for user_id in db.user_ids():
+        group = first_request_group(db, k, user_id)
+        if _group_cloak(db, group) == observed_cloak:
+            candidates.append(user_id)
+    return candidates
+
+
+def ksharing_policy(
+    db: LocationDatabase,
+    k: int,
+    arrival_order: Optional[Sequence[str]] = None,
+) -> CloakingPolicy:
+    """Bulk-simulate the grouping algorithm for a full request workload.
+
+    Users request in ``arrival_order`` (default: id order).  An already
+    grouped user reuses her group's cloak; an ungrouped user forms a new
+    group from her k-1 nearest *ungrouped* users.  When fewer than k
+    ungrouped users remain, the stragglers join their nearest group.
+    """
+    order = list(arrival_order) if arrival_order is not None else db.user_ids()
+    if set(order) != set(db.user_ids()):
+        raise NoFeasiblePolicyError(
+            "arrival order must be a permutation of the snapshot's users"
+        )
+    if len(order) < k:
+        raise NoFeasiblePolicyError(f"fewer than k={k} users in the snapshot")
+
+    group_of: Dict[str, int] = {}
+    groups: List[List[str]] = []
+    ungrouped = set(order)
+    for user_id in order:
+        if user_id in group_of:
+            continue
+        pool = [uid for uid in ungrouped if uid != user_id]
+        if len(pool) >= k - 1:
+            members = [user_id] + _nearest(
+                db, db.location_of(user_id), pool, k - 1
+            )
+            index = len(groups)
+            groups.append(members)
+            for member in members:
+                group_of[member] = index
+                ungrouped.discard(member)
+        else:
+            # Stragglers: join the nearest existing group.
+            origin = db.location_of(user_id)
+            index = min(
+                range(len(groups)),
+                key=lambda i: min(
+                    origin.distance_to(db.location_of(m)) for m in groups[i]
+                ),
+            )
+            groups[index].append(user_id)
+            group_of[user_id] = index
+            ungrouped.discard(user_id)
+
+    cloaks = {}
+    cloak_of_group = [_group_cloak(db, members) for members in groups]
+    for user_id, index in group_of.items():
+        cloaks[user_id] = cloak_of_group[index]
+    return CloakingPolicy(cloaks, db, name=f"k-sharing(k={k})")
+
+
+def satisfies_k_sharing(policy: CloakingPolicy, k: int) -> bool:
+    """Check the k-sharing property: every used cloak is shared — as
+    *the* cloak — by at least k users inside it."""
+    return all(len(users) >= k for users in policy.groups().values())

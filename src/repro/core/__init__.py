@@ -1,0 +1,104 @@
+"""Core of the paper's contribution: policies, configurations, and the
+optimal policy-aware anonymization algorithms (§III–§V)."""
+
+from .anonymizer import IncrementalAnonymizer, PolicyAwareAnonymizer, UpdateReport
+from .binary_dp import (
+    NodeSolution,
+    TreeSolution,
+    resolve_dirty,
+    solve,
+    solve_best_orientation,
+)
+from .bulk_dp import NaiveMatrix, solve_naive
+from .configuration import (
+    Configuration,
+    configuration_of_policy,
+    enumerate_ksummation_configurations,
+    policy_from_configuration,
+)
+from .lemmas import (
+    LemmaViolation,
+    check_lemma1,
+    check_lemma2,
+    check_lemma3,
+    check_lemma5,
+    check_proposition1,
+    check_proposition2,
+    check_theorem2,
+)
+from .errors import (
+    AnonymityBreachError,
+    ConfigurationError,
+    GeometryError,
+    NoFeasiblePolicyError,
+    PolicyError,
+    ReproError,
+    TreeError,
+    WorkloadError,
+)
+from .geometry import Circle, Point, Rect, bounding_rect
+from .policy import CloakingPolicy
+from .serialization import (
+    load_policy,
+    policy_from_dict,
+    policy_to_dict,
+    read_locations_csv,
+    save_policy,
+    write_locations_csv,
+)
+from .requests import (
+    AnonymizedRequest,
+    Payload,
+    ServiceRequest,
+    masks,
+    request_id_factory,
+)
+
+__all__ = [
+    "AnonymizedRequest",
+    "AnonymityBreachError",
+    "Circle",
+    "CloakingPolicy",
+    "Configuration",
+    "ConfigurationError",
+    "GeometryError",
+    "IncrementalAnonymizer",
+    "LemmaViolation",
+    "NaiveMatrix",
+    "NodeSolution",
+    "NoFeasiblePolicyError",
+    "Payload",
+    "Point",
+    "PolicyAwareAnonymizer",
+    "PolicyError",
+    "Rect",
+    "ReproError",
+    "ServiceRequest",
+    "TreeError",
+    "TreeSolution",
+    "UpdateReport",
+    "WorkloadError",
+    "bounding_rect",
+    "check_lemma1",
+    "check_lemma2",
+    "check_lemma3",
+    "check_lemma5",
+    "check_proposition1",
+    "check_proposition2",
+    "check_theorem2",
+    "load_policy",
+    "policy_from_dict",
+    "policy_to_dict",
+    "read_locations_csv",
+    "save_policy",
+    "write_locations_csv",
+    "configuration_of_policy",
+    "enumerate_ksummation_configurations",
+    "masks",
+    "policy_from_configuration",
+    "request_id_factory",
+    "resolve_dirty",
+    "solve",
+    "solve_best_orientation",
+    "solve_naive",
+]

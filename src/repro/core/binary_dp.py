@@ -1,0 +1,386 @@
+"""The optimized bottom-up dynamic program of §V.
+
+This is the production solver: ``Bulk_dp`` (Algorithm 1) restated over
+the binary tree of quadrants/semi-quadrants, with the paper's three
+optimizations applied:
+
+1. **Binary tree** — each combine step involves two children, not four
+   (§V "From Quad to Binary Trees").  The solver is nevertheless written
+   generically over n-ary trees so the same code runs on quad trees for
+   cross-validation and ablation.
+2. **Lemma 5 pruning** — a node at depth ``h`` never passes up more than
+   ``(k+1)·h`` locations (except "everything"), so per-node cost vectors
+   have length O(kh) instead of O(|D|).
+3. **Two-stage combine** (§V "From O(|B|(kh)^3) to O(|B|(kh)^2)") — the
+   children's vectors are merged with a min-plus convolution into a
+   ``temp`` structure once, and every parent entry is then answered from
+   ``temp``'s suffix minima in O(1).
+
+Per-node state is a :class:`NodeSolution`: ``vec[u]`` is the minimum
+subtree cost over all k-summation configurations that pass ``u``
+locations up to the ancestors, and the sentinel ``u = d(m)`` ("cloak
+nothing anywhere below") always costs 0.  The optimum for the snapshot
+is ``vec[0]`` at the root — the cheapest *complete* configuration.
+
+Extraction re-derives, top-down, the child split that achieved each
+chosen entry (recomputing the argmin is cheaper than storing
+backpointers for every ``(m, u)`` pair) and produces a
+:class:`~repro.core.configuration.Configuration`, from which a concrete
+:class:`~repro.core.policy.CloakingPolicy` is materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .configuration import Configuration, policy_from_configuration
+from .errors import NoFeasiblePolicyError, ReproError
+from .policy import CloakingPolicy
+
+__all__ = ["NodeSolution", "TreeSolution", "solve", "resolve_dirty"]
+
+_INF = float("inf")
+
+
+@dataclass
+class NodeSolution:
+    """DP state for one tree node.
+
+    ``vec[u]`` = minimum cost of cloaking, within this subtree and in
+    k-summation discipline, all but ``u`` of the subtree's locations
+    (those ``u`` are passed up).  ``u = d`` is represented implicitly:
+    passing everything up cloaks nothing below and costs exactly 0.
+    """
+
+    node_id: int
+    d: int
+    vec: np.ndarray  # shape (cap+1,); empty when d < k
+
+    @property
+    def cap(self) -> int:
+        return len(self.vec) - 1
+
+    def cost_at(self, u: int) -> float:
+        """Cost for passing up exactly ``u`` locations (inf if impossible)."""
+        if u == self.d:
+            return 0.0
+        if 0 <= u < len(self.vec):
+            return float(self.vec[u])
+        return _INF
+
+    def domain(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All candidate ``u`` values with their costs (extraction helper)."""
+        js = np.concatenate([np.arange(len(self.vec)), [self.d]])
+        costs = np.concatenate([self.vec, [0.0]])
+        return js.astype(np.int64), costs
+
+
+def _cap_for(node, k: int, prune: bool) -> int:
+    """Largest explicit ``u`` worth tracking for ``node``.
+
+    ``u`` beyond ``d - k`` (other than the sentinel ``d``) is ruled out
+    by k-summation; Lemma 5 additionally rules out ``u > (k+1)·h(m)``.
+    Returns -1 when no explicit value is possible (then only the
+    sentinel ``u = d`` exists).
+    """
+    cap = node.count - k
+    if prune:
+        cap = min(cap, (k + 1) * node.depth)
+    return cap
+
+
+def _min_plus(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Min-plus (tropical) convolution: out[j] = min_i a[i] + b[j-i]."""
+    if len(a) == 0 or len(b) == 0:
+        return np.empty(0, dtype=float)
+    if len(a) > len(b):
+        a, b = b, a
+    out = np.full(len(a) + len(b) - 1, _INF)
+    for i, ai in enumerate(a):
+        if ai == _INF:
+            continue
+        seg = out[i : i + len(b)]
+        np.minimum(seg, ai + b, out=seg)
+    return out
+
+
+def _aggregate_children(
+    solutions: Sequence[NodeSolution],
+) -> List[Tuple[int, np.ndarray]]:
+    """Fold children solutions into ``temp`` *pieces*.
+
+    The conceptual ``temp[j]`` of the paper — minimum total children
+    cost when ``j`` locations are passed up to the parent — is kept as a
+    union of *(offset, array)* pieces: ``temp[offset+i] ≤ array[i]``.
+    Each child contributes its dense vector (convolved in) and its
+    sentinel (a pure offset shift of ``d``), so folding ``n`` children
+    yields at most ``2^n`` pieces — 4 for the binary tree.
+    """
+    pieces: List[Tuple[int, np.ndarray]] = [(0, np.zeros(1))]
+    for sol in solutions:
+        folded: List[Tuple[int, np.ndarray]] = []
+        for offset, arr in pieces:
+            if len(sol.vec):
+                folded.append((offset, _min_plus(arr, sol.vec)))
+            folded.append((offset + sol.d, arr))
+        pieces = folded
+    return pieces
+
+
+def _node_step(
+    node, pieces: Sequence[Tuple[int, np.ndarray]], k: int, cap: int
+) -> np.ndarray:
+    """Compute ``vec[u]`` for ``u = 0..cap`` from the children ``temp``.
+
+    ``vec[u] = min( temp[u],  min_{j ≥ u+k} temp[j] + (j-u)·area )`` —
+    either the node cloaks nothing (u = j) or it cloaks ``j-u ≥ k``
+    locations at its own area.  The second term is answered via suffix
+    minima of ``g[j] = temp[j] + j·area``, the two-stage trick of §V.
+    """
+    if cap < 0:
+        return np.empty(0, dtype=float)
+    area = node.rect.area
+    us = np.arange(cap + 1)
+    vec = np.full(cap + 1, _INF)
+    thresholds = us + k
+    for offset, arr in pieces:
+        if len(arr) == 0:
+            continue
+        # Equality contribution: temp[u] for u inside this piece.
+        lo = max(offset, 0)
+        hi = min(offset + len(arr), cap + 1)
+        if lo < hi:
+            np.minimum(
+                vec[lo:hi], arr[lo - offset : hi - offset], out=vec[lo:hi]
+            )
+        # Cloak-here contribution via suffix minima of g.
+        g = arr + (offset + np.arange(len(arr))) * area
+        suffix = np.minimum.accumulate(g[::-1])[::-1]
+        idx = thresholds - offset
+        valid = idx < len(arr)
+        if not valid.any():
+            continue
+        clipped = np.clip(idx, 0, len(arr) - 1)
+        candidate = np.where(valid, suffix[clipped] - us * area, _INF)
+        np.minimum(vec, candidate, out=vec)
+    return vec
+
+
+def _solve_node(node, child_solutions: Sequence[NodeSolution], k: int, prune: bool) -> NodeSolution:
+    """DP step for a single node (leaf or internal)."""
+    cap = _cap_for(node, k, prune)
+    if node.is_leaf:
+        if cap < 0:
+            vec = np.empty(0, dtype=float)
+        else:
+            # Cloak d-u ≥ k locations here, at this leaf's area.
+            us = np.arange(cap + 1)
+            vec = (node.count - us) * node.rect.area
+        return NodeSolution(node.node_id, node.count, vec.astype(float))
+    pieces = _aggregate_children(child_solutions)
+    vec = _node_step(node, pieces, k, cap)
+    return NodeSolution(node.node_id, node.count, vec)
+
+
+class TreeSolution:
+    """The completed DP over a tree, ready for cost queries / extraction."""
+
+    def __init__(self, tree, k: int, prune: bool, solutions: Dict[int, NodeSolution]):
+        self.tree = tree
+        self.k = k
+        self.prune = prune
+        self.solutions = solutions
+
+    @property
+    def root_solution(self) -> NodeSolution:
+        return self.solutions[self.tree.root.node_id]
+
+    @property
+    def optimal_cost(self) -> float:
+        """Cost of the cheapest policy-aware k-anonymous policy.
+
+        Raises :class:`NoFeasiblePolicyError` when none exists (fewer
+        than k users in the snapshot).
+        """
+        root = self.root_solution
+        if root.d == 0:
+            return 0.0
+        cost = root.cost_at(0)
+        if cost == _INF:
+            raise NoFeasiblePolicyError(
+                f"no policy-aware {self.k}-anonymous policy exists "
+                f"(|D| = {root.d})"
+            )
+        return cost
+
+    # -- extraction ---------------------------------------------------------------
+
+    def configuration(self) -> Configuration:
+        """Extract one minimum-cost complete configuration (top-down)."""
+        __ = self.optimal_cost  # feasibility gate
+        values: Dict[int, int] = {}
+
+        def descend(node, u: int) -> None:
+            values[node.node_id] = u
+            if node.is_leaf:
+                return
+            if u == node.count:
+                # Sentinel: every child passes everything up.
+                for child in node.children:
+                    descend(child, child.count)
+                return
+            split = self._choose_split(node, u)
+            for child, child_u in zip(node.children, split):
+                descend(child, child_u)
+
+        descend(self.tree.root, 0)
+        return Configuration(self.tree, values)
+
+    def policy(self, name: str = "policy-aware-optimal") -> CloakingPolicy:
+        """Materialize a concrete optimal policy (Lemma 1 lets us pick
+        any member of the optimal equivalence class)."""
+        return policy_from_configuration(self.tree, self.configuration(), name)
+
+    def _choose_split(self, node, u: int) -> Tuple[int, ...]:
+        """Re-derive the children's pass-up counts behind ``vec[u]``."""
+        kids = [self.solutions[c.node_id] for c in node.children]
+        if len(kids) == 2:
+            return self._choose_split_binary(node, u, kids)
+        return self._choose_split_nary(node, u, kids)
+
+    def _choose_split_binary(
+        self, node, u: int, kids: Sequence[NodeSolution]
+    ) -> Tuple[int, int]:
+        a, b = kids
+        ja, ca = a.domain()
+        jb, cb = b.domain()
+        total_j = ja[:, None] + jb[None, :]
+        total_c = ca[:, None] + cb[None, :]
+        area = node.rect.area
+        value = total_c + (total_j - u) * area
+        invalid = (total_j != u) & (total_j < u + self.k)
+        value = np.where(invalid, _INF, value)
+        flat = int(np.argmin(value))
+        ia, ib = divmod(flat, value.shape[1])
+        if value[ia, ib] == _INF:
+            raise ReproError(
+                f"extraction failed at node {node.node_id} (u = {u})"
+            )
+        return int(ja[ia]), int(jb[ib])
+
+    def _choose_split_nary(
+        self, node, u: int, kids: Sequence[NodeSolution]
+    ) -> Tuple[int, ...]:
+        """Plain recursive search over children domains.
+
+        Used only for quad trees, which this library restricts to small
+        reference instances; the production path is binary.
+        """
+        area = node.rect.area
+        best_cost = _INF
+        best: Optional[Tuple[int, ...]] = None
+        domains = []
+        for sol in kids:
+            js, cs = sol.domain()
+            domains.append(list(zip(js.tolist(), cs.tolist())))
+
+        def recurse(idx: int, chosen: List[int], j_acc: int, c_acc: float):
+            nonlocal best_cost, best
+            if c_acc >= best_cost:
+                return
+            if idx == len(domains):
+                if j_acc == u:
+                    total = c_acc
+                elif j_acc >= u + self.k:
+                    total = c_acc + (j_acc - u) * area
+                else:
+                    return
+                if total < best_cost:
+                    best_cost = total
+                    best = tuple(chosen)
+                return
+            for j, c in domains[idx]:
+                recurse(idx + 1, chosen + [j], j_acc + j, c_acc + c)
+
+        recurse(0, [], 0, 0.0)
+        if best is None:
+            raise ReproError(
+                f"extraction failed at node {node.node_id} (u = {u})"
+            )
+        return best
+
+
+def solve(tree, k: int, prune: bool = True) -> TreeSolution:
+    """Run the optimized DP over ``tree`` for anonymity degree ``k``.
+
+    ``prune=True`` applies the Lemma-5 cap — proven for the binary tree,
+    and the default production configuration.  Pass ``prune=False`` to
+    get the unpruned reference behaviour (used by tests and the ablation
+    benchmark).
+    """
+    if k < 1:
+        raise ReproError(f"k must be ≥ 1, got {k}")
+    solutions: Dict[int, NodeSolution] = {}
+    for node in tree.iter_postorder():
+        child_solutions = [solutions[c.node_id] for c in node.children]
+        solutions[node.node_id] = _solve_node(node, child_solutions, k, prune)
+    return TreeSolution(tree, k, prune, solutions)
+
+
+def solve_best_orientation(
+    region, db, k: int, max_depth: int = 40, prune: bool = True
+) -> TreeSolution:
+    """Solve both static binary-tree orientations and keep the cheaper.
+
+    The paper statically partitions quadrants into *vertical*
+    semi-quadrants "for simplicity" but notes the implementation can
+    choose between vertical and horizontal trees at run time.  Both
+    orientations embed every quad-tree policy, so either is a valid
+    (optimal for its vocabulary) policy-aware anonymization; picking the
+    cheaper of the two is a free utility win at 2× solve cost.
+    """
+    from ..trees.binarytree import BinaryTree
+
+    best: Optional[TreeSolution] = None
+    best_cost = float("inf")
+    for orientation in ("vertical", "horizontal"):
+        tree = BinaryTree.build(
+            region, db, k, max_depth=max_depth, orientation=orientation
+        )
+        solution = solve(tree, k, prune=prune)
+        try:
+            cost = solution.optimal_cost
+        except NoFeasiblePolicyError:
+            if best is None:
+                best = solution
+            continue
+        if cost < best_cost:
+            best, best_cost = solution, cost
+    return best
+
+
+def resolve_dirty(
+    solution: TreeSolution, dirty: Set[int]
+) -> Tuple[TreeSolution, int]:
+    """Incrementally repair a solution after the tree changed (§IV
+    "Incremental Maintenance of M").
+
+    ``dirty`` is the node-id set reported by
+    :meth:`~repro.trees.binarytree.BinaryTree.apply_moves`; it is closed
+    under "ancestor of a change", so recomputing exactly those nodes in
+    post-order restores a globally optimal DP.  Returns the repaired
+    solution and the number of node recomputations performed.
+    """
+    tree, k, prune = solution.tree, solution.k, solution.prune
+    live = {nid: sol for nid, sol in solution.solutions.items() if nid in tree.nodes}
+    recomputed = 0
+    for node in tree.iter_postorder():
+        if node.node_id in live and node.node_id not in dirty:
+            continue
+        child_solutions = [live[c.node_id] for c in node.children]
+        live[node.node_id] = _solve_node(node, child_solutions, k, prune)
+        recomputed += 1
+    return TreeSolution(tree, k, prune, live), recomputed

@@ -1,0 +1,117 @@
+"""Literal first-cut ``Bulk_dp`` (Algorithm 1 of the paper).
+
+A faithful, unoptimized transcription of the O(|T||D|^5) dynamic
+program over a quad tree: per node ``m`` and per pass-up count
+``u ∈ F(m) = [0..d(m)-k] ∪ {d(m)}``, the matrix entry ``M[m][u]`` holds
+the minimum subtree cost together with the children's pass-up counts
+that achieve it (the bookkeeping tuple of Algorithm 1).
+
+This module exists as an *independent reference implementation*: the
+test suite cross-checks the optimized solver of
+:mod:`repro.core.binary_dp` against it on small random instances, and
+the ablation benchmark measures the optimization ladder's speedups.  Do
+not use it on large inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Tuple
+
+from .configuration import Configuration, policy_from_configuration
+from .errors import NoFeasiblePolicyError, ReproError
+from .policy import CloakingPolicy
+
+__all__ = ["NaiveMatrix", "solve_naive"]
+
+_INF = float("inf")
+
+#: An M entry: (cost x, children pass-up counts u_1..u_n).
+Entry = Tuple[float, Tuple[int, ...]]
+
+
+class NaiveMatrix:
+    """The configuration matrix M of Algorithm 1, with extraction."""
+
+    def __init__(self, tree, k: int):
+        self.tree = tree
+        self.k = k
+        #: node_id → {u: (cost, children_us)}
+        self.rows: Dict[int, Dict[int, Entry]] = {}
+
+    def entry(self, node_id: int, u: int) -> Entry:
+        return self.rows[node_id].get(u, (_INF, ()))
+
+    @property
+    def optimal_cost(self) -> float:
+        root = self.tree.root
+        if root.count == 0:
+            return 0.0
+        cost, __ = self.entry(root.node_id, 0)
+        if cost == _INF:
+            raise NoFeasiblePolicyError(
+                f"no policy-aware {self.k}-anonymous policy exists "
+                f"(|D| = {root.count})"
+            )
+        return cost
+
+    def configuration(self) -> Configuration:
+        """Top-down retrieval of a minimum-cost complete configuration,
+        exactly as described under Algorithm 1."""
+        __ = self.optimal_cost
+        values: Dict[int, int] = {}
+
+        def descend(node, u: int) -> None:
+            values[node.node_id] = u
+            if node.is_leaf:
+                return
+            __, child_us = self.entry(node.node_id, u)
+            for child, child_u in zip(node.children, child_us):
+                descend(child, child_u)
+
+        descend(self.tree.root, 0)
+        return Configuration(self.tree, values)
+
+    def policy(self, name: str = "bulk-dp-naive") -> CloakingPolicy:
+        return policy_from_configuration(self.tree, self.configuration(), name)
+
+
+def solve_naive(tree, k: int) -> NaiveMatrix:
+    """Run Algorithm 1 verbatim (bottom-up over the tree).
+
+    Works on quad trees and binary trees alike (the loop over children
+    configurations is a product over however many children a node has).
+    Complexity is O(|T|·|D|^(children+1)) — small instances only.
+    """
+    if k < 1:
+        raise ReproError(f"k must be ≥ 1, got {k}")
+    matrix = NaiveMatrix(tree, k)
+    for node in tree.iter_postorder():
+        row: Dict[int, Entry] = {}
+        if node.is_leaf:
+            d = node.count
+            # Lines 5-10: pass everything up at cost 0; if d ≥ k, the
+            # leaf may instead cloak d-u ≥ k locations at its own area.
+            row[d] = (0.0, ())
+            if d >= k:
+                for u in range(0, d - k + 1):
+                    row[u] = (node.rect.area * (d - u), ())
+        else:
+            # Lines 12-20: pick children pass-up counts minimizing cost.
+            child_rows = [matrix.rows[c.node_id] for c in node.children]
+            area = node.rect.area
+            for combo in itertools.product(*[r.items() for r in child_rows]):
+                child_us = tuple(u for u, __ in combo)
+                base = sum(entry[0] for __, entry in combo)
+                delta = sum(child_us)
+                # Definition 9 (iii)/(iv): u = Δ always allowed; u ≤ Δ-k
+                # allowed when Δ ≥ k.
+                candidates = [delta]
+                if delta >= k:
+                    candidates.extend(range(0, delta - k + 1))
+                for u in candidates:
+                    cost = base + area * (delta - u)
+                    if cost < row.get(u, (_INF, ()))[0]:
+                        row[u] = (cost, child_us)
+        matrix.rows[node.node_id] = row
+    return matrix

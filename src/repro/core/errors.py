@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError`, so callers can catch a
+single base class at API boundaries while still discriminating on the
+specific failure when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """A geometric object was constructed or used inconsistently."""
+
+
+class TreeError(ReproError):
+    """A spatial tree was constructed or traversed inconsistently."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration violates Definition 7 of the paper."""
+
+
+class NoFeasiblePolicyError(ReproError):
+    """No policy-aware sender k-anonymous policy exists for this input.
+
+    Raised when a complete configuration (``C(root) = 0``) satisfying
+    k-summation cannot be built — e.g. when the location database holds
+    fewer than ``k`` users in total.
+    """
+
+
+class PolicyError(ReproError):
+    """A cloaking policy was used outside its contract.
+
+    Typical causes: asking a bulk policy about a user that was not part
+    of the location database it was built for, or a policy producing a
+    cloak that does not mask the requester (violating Definition 4's
+    masking requirement).
+    """
+
+
+class AnonymityBreachError(ReproError):
+    """An audit detected an anonymity breach and was asked to raise."""
+
+    def __init__(self, message: str, *, breached_users=None):
+        super().__init__(message)
+        #: Users whose anonymity fell below k (tuple of user ids).
+        self.breached_users = tuple(breached_users or ())
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload was requested with inconsistent parameters."""

@@ -1,0 +1,205 @@
+"""Planar geometry primitives used throughout the library.
+
+The paper models a geographic area as a 2-dimensional plane; user
+locations are points, and cloaks are connected closed regions — axis
+aligned rectangles for quad/binary-tree policies (Definition 2) and
+circles for the NP-complete variant of Theorem 1.
+
+All shapes are immutable value objects.  Containment is *closed*
+(boundary points are inside), matching the paper's "connected, closed
+region" wording, and ensuring that a location sitting on a quadrant
+boundary is covered by the quadrant it is assigned to.
+
+>>> cloak = Rect(0, 0, 2, 4)
+>>> cloak.area
+8
+>>> cloak.contains(Point(1, 4))   # closed: boundary counts
+True
+>>> [str(half) for half in cloak.halves_vertical()]
+['[0,0 .. 1,4]', '[1,0 .. 2,4]']
+>>> bounding_rect([Point(1, 5), Point(4, 2)])
+Rect(x1=1, y1=2, x2=4, y2=5)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from .errors import GeometryError
+
+__all__ = ["Point", "Rect", "Circle", "bounding_rect"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A location in the plane.
+
+    The paper stores integer coordinates in the location database for
+    simplicity; we accept floats as well since the synthetic generator
+    places users with Gaussian jitter.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned rectangle.
+
+    ``(x1, y1)`` is the southwest corner and ``(x2, y2)`` the northeast
+    corner, mirroring the anonymized-request encoding of Definition 2.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if self.x2 < self.x1 or self.y2 < self.y1:
+            raise GeometryError(
+                f"degenerate rectangle: ({self.x1},{self.y1})-({self.x2},{self.y2})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Closed containment: boundary points count as inside."""
+        return self.x1 <= point.x <= self.x2 and self.y1 <= point.y <= self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely within this rectangle."""
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two closed rectangles share at least one point."""
+        return not (
+            other.x1 > self.x2
+            or other.x2 < self.x1
+            or other.y1 > self.y2
+            or other.y2 < self.y1
+        )
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """The overlapping rectangle; raises if the rectangles are disjoint."""
+        if not self.intersects(other):
+            raise GeometryError(f"rectangles {self} and {other} are disjoint")
+        return Rect(
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+            min(self.x2, other.x2),
+            min(self.y2, other.y2),
+        )
+
+    def quadrants(self) -> Tuple["Rect", "Rect", "Rect", "Rect"]:
+        """The four equal quadrants (NW, NE, SW, SE) of this rectangle."""
+        cx, cy = (self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0
+        nw = Rect(self.x1, cy, cx, self.y2)
+        ne = Rect(cx, cy, self.x2, self.y2)
+        sw = Rect(self.x1, self.y1, cx, cy)
+        se = Rect(cx, self.y1, self.x2, cy)
+        return (nw, ne, sw, se)
+
+    def halves_vertical(self) -> Tuple["Rect", "Rect"]:
+        """Split into West and East semi-quadrants (vertical cut, §V)."""
+        cx = (self.x1 + self.x2) / 2.0
+        west = Rect(self.x1, self.y1, cx, self.y2)
+        east = Rect(cx, self.y1, self.x2, self.y2)
+        return (west, east)
+
+    def halves_horizontal(self) -> Tuple["Rect", "Rect"]:
+        """Split into South and North semi-quadrants (horizontal cut)."""
+        cy = (self.y1 + self.y2) / 2.0
+        south = Rect(self.x1, self.y1, self.x2, cy)
+        north = Rect(self.x1, cy, self.x2, self.y2)
+        return (south, north)
+
+    def sample_grid(self, n_per_side: int) -> Iterator[Point]:
+        """Yield an ``n × n`` grid of interior points (test utility)."""
+        if n_per_side < 1:
+            raise GeometryError("grid must have at least one point per side")
+        for i in range(n_per_side):
+            for j in range(n_per_side):
+                fx = (i + 0.5) / n_per_side
+                fy = (j + 0.5) / n_per_side
+                yield Point(self.x1 + fx * self.width, self.y1 + fy * self.height)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """Return ``(x1, y1, x2, y2)``."""
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    def __str__(self) -> str:  # compact for logs / experiment tables
+        return f"[{self.x1:g},{self.y1:g} .. {self.x2:g},{self.y2:g}]"
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A closed disk, used by the circular-cloak problem of Theorem 1."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise GeometryError(f"negative radius: {self.radius}")
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    def contains(self, point: Point) -> bool:
+        """Closed containment: points on the circle count as inside."""
+        # Small epsilon keeps "circle through point p" numerically stable:
+        # the minimal disk covering a set of users has its boundary pass
+        # exactly through the farthest one.
+        return self.center.distance_to(point) <= self.radius + 1e-9
+
+    def intersects(self, other: "Circle") -> bool:
+        return (
+            self.center.distance_to(other.center)
+            <= self.radius + other.radius + 1e-9
+        )
+
+
+def bounding_rect(points: Iterable[Point]) -> Rect:
+    """The minimum bounding rectangle of a non-empty point collection."""
+    pts: Sequence[Point] = list(points)
+    if not pts:
+        raise GeometryError("bounding_rect of an empty point set")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Rect(min(xs), min(ys), max(xs), max(ys))

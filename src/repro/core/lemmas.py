@@ -1,0 +1,164 @@
+"""Executable checks of the paper's formal claims.
+
+The paper states its lemmas, propositions and theorems with proofs
+deferred to the technical report [12].  This module turns every claim
+into a *checkable predicate* over concrete instances, so the test suite
+can exercise them across thousands of randomized inputs — an empirical
+(not deductive) validation, but one that would catch any implementation
+drift from the theory.
+
+Each ``check_*`` function returns on success and raises
+:class:`LemmaViolation` (with the witnessing detail) on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .binary_dp import solve
+from .configuration import (
+    Configuration,
+    configuration_of_policy,
+    enumerate_ksummation_configurations,
+    policy_from_configuration,
+)
+from .errors import NoFeasiblePolicyError, ReproError
+
+__all__ = [
+    "LemmaViolation",
+    "check_lemma1",
+    "check_lemma2",
+    "check_lemma3",
+    "check_lemma5",
+    "check_proposition1",
+    "check_proposition2",
+    "check_theorem2",
+]
+
+_TOL = 1e-6
+
+
+class LemmaViolation(ReproError):
+    """A formal claim failed on a concrete instance (implementation bug)."""
+
+
+def _aware_level(policy) -> int:
+    return policy.min_group_size()
+
+
+def _unaware_level(policy) -> int:
+    return policy.min_inside_count()
+
+
+def check_lemma1(tree, config: Configuration, k: int) -> None:
+    """Lemma 1: equivalent policies have equal cost (a) and identical
+    policy-aware k-anonymity verdicts (b).
+
+    Materializes two *different* members of ``config``'s equivalence
+    class (opposite tie-breaking) and compares them.
+    """
+    first = policy_from_configuration(tree, config, name="lemma1-a")
+    second = policy_from_configuration(
+        tree, config, name="lemma1-b", reverse=True
+    )
+    if abs(first.cost() - second.cost()) > _TOL:
+        raise LemmaViolation(
+            f"Lemma 1(a): equivalent policies cost {first.cost()} vs "
+            f"{second.cost()}"
+        )
+    if (_aware_level(first) >= k) != (_aware_level(second) >= k):
+        raise LemmaViolation(
+            "Lemma 1(b): equivalent policies disagree on k-anonymity"
+        )
+    # Both must really be in config's class.
+    for policy in (first, second):
+        back = configuration_of_policy(tree, policy)
+        for node in tree.iter_postorder():
+            if back[node.node_id] != config[node.node_id]:
+                raise LemmaViolation(
+                    "materialized policy left its equivalence class"
+                )
+
+
+def check_lemma2(tree, config: Configuration) -> None:
+    """Lemma 2: ``Cost_c(C, D) = Cost(P, D)`` for any represented P."""
+    policy = policy_from_configuration(tree, config, name="lemma2")
+    if abs(config.cost() - policy.cost()) > _TOL:
+        raise LemmaViolation(
+            f"Lemma 2: Cost_c = {config.cost()} but Cost(P) = {policy.cost()}"
+        )
+
+
+def check_lemma3(tree, config: Configuration, k: int) -> None:
+    """Lemma 3: k-summation ⟺ the represented policy is policy-aware
+    k-anonymous (every cloak group ≥ k)."""
+    policy = policy_from_configuration(tree, config, name="lemma3")
+    summation = config.satisfies_ksummation(k)
+    anonymous = _aware_level(policy) >= k
+    if summation != anonymous:
+        raise LemmaViolation(
+            f"Lemma 3: k-summation={summation} but policy-aware "
+            f"k-anonymity={anonymous}"
+        )
+
+
+def check_lemma5(tree, k: int) -> None:
+    """Lemma 5: capping pass-up counts at (k+1)·h(m) preserves the
+    optimum (checked as pruned-vs-unpruned cost equality)."""
+    try:
+        pruned = solve(tree, k, prune=True).optimal_cost
+    except NoFeasiblePolicyError:
+        pruned = None
+    try:
+        unpruned = solve(tree, k, prune=False).optimal_cost
+    except NoFeasiblePolicyError:
+        unpruned = None
+    if (pruned is None) != (unpruned is None):
+        raise LemmaViolation("Lemma 5: pruning changed feasibility")
+    if pruned is not None and abs(pruned - unpruned) > _TOL:
+        raise LemmaViolation(
+            f"Lemma 5: pruned optimum {pruned} ≠ unpruned {unpruned}"
+        )
+
+
+def check_proposition1(policy, k: int) -> None:
+    """Proposition 1: policy-aware k-anonymity ⇒ policy-unaware
+    k-anonymity (candidate groups are subsets of cloak populations)."""
+    if _aware_level(policy) >= k and _unaware_level(policy) < k:
+        raise LemmaViolation(
+            "Proposition 1: policy-aware safe but policy-unaware breached"
+        )
+
+
+def check_proposition2(policy, k: int) -> None:
+    """Proposition 2: a k-inside policy defends policy-unaware attackers."""
+    if _unaware_level(policy) < k:
+        raise LemmaViolation(
+            f"Proposition 2: k-inside policy has only "
+            f"{_unaware_level(policy)} users inside some cloak"
+        )
+
+
+def check_theorem2(tree, k: int, max_nodes: int = 64) -> None:
+    """Theorem 2 (optimality side): the PTIME solver's cost equals the
+    exhaustive minimum over all complete k-summation configurations."""
+    try:
+        dp_cost: Optional[float] = solve(tree, k).optimal_cost
+    except NoFeasiblePolicyError:
+        dp_cost = None
+    best: Optional[float] = None
+    for config in enumerate_ksummation_configurations(tree, k, max_nodes):
+        cost = config.cost()
+        if best is None or cost < best:
+            best = cost
+    if tree.root.count == 0:
+        best = 0.0 if best is None else min(best, 0.0)
+    if (dp_cost is None) != (best is None):
+        raise LemmaViolation(
+            f"Theorem 2: DP feasibility ({dp_cost}) disagrees with "
+            f"enumeration ({best})"
+        )
+    if dp_cost is not None and abs(dp_cost - best) > _TOL:
+        raise LemmaViolation(
+            f"Theorem 2: DP optimum {dp_cost} ≠ exhaustive optimum {best}"
+        )

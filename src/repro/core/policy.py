@@ -1,0 +1,166 @@
+"""Cloaking policies and their cost (Definition 4 and §IV).
+
+Following the paper's footnote 1, a bulk policy is represented as a
+function from *user locations* to cloaks — equivalently, a per-snapshot
+mapping ``user_id → region``.  Anonymizing a service request is then a
+lookup plus payload pass-through, so serving a request is O(1) after the
+bulk computation.
+
+``Cost(P, D)`` (§IV) is the total cloak area over the hypothetical
+workload in which every user issues exactly one request; minimizing it
+maximizes utility (smaller cloaks → cheaper LBS-side range queries and
+client-side filtering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
+
+from .errors import PolicyError
+from .geometry import Circle, Rect
+from .requests import AnonymizedRequest, ServiceRequest, request_id_factory
+
+__all__ = ["CloakingPolicy"]
+
+Region = Union[Rect, Circle]
+
+
+class CloakingPolicy:
+    """A per-snapshot masking policy: each user gets one cloak.
+
+    Instances are built by anonymization algorithms (the optimal DP, the
+    k-inside baselines, Casper, ...) for one location database snapshot.
+    The mapping is total over the snapshot's users — the paper compares
+    policies under the workload where *every* user sends a request.
+    """
+
+    def __init__(
+        self,
+        cloaks: Mapping[str, Region],
+        db,
+        name: str = "policy",
+    ):
+        """``cloaks`` maps every user id of ``db`` to its cloak.
+
+        Raises :class:`PolicyError` when a user is missing, unknown, or
+        the cloak fails the masking requirement of Definition 4
+        (the user's location must lie inside her cloak).
+        """
+        self.name = name
+        self.db = db
+        self._cloaks: Dict[str, Region] = {}
+        for user_id, region in cloaks.items():
+            location = db.location_of(user_id)
+            if location is None:
+                raise PolicyError(f"policy cloaks unknown user {user_id!r}")
+            if not region.contains(location):
+                raise PolicyError(
+                    f"policy is not masking: user {user_id!r} at {location} "
+                    f"outside cloak {region}"
+                )
+            self._cloaks[str(user_id)] = region
+        missing = [uid for uid in db.user_ids() if uid not in self._cloaks]
+        if missing:
+            raise PolicyError(
+                f"policy does not cover {len(missing)} users "
+                f"(first: {missing[:3]!r})"
+            )
+        # Default stream of request ids when the caller does not inject
+        # its own (e.g. the CSP pipeline passes a shared one).
+        self._default_rid_factory = request_id_factory()
+
+    # -- the Definition 4 interface ---------------------------------------------
+
+    def cloak_for(self, user_id: str) -> Region:
+        """The cloak assigned to ``user_id``."""
+        try:
+            return self._cloaks[str(user_id)]
+        except KeyError:
+            raise PolicyError(f"no cloak for user {user_id!r}") from None
+
+    def anonymize(
+        self, request: ServiceRequest, next_request_id=None
+    ) -> AnonymizedRequest:
+        """Apply the policy to a service request (Definition 4).
+
+        The request must be valid w.r.t. the snapshot this policy was
+        built for — the CSP constructs requests from MPC locations, so an
+        out-of-date location means the wrong snapshot's policy is being
+        used.
+        """
+        if not request.is_valid_for(self.db):
+            raise PolicyError(
+                f"request from {request.user_id!r} at {request.location} is "
+                "not valid w.r.t. this policy's location snapshot"
+            )
+        if next_request_id is None:
+            next_request_id = self._default_rid_factory
+        return AnonymizedRequest(
+            request_id=next_request_id(),
+            cloak=self.cloak_for(request.user_id),
+            payload=request.payload,
+        )
+
+    # -- analysis ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cloaks)
+
+    def items(self) -> Iterable[Tuple[str, Region]]:
+        return self._cloaks.items()
+
+    def cost(self) -> float:
+        """``Cost(P, D)``: total cloak area if every user sends once."""
+        return sum(region.area for region in self._cloaks.values())
+
+    def average_cloak_area(self) -> float:
+        """Mean cloak area per user — the Figure 5(a) metric."""
+        if not self._cloaks:
+            return 0.0
+        return self.cost() / len(self._cloaks)
+
+    def groups(self) -> Dict[Region, List[str]]:
+        """Users grouped by their assigned cloak.
+
+        For a deterministic location-only policy, the group of a cloak is
+        exactly the candidate-sender set a *policy-aware* attacker can
+        reconstruct (Lemma 3 made operational) — so group sizes decide
+        policy-aware sender k-anonymity.
+        """
+        grouped: Dict[Region, List[str]] = {}
+        for user_id, region in self._cloaks.items():
+            grouped.setdefault(region, []).append(user_id)
+        return grouped
+
+    def min_group_size(self) -> int:
+        """Smallest cloak group — the policy-aware anonymity level."""
+        groups = self.groups()
+        if not groups:
+            return 0
+        return min(len(users) for users in groups.values())
+
+    def min_inside_count(self) -> int:
+        """Smallest number of users *inside* any used cloak — the
+        policy-unaware anonymity level (k-inside degree)."""
+        if not self._cloaks:
+            return 0
+        counts = []
+        for region in set(self._cloaks.values()):
+            inside = sum(
+                1 for __, p in self.db.items() if region.contains(p)
+            )
+            counts.append(inside)
+        return min(counts)
+
+    def restricted_to(self, user_ids: Iterable[str]) -> "CloakingPolicy":
+        """The policy restricted to a subset of users (helper for the
+        parallel master policy)."""
+        subset = list(user_ids)
+        return CloakingPolicy(
+            {uid: self.cloak_for(uid) for uid in subset},
+            self.db.subset(subset),
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return f"CloakingPolicy({self.name!r}, users={len(self)})"

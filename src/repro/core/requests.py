@@ -1,0 +1,122 @@
+"""Service requests and anonymized requests (Definitions 1–3).
+
+A *service request* carries the sender's identity, exact location and the
+request payload (a vector of name/value pairs such as
+``(("poi", "rest"), ("cat", "ital"))``).  The CSP never forwards it;
+instead it sends an *anonymized request* whose location has been widened
+to a cloak.  ``masks`` is the bridge predicate between the two worlds.
+
+>>> from repro.core.geometry import Rect
+>>> sr = ServiceRequest.make("Carol", 1, 4, [("poi", "rest")])
+>>> ar = AnonymizedRequest(169, Rect(0, 0, 2, 4), (("poi", "rest"),))
+>>> masks(ar, sr)                       # Example 4 of the paper
+True
+>>> masks(AnonymizedRequest(1, Rect(3, 0, 4, 1), ar.payload), sr)
+False
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from .geometry import Circle, Point, Rect
+
+__all__ = [
+    "Payload",
+    "ServiceRequest",
+    "AnonymizedRequest",
+    "masks",
+    "normalize_payload",
+    "request_id_factory",
+]
+
+#: A request payload: an ordered vector of name/value pairs (Definition 1).
+Payload = Tuple[Tuple[str, str], ...]
+
+#: Cloak shapes supported by anonymized requests.
+Region = Union[Rect, Circle]
+
+
+def normalize_payload(pairs) -> Payload:
+    """Coerce any iterable of (name, value) pairs into a canonical tuple."""
+    return tuple((str(name), str(value)) for name, value in pairs)
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """A sender's request, as constructed by the CSP (Definition 1).
+
+    Attributes
+    ----------
+    user_id:
+        The sender identifier ``u``.
+    location:
+        The sender's exact coordinates ``(x, y)``.
+    payload:
+        The name/value vector ``V`` describing the sought service.
+    """
+
+    user_id: str
+    location: Point
+    payload: Payload = ()
+
+    @staticmethod
+    def make(user_id: str, x: float, y: float, payload=()) -> "ServiceRequest":
+        """Convenience constructor from raw coordinates."""
+        return ServiceRequest(str(user_id), Point(x, y), normalize_payload(payload))
+
+    def is_valid_for(self, location_db) -> bool:
+        """Validity w.r.t. a location database (Definition 1).
+
+        ``location_db`` is anything exposing ``location_of(user_id)``;
+        the request is valid iff the database holds exactly this
+        location for this user.
+        """
+        recorded = location_db.location_of(self.user_id)
+        return recorded is not None and recorded == self.location
+
+
+@dataclass(frozen=True)
+class AnonymizedRequest:
+    """The CSP's outgoing request (Definition 2).
+
+    Attributes
+    ----------
+    request_id:
+        A unique identifier ``rid`` — deliberately unrelated to the
+        sender's identity.
+    cloak:
+        The connected, closed region ``ρ`` that hides the location.
+    payload:
+        The name/value vector, passed through unchanged.
+    """
+
+    request_id: int
+    cloak: Region
+    payload: Payload = ()
+
+    @property
+    def cost(self) -> float:
+        """The paper's cost of an anonymized request: its cloak's area."""
+        return self.cloak.area
+
+
+def masks(anonymized: AnonymizedRequest, request: ServiceRequest) -> bool:
+    """Definition 3: ``AR`` masks ``SR`` iff SR's location lies in the
+    cloak and the payload vectors are equal."""
+    return (
+        anonymized.payload == request.payload
+        and anonymized.cloak.contains(request.location)
+    )
+
+
+def request_id_factory(start: int = 1):
+    """Return a callable producing consecutive request identifiers.
+
+    The CSP assigns ``rid`` values from this stream; a fresh factory per
+    snapshot keeps ids stable across reruns (determinism for tests).
+    """
+    counter = itertools.count(start)
+    return lambda: next(counter)

@@ -1,0 +1,166 @@
+"""Persistence for location snapshots and cloaking policies.
+
+A CSP computes a policy per location-database snapshot and serves
+requests from it for the snapshot's lifetime; operationally that means
+policies are shipped between the bulk-anonymization tier and the
+request-serving tier.  This module provides a stable JSON format for
+policies (rectangular and circular cloaks) and a CSV format for
+location databases (the relation of §II-A), with full round-trip
+fidelity — masking validation re-runs on load, so a corrupted file
+cannot smuggle in a non-masking policy.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, TextIO, Union
+
+from .errors import ReproError
+from .geometry import Circle, Point, Rect
+from .locationdb import LocationDatabase
+from .policy import CloakingPolicy
+
+__all__ = [
+    "policy_to_dict",
+    "policy_from_dict",
+    "save_policy",
+    "load_policy",
+    "write_locations_csv",
+    "read_locations_csv",
+]
+
+_FORMAT = "repro-policy"
+_VERSION = 1
+
+
+def _region_to_dict(region: Union[Rect, Circle]) -> Dict[str, object]:
+    if isinstance(region, Rect):
+        return {
+            "type": "rect",
+            "x1": region.x1,
+            "y1": region.y1,
+            "x2": region.x2,
+            "y2": region.y2,
+        }
+    if isinstance(region, Circle):
+        return {
+            "type": "circle",
+            "cx": region.center.x,
+            "cy": region.center.y,
+            "r": region.radius,
+        }
+    raise ReproError(f"unsupported cloak type: {type(region).__name__}")
+
+
+def _region_from_dict(data: Dict[str, object]) -> Union[Rect, Circle]:
+    kind = data.get("type")
+    if kind == "rect":
+        return Rect(
+            float(data["x1"]), float(data["y1"]),
+            float(data["x2"]), float(data["y2"]),
+        )
+    if kind == "circle":
+        return Circle(
+            Point(float(data["cx"]), float(data["cy"])), float(data["r"])
+        )
+    raise ReproError(f"unknown cloak type in policy file: {kind!r}")
+
+
+def policy_to_dict(policy: CloakingPolicy) -> Dict[str, object]:
+    """The JSON-ready representation of a policy and its snapshot."""
+    users = []
+    for user_id, region in policy.items():
+        location = policy.db.location_of(user_id)
+        users.append(
+            {
+                "id": user_id,
+                "x": location.x,
+                "y": location.y,
+                "cloak": _region_to_dict(region),
+            }
+        )
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": policy.name,
+        "users": users,
+    }
+
+
+def policy_from_dict(data: Dict[str, object]) -> CloakingPolicy:
+    """Rebuild a policy (masking-validated) from its representation."""
+    if data.get("format") != _FORMAT:
+        raise ReproError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    if int(data.get("version", -1)) != _VERSION:
+        raise ReproError(
+            f"unsupported policy file version {data.get('version')!r}"
+        )
+    rows = [(u["id"], float(u["x"]), float(u["y"])) for u in data["users"]]
+    db = LocationDatabase(rows)
+    cloaks = {
+        u["id"]: _region_from_dict(u["cloak"]) for u in data["users"]
+    }
+    return CloakingPolicy(cloaks, db, name=str(data.get("name", "loaded")))
+
+
+def save_policy(policy: CloakingPolicy, path: str) -> None:
+    """Write a policy (with its snapshot) to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(policy_to_dict(policy), handle, indent=1)
+
+
+def load_policy(path: str) -> CloakingPolicy:
+    """Read a policy back; masking is re-validated on load."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return policy_from_dict(json.load(handle))
+
+
+def write_locations_csv(db: LocationDatabase, target: Union[str, TextIO]) -> None:
+    """Write the location relation as ``userid,locx,locy`` CSV."""
+    own = isinstance(target, str)
+    handle = open(target, "w", newline="", encoding="utf-8") if own else target
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["userid", "locx", "locy"])
+        for row in db.rows():
+            writer.writerow(row)
+    finally:
+        if own:
+            handle.close()
+
+
+def read_locations_csv(source: Union[str, TextIO]) -> LocationDatabase:
+    """Read a ``userid,locx,locy`` CSV into a location database."""
+    own = isinstance(source, str)
+    handle = open(source, "r", newline="", encoding="utf-8") if own else source
+    try:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header] != [
+            "userid",
+            "locx",
+            "locy",
+        ]:
+            raise ReproError(
+                "location CSV must start with header 'userid,locx,locy'"
+            )
+        rows = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise ReproError(f"malformed CSV row at line {line_no}: {row!r}")
+            try:
+                rows.append((row[0], float(row[1]), float(row[2])))
+            except ValueError as exc:
+                raise ReproError(
+                    f"non-numeric coordinate at line {line_no}: {row!r}"
+                ) from exc
+        return LocationDatabase(rows)
+    finally:
+        if own:
+            handle.close()

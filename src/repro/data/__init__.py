@@ -1,0 +1,24 @@
+"""Synthetic workload generation (§VI "Location Data") and map presets."""
+
+from .regions import bay_area_region, square_region
+from .workload import RequestEvent, request_stream, zipf_weights
+from .synthetic import (
+    bay_area_master,
+    generate_intersections,
+    sample_users,
+    uniform_users,
+    users_from_intersections,
+)
+
+__all__ = [
+    "RequestEvent",
+    "bay_area_master",
+    "bay_area_region",
+    "generate_intersections",
+    "sample_users",
+    "square_region",
+    "uniform_users",
+    "request_stream",
+    "users_from_intersections",
+    "zipf_weights",
+]

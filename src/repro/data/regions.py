@@ -1,0 +1,26 @@
+"""Named map presets.
+
+Coordinates are meters.  The flagship preset approximates the San
+Francisco Bay Area extent the paper evaluates on (~100 km across); the
+side is a power-of-two multiple of one meter so quadrant boundaries stay
+exactly representable through 20+ split levels.
+"""
+
+from __future__ import annotations
+
+from ..core.geometry import Rect
+
+__all__ = ["bay_area_region", "square_region"]
+
+#: Side of the Bay-Area-like map, meters (2^17 = 131072 ≈ 131 km).
+BAY_AREA_SIDE = 131_072.0
+
+
+def bay_area_region() -> Rect:
+    """A square map approximating the SF Bay Area's extent."""
+    return Rect(0.0, 0.0, BAY_AREA_SIDE, BAY_AREA_SIDE)
+
+
+def square_region(side: float) -> Rect:
+    """A square map of the given side, anchored at the origin."""
+    return Rect(0.0, 0.0, float(side), float(side))

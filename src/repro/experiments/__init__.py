@@ -1,0 +1,60 @@
+"""Experiment runners regenerating every table and figure of the paper's
+evaluation (see DESIGN.md §5 for the experiment index)."""
+
+from .figures import (
+    run_ablation_dp,
+    run_fig3,
+    run_fig4a,
+    run_fig4b,
+    run_fig5a,
+    run_fig5b,
+    run_fig6,
+    run_sec6d,
+    run_sec7_cache,
+    run_table1,
+    run_thm1,
+)
+from .harness import ScaleProfile, Table, current_scale, timed
+from .expectations import EXPECTATIONS, Expectation, ExpectationResult, verify_results
+from .charts import bar_chart, chart_table, line_chart
+from .calibration import PowerLawFit, fit_power_law, r_squared, speedup_curve
+from .render import density_map, depth_map
+from .report import EXPECTED_RESULTS, build_report, collect_results
+from .workloads import master_for, sample_for, scaled_master
+
+__all__ = [
+    "PowerLawFit",
+    "ScaleProfile",
+    "Table",
+    "current_scale",
+    "density_map",
+    "line_chart",
+    "depth_map",
+    "EXPECTATIONS",
+    "EXPECTED_RESULTS",
+    "Expectation",
+    "ExpectationResult",
+    "bar_chart",
+    "build_report",
+    "chart_table",
+    "collect_results",
+    "master_for",
+    "run_ablation_dp",
+    "run_fig3",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6",
+    "run_sec6d",
+    "run_sec7_cache",
+    "run_table1",
+    "run_thm1",
+    "fit_power_law",
+    "r_squared",
+    "speedup_curve",
+    "verify_results",
+    "sample_for",
+    "scaled_master",
+    "timed",
+]

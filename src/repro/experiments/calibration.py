@@ -1,0 +1,105 @@
+"""Scaling-law analysis of experiment tables.
+
+The paper's claims about Figure 4 are *asymptotic shapes* — "linear in
+|D|", "quasi-linear (really sub-linear) in k", "m servers give ~m×".
+These helpers fit the recorded rows and quantify how well each shape
+holds, so EXPERIMENTS.md (and the benches' assertions) can talk about
+measured exponents instead of eyeballing curves.
+
+>>> fit = fit_power_law([1000, 2000, 4000], [0.5, 1.0, 2.0])
+>>> round(fit.exponent, 6)
+1.0
+>>> fit.is_near_linear
+True
+>>> speedup_curve([1, 2, 4], [8.0, 4.0, 2.0])[-1]
+(4, 4.0, 1.0)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ReproError
+
+__all__ = ["PowerLawFit", "fit_power_law", "speedup_curve", "r_squared"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ≈ scale · x^exponent`` with goodness of fit."""
+
+    exponent: float
+    scale: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.scale * x ** self.exponent
+
+    @property
+    def is_subquadratic(self) -> bool:
+        return self.exponent < 2.0
+
+    @property
+    def is_near_linear(self) -> bool:
+        """Within the band the paper calls "linear for practical
+        purposes" (the analysis gives |D|·log²|D|)."""
+        return 0.5 <= self.exponent <= 1.5
+
+
+def r_squared(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination of a fit."""
+    actual_arr = np.asarray(actual, dtype=float)
+    predicted_arr = np.asarray(predicted, dtype=float)
+    if actual_arr.shape != predicted_arr.shape or actual_arr.size == 0:
+        raise ReproError("r_squared needs equal-length non-empty series")
+    ss_res = float(np.sum((actual_arr - predicted_arr) ** 2))
+    ss_tot = float(np.sum((actual_arr - actual_arr.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> PowerLawFit:
+    """Least-squares fit of ``y = a·x^b`` in log–log space."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ReproError("power-law fit needs ≥ 2 paired samples")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ReproError("power-law fit needs strictly positive samples")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    exponent, intercept = np.polyfit(log_x, log_y, 1)
+    fit = PowerLawFit(
+        exponent=float(exponent),
+        scale=float(math.exp(intercept)),
+        r2=0.0,
+    )
+    predicted = [fit.predict(x) for x in xs]
+    return PowerLawFit(fit.exponent, fit.scale, r_squared(ys, predicted))
+
+
+def speedup_curve(
+    servers: Sequence[int], wall_seconds: Sequence[float]
+) -> List[Tuple[int, float, float]]:
+    """Per server count: (m, measured speedup vs 1 server, efficiency).
+
+    Efficiency = speedup / m; 1.0 is perfect share-nothing scaling.
+    """
+    if len(servers) != len(wall_seconds) or not servers:
+        raise ReproError("speedup curve needs paired non-empty series")
+    pairs = sorted(zip(servers, wall_seconds))
+    if pairs[0][0] != 1:
+        raise ReproError("speedup curve needs the 1-server baseline")
+    base = pairs[0][1]
+    if base <= 0:
+        raise ReproError("1-server time must be positive")
+    out = []
+    for m, seconds in pairs:
+        speedup = base / seconds if seconds > 0 else float("inf")
+        out.append((m, speedup, speedup / m))
+    return out

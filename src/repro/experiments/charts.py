@@ -1,0 +1,129 @@
+"""ASCII charts for experiment tables.
+
+The paper presents Figures 4–5 as line charts; this renders the same
+curves in a terminal (this repo's only display surface — matplotlib is
+deliberately not a dependency).  One marker per series, linear or log
+y-axis, with min/max axis labels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from ..core.errors import ReproError
+from .harness import Table
+
+__all__ = ["line_chart", "bar_chart", "chart_table"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return steps // 2
+    frac = (value - lo) / (hi - lo)
+    return max(0, min(steps - 1, int(round(frac * (steps - 1)))))
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Plot one or more y-series against shared x values.
+
+    Returns a multi-line string: title, plot area with one marker per
+    series, x/y range labels, and a legend.
+    """
+    if width < 8 or height < 4:
+        raise ReproError("chart area too small")
+    if not xs or not series:
+        raise ReproError("nothing to plot")
+    if len(series) > len(_MARKERS):
+        raise ReproError(f"at most {len(_MARKERS)} series supported")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ReproError(f"series {name!r} length mismatch")
+        if log_y and any(y <= 0 for y in ys):
+            raise ReproError(f"series {name!r} has non-positive values (log axis)")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_lo, x_hi = min(xs), max(xs)
+
+    grid = [[" "] * width for __ in range(height)]
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        for x, y in zip(xs, ys):
+            col = _scale(x, x_lo, x_hi, width, False)
+            row = _scale(y, y_lo, y_hi, height, log_y)
+            grid[height - 1 - row][col] = marker
+
+    def fmt(value: float) -> str:
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-2:
+            return f"{value:.2e}"
+        return f"{value:g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_axis = "log y" if log_y else "y"
+    lines.append(f"{fmt(y_hi):>10} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{fmt(y_lo):>10} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + fmt(x_lo) + " " * max(1, width - len(fmt(x_lo)) - len(fmt(x_hi))) + fmt(x_hi)
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(f"{y_axis}; legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Horizontal bars, scaled to the largest value."""
+    if len(labels) != len(values) or not labels:
+        raise ReproError("labels/values mismatch or empty")
+    if any(v < 0 for v in values):
+        raise ReproError("bar chart needs non-negative values")
+    peak = max(values) or 1.0
+    label_w = max(len(str(label)) for label in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "█" * max(1 if value > 0 else 0, int(round(value / peak * width)))
+        lines.append(f"{str(label):>{label_w}} │{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def chart_table(
+    table: Table,
+    x: str,
+    ys: Sequence[str],
+    log_y: bool = False,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Chart selected columns of an experiment table."""
+    missing = [c for c in [x, *ys] if c not in table.columns]
+    if missing:
+        raise ReproError(f"table has no column(s) {missing}")
+    xs = [float(v) for v in table.column(x)]
+    series = {name: [float(v) for v in table.column(name)] for name in ys}
+    return line_chart(
+        xs, series, width=width, height=height, title=table.title, log_y=log_y
+    )

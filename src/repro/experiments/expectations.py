@@ -1,0 +1,219 @@
+"""Machine-checkable paper expectations over recorded results.
+
+EXPERIMENTS.md narrates the paper-vs-measured comparison; this module
+makes the comparison *executable*: every figure/table has an
+:class:`Expectation` encoding the paper's qualitative claim (with
+generous tolerances for a Python reproduction), evaluated against the
+JSON tables the benchmarks record.  ``python -m repro verify-results``
+runs the whole set against ``bench_results/`` — a one-command answer to
+"does this checkout still reproduce the paper?".
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .harness import Table
+
+__all__ = ["Expectation", "ExpectationResult", "EXPECTATIONS", "verify_results"]
+
+#: A check gets the recorded rows and returns None (pass) or a failure
+#: message naming the violated claim.
+Check = Callable[[List[dict]], Optional[str]]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    experiment_id: str
+    result_stem: str
+    claim: str
+    check: Check
+
+
+@dataclass(frozen=True)
+class ExpectationResult:
+    experiment_id: str
+    claim: str
+    status: str  # "pass" | "fail" | "missing"
+    detail: str = ""
+
+
+def _check_table1(rows: List[dict]) -> Optional[str]:
+    by = {(r["policy"], r["user"]): r for r in rows}
+    carol = by.get(("PUB", "Carol"))
+    if carol is None:
+        return "no PUB/Carol row recorded"
+    if carol["aware_candidates"] != 1 or carol["unaware_candidates"] != 3:
+        return f"Carol row is {carol}, expected aware=1 unaware=3"
+    for (policy, __), row in by.items():
+        if policy != "PUB" and row["aware_candidates"] < 2:
+            return f"optimal policy leaves {row['user']} under-protected"
+    return None
+
+
+def _check_fig3(rows: List[dict]) -> Optional[str]:
+    for row in rows:
+        if row["max_leaf_count"] >= row["k"]:
+            return f"a leaf holds ≥ k users at |D|={row['n_users']}"
+        if row["height"] > 30:
+            return f"tree height {row['height']} is not 'small'"
+    return None
+
+
+def _check_fig4a(rows: List[dict]) -> Optional[str]:
+    single = sorted(
+        (r["n_users"], r["wall_seconds"]) for r in rows if r["servers"] == 1
+    )
+    for (n1, t1), (n2, t2) in zip(single, single[1:]):
+        if t2 / max(t1, 1e-9) > (n2 / n1) * 2.5:
+            return f"super-linear |D| growth between {n1} and {n2}"
+    biggest = max(r["n_users"] for r in rows)
+    at_big = {r["servers"]: r["wall_seconds"] for r in rows if r["n_users"] == biggest}
+    if max(at_big) > 1 and at_big[max(at_big)] >= at_big[1]:
+        return "no parallel speedup at the largest |D|"
+    return None
+
+
+def _check_fig4b(rows: List[dict]) -> Optional[str]:
+    ordered = sorted(rows, key=lambda r: r["k"])
+    k1, t1 = ordered[0]["k"], ordered[0]["total_seconds"]
+    for row in ordered[1:]:
+        if row["total_seconds"] / max(t1, 1e-9) > (row["k"] / k1) ** 2 + 2.0:
+            return f"worse-than-quadratic k growth at k={row['k']}"
+    costs = [r["cost"] for r in ordered]
+    if costs != sorted(costs):
+        return "cost is not monotone in k"
+    return None
+
+
+def _check_fig5a(rows: List[dict]) -> Optional[str]:
+    for row in rows:
+        if row["pa_over_casper"] > 1.9:
+            return (
+                f"policy-aware / Casper = {row['pa_over_casper']:.2f} "
+                "exceeds the ≈1.7 bound"
+            )
+        if row["casper"] > row["puq"] + 1e-6:
+            return "Casper is not the cheapest policy"
+        if row["pub"] > row["policy_aware"] + 1e-6:
+            return "PUB fails to lower-bound the policy-aware optimum"
+    return None
+
+
+def _check_fig5b(rows: List[dict]) -> Optional[str]:
+    if not all(r["costs_equal"] for r in rows):
+        return "incremental maintenance diverged from bulk recomputation"
+    ordered = sorted(rows, key=lambda r: r["percent_moving"])
+    smallest = ordered[0]
+    if smallest["incremental_seconds"] >= smallest["bulk_seconds"]:
+        return "incremental does not win at the smallest move rate"
+    return None
+
+
+def _check_sec6d(rows: List[dict]) -> Optional[str]:
+    for row in rows:
+        if row["overhead_percent"] > 1.0:
+            return (
+                f"{row['overhead_percent']:.2f}% cost divergence at "
+                f"{row['jurisdictions_used']} jurisdictions (paper: <1%)"
+            )
+    return None
+
+
+def _check_fig6(rows: List[dict]) -> Optional[str]:
+    by = {(r["scenario"], r["scheme"]): r for r in rows}
+    a = by.get(("paper 6(a)", "k-sharing"))
+    b = by.get(("paper 6(b)", "k-reciprocity"))
+    if a is None or not a["breach"]:
+        return "Figure 6(a) k-sharing breach not reproduced"
+    if b is None or not b["breach"]:
+        return "Figure 6(b) k-reciprocity breach not reproduced"
+    return None
+
+
+def _check_thm1(rows: List[dict]) -> Optional[str]:
+    ordered = sorted(rows, key=lambda r: r["n_users"])
+    if any(r["cost_ratio"] < 1.0 - 1e-9 for r in ordered):
+        return "greedy beat the exact optimum"
+    t_first = max(ordered[0]["exact_seconds"], 1e-6)
+    n_ratio = ordered[-1]["n_users"] / ordered[0]["n_users"]
+    if ordered[-1]["exact_seconds"] / t_first <= 4 * n_ratio:
+        return "exact solver did not exhibit exponential growth"
+    return None
+
+
+def _check_ablation(rows: List[dict]) -> Optional[str]:
+    by = {r["variant"]: r for r in rows}
+    naive = by.get("Algorithm 1 (naive)")
+    staged = by.get("staged min-plus")
+    if naive is None or staged is None:
+        return "ablation variants missing"
+    if abs(naive["cost"] - staged["cost"]) > 1e-6 * max(naive["cost"], 1):
+        return "staging changed the quad-tree optimum"
+    if staged["seconds"] >= naive["seconds"]:
+        return "staging did not speed up Algorithm 1"
+    return None
+
+
+def _check_sec7(rows: List[dict]) -> Optional[str]:
+    row = rows[0]
+    if row["mean_latency_ms"] >= 50.0:
+        return f"mean latency {row['mean_latency_ms']:.1f} ms is not 'milliseconds'"
+    if row["lbs_served"] >= row["requests"]:
+        return "the answer cache suppressed nothing"
+    return None
+
+
+EXPECTATIONS: Dict[str, Expectation] = {
+    e.experiment_id: e
+    for e in [
+        Expectation("table1", "table1", "Carol identified under 2-inside; optimal protects all", _check_table1),
+        Expectation("fig3", "fig3", "small tree height; every leaf < k users", _check_fig3),
+        Expectation("fig4a", "fig4a", "near-linear in |D|; parallel speedup", _check_fig4a),
+        Expectation("fig4b", "fig4b", "gentle growth in k; cost monotone in k", _check_fig4b),
+        Expectation("fig5a", "fig5a", "policy-aware ≤ ~1.7× Casper; Casper cheapest", _check_fig5a),
+        Expectation("fig5b", "fig5b", "incremental ≡ bulk; wins at small move rates", _check_fig5b),
+        Expectation("sec6d", "sec6d", "parallel cost divergence < 1%", _check_sec6d),
+        Expectation("fig6", "fig6", "k-sharing and k-reciprocity both breach", _check_fig6),
+        Expectation("thm1", "thm1", "exact circular solver grows exponentially", _check_thm1),
+        Expectation("ablate-dp", "ablate_dp", "optimizations preserve cost and cut time", _check_ablation),
+        Expectation("sec7-cache", "sec7_cache", "ms-per-query; cache offloads the LBS", _check_sec7),
+    ]
+}
+
+
+def verify_results(results_dir) -> List[ExpectationResult]:
+    """Evaluate every expectation against the recorded JSON tables."""
+    directory = pathlib.Path(results_dir)
+    out: List[ExpectationResult] = []
+    for expectation in EXPECTATIONS.values():
+        path = directory / f"{expectation.result_stem}.json"
+        if not path.exists():
+            out.append(
+                ExpectationResult(
+                    expectation.experiment_id, expectation.claim, "missing"
+                )
+            )
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            table = Table.from_dict(json.load(handle))
+        failure = expectation.check(table.rows)
+        if failure is None:
+            out.append(
+                ExpectationResult(
+                    expectation.experiment_id, expectation.claim, "pass"
+                )
+            )
+        else:
+            out.append(
+                ExpectationResult(
+                    expectation.experiment_id,
+                    expectation.claim,
+                    "fail",
+                    failure,
+                )
+            )
+    return out

@@ -1,0 +1,478 @@
+"""Runners that regenerate every table and figure of the paper.
+
+Each ``run_*`` function reproduces one evaluation artifact (see the
+experiment index in DESIGN.md) and returns a
+:class:`~repro.experiments.harness.Table` whose rows mirror the curves
+or bars of the original figure.  The benchmark suite executes these and
+records the numbers; EXPERIMENTS.md compares them against the paper.
+
+Absolute times differ from the paper (pure Python vs. a compiled
+implementation on 2009 hardware); the *shapes* — linearity in |D|,
+sub-linearity in k, the ≤1.7× Casper cost ratio, the <1% parallel cost
+divergence, the ~5% incremental-maintenance crossover — are the
+reproduction targets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..attacks.attacker import PolicyAwareAttacker, PolicyUnawareAttacker
+from ..attacks.audit import audit_policy
+from ..baselines.casper import casper_policy
+from ..baselines.circular import solve_exact, solve_greedy
+from ..baselines.kinside import policy_unaware_binary, policy_unaware_quad
+from ..baselines.kreciprocity import (
+    satisfies_k_reciprocity,
+    station_circle_policy,
+)
+from ..baselines.ksharing import (
+    first_request_candidates,
+    first_request_group,
+    ksharing_policy,
+    satisfies_k_sharing,
+)
+from ..core.anonymizer import IncrementalAnonymizer
+from ..core.binary_dp import solve
+from ..core.bulk_dp import solve_naive
+from ..core.geometry import Point, Rect, bounding_rect
+from ..core.locationdb import LocationDatabase
+from ..data.synthetic import uniform_users
+from ..data.workload import request_stream
+from ..lbs.mobility import random_moves
+from ..lbs.pipeline import CSP
+from ..lbs.poi import generate_pois
+from ..lbs.provider import LBSProvider
+from ..parallel.engine import parallel_bulk_anonymize
+from ..trees.binarytree import BinaryTree
+from ..trees.quadtree import QuadTree
+from .harness import ScaleProfile, Table, current_scale, timed
+from .workloads import sample_for
+
+__all__ = [
+    "run_table1",
+    "run_fig3",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5a",
+    "run_fig5b",
+    "run_sec6d",
+    "run_fig6",
+    "run_thm1",
+    "run_ablation_dp",
+    "run_sec7_cache",
+]
+
+
+def _table1_db() -> Tuple[Rect, LocationDatabase]:
+    """Table I of the paper: five users on the 4×4 example map."""
+    db = LocationDatabase(
+        [
+            ("Alice", 1, 1),
+            ("Bob", 1, 2),
+            ("Carol", 1, 4),
+            ("Sam", 3, 1),
+            ("Tom", 4, 4),
+        ]
+    )
+    return Rect(0, 0, 4, 4), db
+
+
+def run_table1() -> Table:
+    """Example 1 / Figure 1: the 2-inside policy of [23] breaches against
+    a policy-aware attacker, while the optimal policy-aware policy holds.
+
+    Our PUB baseline on Table I produces *exactly* the paper's cloaks:
+    A, B → R1 = (0,0,1,2); C → R3 = (0,0,2,4); S, T → R2 = (2,0,4,4) —
+    and the policy-aware attacker identifies Carol from R3.
+    """
+    region, db = _table1_db()
+    table = Table(
+        "Table I / Example 1 — policy-aware breach of a 2-inside policy",
+        ["policy", "user", "cloak", "aware_candidates", "unaware_candidates"],
+    )
+    k = 2
+    kinside = policy_unaware_binary(region, db, k, max_depth=4)
+    optimal = solve(BinaryTree.build(region, db, k, max_depth=4), k).policy()
+    for policy in (kinside, optimal):
+        aware = PolicyAwareAttacker(policy)
+        unaware = PolicyUnawareAttacker(db)
+        for user_id in db.user_ids():
+            request = policy.anonymize(
+                __valid_request(db, user_id, (("poi", "rest"),))
+            )
+            table.add(
+                policy=policy.name,
+                user=user_id,
+                cloak=str(policy.cloak_for(user_id)),
+                aware_candidates=aware.attack(request).anonymity,
+                unaware_candidates=unaware.attack(request).anonymity,
+            )
+    return table
+
+
+def __valid_request(db: LocationDatabase, user_id: str, payload):
+    from ..core.requests import ServiceRequest
+
+    return ServiceRequest(user_id, db.location_of(user_id), tuple(payload))
+
+
+def run_fig3(profile: Optional[ScaleProfile] = None) -> Table:
+    """Figure 3: shape of the lazily-materialized binary tree."""
+    profile = profile or current_scale()
+    table = Table(
+        "Figure 3 — tree structure (lazy binary tree)",
+        ["n_users", "k", "nodes", "leaves", "height", "max_leaf_count"],
+    )
+    for n_users in profile.db_sweep:
+        region, db = sample_for(n_users, profile)
+        tree = BinaryTree.build(region, db, profile.k)
+        stats = tree.stats()
+        table.add(
+            n_users=len(db),
+            k=profile.k,
+            nodes=int(stats["nodes"]),
+            leaves=int(stats["leaves"]),
+            height=int(stats["height"]),
+            max_leaf_count=int(stats["max_leaf_count"]),
+        )
+    return table
+
+
+def run_fig4a(profile: Optional[ScaleProfile] = None) -> Table:
+    """Figure 4(a): bulk anonymization time vs |D|, per server count.
+
+    Wall clock for m servers is the slowest server (share-nothing
+    parallelism; see :mod:`repro.parallel.engine`).
+    """
+    profile = profile or current_scale()
+    table = Table(
+        "Figure 4(a) — bulk anonymization time, varying |D| and servers",
+        ["n_users", "servers", "wall_seconds", "cpu_seconds", "cost"],
+    )
+    for n_users in profile.db_sweep:
+        region, db = sample_for(n_users, profile)
+        for n_servers in profile.server_sweep:
+            result = parallel_bulk_anonymize(
+                region, db, profile.k, n_servers
+            )
+            table.add(
+                n_users=len(db),
+                servers=result.n_servers,
+                wall_seconds=result.wall_clock_seconds,
+                cpu_seconds=result.total_cpu_seconds,
+                cost=result.cost,
+            )
+    return table
+
+
+def run_fig4b(profile: Optional[ScaleProfile] = None) -> Table:
+    """Figure 4(b): bulk anonymization time vs k, |D| fixed."""
+    profile = profile or current_scale()
+    region, db = sample_for(profile.db_fixed, profile)
+    table = Table(
+        "Figure 4(b) — bulk anonymization time, varying k",
+        ["n_users", "k", "total_seconds", "dp_seconds", "tree_nodes", "cost"],
+    )
+    for k in profile.k_sweep:
+        with timed() as t_total:
+            with timed() as t_build:
+                tree = BinaryTree.build(region, db, k)
+            solution = solve(tree, k)
+            solution.policy()
+        table.add(
+            n_users=len(db),
+            k=k,
+            total_seconds=t_total[0],
+            dp_seconds=t_total[0] - t_build[0],
+            tree_nodes=len(tree),
+            cost=solution.optimal_cost,
+        )
+    return table
+
+
+def run_fig5a(profile: Optional[ScaleProfile] = None) -> Table:
+    """Figure 5(a): average cloak area of the four compared policies.
+
+    Expected ordering: Casper ≤ PUB ≤ policy-aware ≈ PUQ, with
+    policy-aware ≤ ~1.7 × Casper.
+    """
+    profile = profile or current_scale()
+    table = Table(
+        "Figure 5(a) — average cloak area (m²) per policy",
+        [
+            "n_users",
+            "policy_aware",
+            "casper",
+            "pub",
+            "puq",
+            "pa_over_casper",
+        ],
+    )
+    for n_users in profile.db_sweep:
+        region, db = sample_for(n_users, profile)
+        k = profile.k
+        pa = solve(BinaryTree.build(region, db, k), k).policy()
+        casper = casper_policy(region, db, k)
+        pub = policy_unaware_binary(region, db, k)
+        puq = policy_unaware_quad(region, db, k)
+        table.add(
+            n_users=len(db),
+            policy_aware=pa.average_cloak_area(),
+            casper=casper.average_cloak_area(),
+            pub=pub.average_cloak_area(),
+            puq=puq.average_cloak_area(),
+            pa_over_casper=pa.average_cloak_area() / casper.average_cloak_area(),
+        )
+    return table
+
+
+def run_fig5b(profile: Optional[ScaleProfile] = None) -> Table:
+    """Figure 5(b): incremental maintenance vs bulk re-computation."""
+    profile = profile or current_scale()
+    region, db = sample_for(profile.db_fixed, profile)
+    k = profile.k
+    table = Table(
+        "Figure 5(b) — incremental maintenance vs bulk re-computation",
+        [
+            "percent_moving",
+            "incremental_seconds",
+            "bulk_seconds",
+            "recomputed_nodes",
+            "total_nodes",
+            "costs_equal",
+        ],
+    )
+    for percent in profile.move_percentages:
+        anonymizer = IncrementalAnonymizer(region, k).fit(db)
+        moves = random_moves(
+            db, percent / 100.0, region, max_distance=200.0, seed=int(percent * 10)
+        )
+        with timed() as t_inc:
+            report = anonymizer.update(moves)
+        incremental_cost = anonymizer.optimal_cost
+        moved_db = db.with_moves(moves)
+        with timed() as t_bulk:
+            bulk = solve(BinaryTree.build(region, moved_db, k), k)
+        table.add(
+            percent_moving=percent,
+            incremental_seconds=t_inc[0],
+            bulk_seconds=t_bulk[0],
+            recomputed_nodes=report.recomputed_nodes,
+            total_nodes=report.total_nodes,
+            costs_equal=abs(incremental_cost - bulk.optimal_cost) < 1e-6,
+        )
+    return table
+
+
+def run_sec6d(profile: Optional[ScaleProfile] = None) -> Table:
+    """§VI-D: utility loss when the map is split into jurisdictions."""
+    profile = profile or current_scale()
+    region, db = sample_for(profile.db_fixed, profile)
+    k = profile.k
+    single_cost = solve(BinaryTree.build(region, db, k), k).optimal_cost
+    table = Table(
+        "§VI-D — parallel anonymization cost vs the single-server optimum",
+        [
+            "jurisdictions_requested",
+            "jurisdictions_used",
+            "cost",
+            "overhead_percent",
+            "imbalance",
+        ],
+    )
+    partition_tree = BinaryTree.build(region, db, k)
+    for n_servers in profile.jurisdiction_sweep:
+        result = parallel_bulk_anonymize(
+            region, db, k, n_servers, partition_tree=partition_tree
+        )
+        table.add(
+            jurisdictions_requested=n_servers,
+            jurisdictions_used=result.n_servers,
+            cost=result.cost,
+            overhead_percent=100.0 * (result.cost - single_cost) / single_cost,
+            imbalance=result.imbalance,
+        )
+    return table
+
+
+def run_fig6(n_random_trials: int = 25, seed: int = 11) -> Table:
+    """Figure 6: breaches of the k-sharing and k-reciprocity refinements.
+
+    Rows 1–2 are the paper's crafted layouts; the remaining rows measure
+    how often each scheme breaches on small random instances (every
+    policy passes the *policy-unaware* audit throughout — the breach is
+    invisible to prior work's analysis).
+    """
+    table = Table(
+        "Figure 6 — policy-aware breaches of k-inside refinements",
+        ["scenario", "scheme", "property_holds", "aware_level", "k", "breach"],
+    )
+    # Figure 6(a): A—B close together, C farther right; first request by C.
+    db_a = LocationDatabase([("A", 3, 0), ("B", 4, 0), ("C", 7, 0)])
+    group = first_request_group(db_a, 2, "C")
+    cloak = bounding_rect(db_a.location_of(u) for u in group)
+    candidates = first_request_candidates(db_a, 2, cloak)
+    table.add(
+        scenario="paper 6(a)",
+        scheme="k-sharing",
+        property_holds=True,
+        aware_level=len(candidates),
+        k=2,
+        breach=len(candidates) < 2,
+    )
+    # Figure 6(b): stations S1, S2; Alice nearer S1, Bob nearer S2.
+    db_b = LocationDatabase([("Alice", 2, 0), ("Bob", 3, 0)])
+    stations = [Point(0, 0), Point(5, 0)]
+    policy_b = station_circle_policy(db_b, stations, 2)
+    report_b = audit_policy(policy_b, 2)
+    table.add(
+        scenario="paper 6(b)",
+        scheme="k-reciprocity",
+        property_holds=satisfies_k_reciprocity(policy_b, 2),
+        aware_level=report_b.policy_aware_level,
+        k=2,
+        breach=not report_b.safe_policy_aware,
+    )
+    # Randomized sweep: how often do the refinements breach?
+    rng = np.random.default_rng(seed)
+    k = 3
+    for scheme in ("k-sharing", "k-reciprocity"):
+        breaches = 0
+        levels = []
+        for trial in range(n_random_trials):
+            db = uniform_users(30, Rect(0, 0, 1024, 1024), seed=rng)
+            if scheme == "k-sharing":
+                order = list(db.user_ids())
+                rng.shuffle(order)
+                policy = ksharing_policy(db, k, arrival_order=order)
+                holds = satisfies_k_sharing(policy, k)
+            else:
+                stations = [
+                    Point(float(x), float(y))
+                    for x, y in rng.uniform(0, 1024, size=(4, 2))
+                ]
+                policy = station_circle_policy(db, stations, k)
+                holds = True  # the construction is k-inside by design
+            report = audit_policy(policy, k)
+            levels.append(report.policy_aware_level)
+            if not report.safe_policy_aware:
+                breaches += 1
+        table.add(
+            scenario=f"random×{n_random_trials}",
+            scheme=scheme,
+            property_holds=holds,
+            aware_level=min(levels),
+            k=k,
+            breach=breaches > 0,
+        )
+    return table
+
+
+def run_thm1(max_users: int = 13, k: int = 3, seed: int = 5) -> Table:
+    """Theorem 1 (empirical): exact circular-cloak anonymization blows up
+    exponentially while the greedy heuristic stays flat."""
+    table = Table(
+        "Theorem 1 — circular cloaks: exact (exponential) vs greedy",
+        ["n_users", "exact_seconds", "greedy_seconds", "cost_ratio"],
+    )
+    rng = np.random.default_rng(seed)
+    region = Rect(0, 0, 1000, 1000)
+    centers = [
+        Point(float(x), float(y)) for x, y in rng.uniform(0, 1000, size=(5, 2))
+    ]
+    for n in range(2 * k, max_users + 1):
+        db = uniform_users(n, region, seed=rng)
+        with timed() as t_exact:
+            exact = solve_exact(db, centers, k)
+        with timed() as t_greedy:
+            greedy = solve_greedy(db, centers, k)
+        table.add(
+            n_users=n,
+            exact_seconds=t_exact[0],
+            greedy_seconds=t_greedy[0],
+            cost_ratio=greedy.cost / exact.cost if exact.cost else 1.0,
+        )
+    return table
+
+
+def run_ablation_dp(n_users: int = 100, k: int = 5, seed: int = 3) -> Table:
+    """§V optimization ladder: quad Bulk_dp → generic solver on quad →
+    binary tree → Lemma-5 pruning, all reaching (tree-specific) optima."""
+    region = Rect(0, 0, 4096, 4096)
+    db = uniform_users(n_users, region, seed=seed)
+    table = Table(
+        "§V ablation — DP variants (equal trees ⇒ equal costs)",
+        ["variant", "tree", "seconds", "cost"],
+    )
+    quad = QuadTree.build_adaptive(region, db, split_threshold=k, max_depth=6)
+    with timed() as t:
+        naive_cost = solve_naive(quad, k).optimal_cost
+    table.add(variant="Algorithm 1 (naive)", tree="quad", seconds=t[0], cost=naive_cost)
+    with timed() as t:
+        quad_cost = solve(quad, k, prune=False).optimal_cost
+    table.add(variant="staged min-plus", tree="quad", seconds=t[0], cost=quad_cost)
+    binary = BinaryTree.build(region, db, k, max_depth=12)
+    with timed() as t:
+        bin_cost = solve(binary, k, prune=False).optimal_cost
+    table.add(variant="staged, no Lemma 5", tree="binary", seconds=t[0], cost=bin_cost)
+    with timed() as t:
+        pruned_cost = solve(binary, k, prune=True).optimal_cost
+    table.add(variant="staged + Lemma 5", tree="binary", seconds=t[0], cost=pruned_cost)
+    return table
+
+
+def run_sec7_cache(
+    n_users: int = 5_000,
+    n_requests: int = 2_000,
+    k: int = 25,
+    seed: int = 7,
+) -> Table:
+    """§VII: query serving through the CSP pipeline with the answer cache
+    (per-query latency, candidate-set size, cache hit rate, billing)."""
+    region = Rect(0, 0, 65_536, 65_536)
+    db = uniform_users(n_users, region, seed=seed)
+    pois = generate_pois(
+        region, {"rest": 300, "groc": 200, "cinema": 80}, seed=seed
+    )
+    csp = CSP(region, k, db, LBSProvider(pois))
+    stream = request_stream(
+        db,
+        duration=float(n_requests),  # unit rate → ≈ n_requests events
+        rate_per_user=1.0 / len(db),
+        categories={"rest": 3.0, "groc": 2.0, "cinema": 1.0},
+        seed=seed,
+    )
+    latencies: List[float] = []
+    candidate_counts: List[int] = []
+    for event in itertools.islice(stream, n_requests):
+        start = time.perf_counter()
+        served = csp.request(event.user_id, event.payload)
+        latencies.append(time.perf_counter() - start)
+        candidate_counts.append(served.candidate_count)
+    n_requests = len(latencies)
+    stats = csp.cache.stats
+    table = Table(
+        "§VII — query serving with the CSP answer cache",
+        [
+            "requests",
+            "mean_latency_ms",
+            "p99_latency_ms",
+            "mean_candidates",
+            "cache_hit_rate",
+            "lbs_served",
+        ],
+    )
+    table.add(
+        requests=n_requests,
+        mean_latency_ms=1000.0 * float(np.mean(latencies)),
+        p99_latency_ms=1000.0 * float(np.percentile(latencies, 99)),
+        mean_candidates=float(np.mean(candidate_counts)),
+        cache_hit_rate=stats.hit_rate,
+        lbs_served=csp.provider.served,
+    )
+    return table

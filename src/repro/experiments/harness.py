@@ -1,0 +1,165 @@
+"""Experiment harness: scale profiles, timing, and row-printing.
+
+Every table and figure of the paper's evaluation has a runner in
+:mod:`repro.experiments.figures`; this module holds the shared
+plumbing.  The ``REPRO_SCALE`` environment variable selects a profile:
+
+* ``quick``   — seconds-long CI-friendly runs;
+* ``default`` — laptop-scale runs with the paper's shapes clearly
+  visible (the benchmark suite's default);
+* ``full``    — the largest sizes that stay tractable in pure Python
+  (the paper used C-like speeds and 1.75M users; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+__all__ = ["ScaleProfile", "current_scale", "Table", "timed"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Workload sizes for one scale setting."""
+
+    name: str
+    #: intersections in the master dataset (users = 10× this).
+    master_intersections: int
+    #: |D| sweep for the scaling experiments (Figures 4(a), 5(a)).
+    db_sweep: Sequence[int]
+    #: k sweep for Figure 4(b).
+    k_sweep: Sequence[int]
+    #: |D| used when k or another knob is swept.
+    db_fixed: int
+    #: the paper's default anonymity degree.
+    k: int
+    #: server counts for Figure 4(a).
+    server_sweep: Sequence[int]
+    #: moving-user percentages for Figure 5(b).
+    move_percentages: Sequence[float]
+    #: jurisdiction counts for §VI-D.
+    jurisdiction_sweep: Sequence[int]
+
+
+_PROFILES: Dict[str, ScaleProfile] = {
+    "quick": ScaleProfile(
+        name="quick",
+        master_intersections=2_000,
+        db_sweep=(5_000, 10_000, 20_000),
+        k_sweep=(5, 10, 20, 40),
+        db_fixed=10_000,
+        k=20,
+        server_sweep=(1, 2, 4),
+        move_percentages=(0.5, 1.0, 5.0, 10.0),
+        jurisdiction_sweep=(1, 4, 16, 64),
+    ),
+    "default": ScaleProfile(
+        name="default",
+        master_intersections=10_000,
+        db_sweep=(25_000, 50_000, 100_000),
+        k_sweep=(10, 25, 50, 100, 150),
+        db_fixed=50_000,
+        k=50,
+        server_sweep=(1, 2, 4, 8, 16),
+        move_percentages=(0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0),
+        jurisdiction_sweep=(1, 4, 16, 64, 256, 1024),
+    ),
+    "full": ScaleProfile(
+        name="full",
+        master_intersections=25_000,
+        db_sweep=(50_000, 100_000, 175_000, 250_000),
+        k_sweep=(10, 25, 50, 100, 150, 200),
+        db_fixed=100_000,
+        k=50,
+        server_sweep=(1, 2, 4, 8, 16, 32),
+        move_percentages=(0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0),
+        jurisdiction_sweep=(1, 4, 16, 64, 256, 1024, 4096),
+    ),
+}
+
+
+def current_scale() -> ScaleProfile:
+    """The active profile (``REPRO_SCALE`` env var, default ``default``)."""
+    name = os.environ.get("REPRO_SCALE", "default").strip().lower()
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        valid = ", ".join(sorted(_PROFILES))
+        raise ValueError(f"REPRO_SCALE must be one of {valid}; got {name!r}")
+
+
+class Table:
+    """A printable experiment table (one per paper figure/table)."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[Dict[str, object]] = []
+
+    def add(self, **values: object) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:,.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def render(self) -> str:
+        cells = [
+            [self._fmt(row.get(col, "")) for col in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (see :meth:`from_dict`)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Table":
+        table = cls(str(data["title"]), list(data["columns"]))
+        for row in data["rows"]:
+            table.add(**row)
+        return table
+
+
+@contextmanager
+def timed() -> Iterator[List[float]]:
+    """``with timed() as t: ...`` → ``t[0]`` holds elapsed seconds."""
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

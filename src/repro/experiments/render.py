@@ -1,0 +1,93 @@
+"""ASCII rendering of spatial structures (the visual half of Figures
+2 and 3).
+
+The paper's Figure 2 shows the Bay-Area population-density map next to
+the intersection scatter; Figure 3 plots the binary tree's quadrants
+with brightness encoding node depth.  These helpers render the same
+pictures as character grids — dense enough to eyeball the skew and the
+depth adaptation in a terminal or a test log.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.errors import ReproError
+from ..core.geometry import Rect
+from ..core.locationdb import LocationDatabase
+
+__all__ = ["density_map", "depth_map"]
+
+#: Brightness ramp, dark to bright (Figure 3's grey scale).
+_RAMP = " .:-=+*#%@"
+
+
+def _cell_of(region: Rect, x: float, y: float, width: int, height: int):
+    cx = min(int((x - region.x1) / region.width * width), width - 1)
+    cy = min(int((y - region.y1) / region.height * height), height - 1)
+    return cx, cy
+
+
+def _to_text(grid: np.ndarray, scale_max: float) -> str:
+    """Map a (height, width) value grid to ramp characters; row 0 of the
+    output is the map's *north* edge."""
+    height, width = grid.shape
+    lines: List[str] = []
+    for row in range(height - 1, -1, -1):
+        chars = []
+        for col in range(width):
+            value = grid[row, col]
+            if scale_max <= 0:
+                chars.append(_RAMP[0])
+                continue
+            level = int(round(value / scale_max * (len(_RAMP) - 1)))
+            chars.append(_RAMP[max(0, min(level, len(_RAMP) - 1))])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def density_map(
+    db: LocationDatabase,
+    region: Rect,
+    width: int = 64,
+    height: int = 32,
+) -> str:
+    """Character heatmap of user density (the Figure 2 visual)."""
+    if width < 1 or height < 1:
+        raise ReproError("render grid must be at least 1×1")
+    grid = np.zeros((height, width))
+    for __, point in db.items():
+        if not region.contains(point):
+            continue
+        cx, cy = _cell_of(region, point.x, point.y, width, height)
+        grid[cy, cx] += 1
+    return _to_text(grid, float(grid.max()))
+
+
+def depth_map(
+    tree,
+    width: int = 64,
+    height: int = 32,
+) -> str:
+    """Character map of leaf depth — brighter = deeper = denser area
+    (the Figure 3(a) visual).  Works for quad and binary trees."""
+    if width < 1 or height < 1:
+        raise ReproError("render grid must be at least 1×1")
+    region = tree.region
+    grid = np.zeros((height, width))
+    for leaf in tree.leaves():
+        rect = leaf.rect
+        x1, y1 = _cell_of(region, rect.x1, rect.y1, width, height)
+        x2, y2 = _cell_of(
+            region,
+            min(rect.x2, region.x2 - 1e-9 * region.width),
+            min(rect.y2, region.y2 - 1e-9 * region.height),
+            width,
+            height,
+        )
+        grid[y1 : y2 + 1, x1 : x2 + 1] = np.maximum(
+            grid[y1 : y2 + 1, x1 : x2 + 1], leaf.depth
+        )
+    return _to_text(grid, float(grid.max()))

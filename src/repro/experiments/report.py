@@ -1,0 +1,79 @@
+"""Assemble recorded benchmark tables into a results report.
+
+Every benchmark writes its rendered table to ``bench_results/<id>.txt``;
+this module stitches them into one markdown document (the measured half
+of EXPERIMENTS.md) and tells you which of the paper's artifacts have no
+recorded run yet — so a fresh clone can see at a glance what
+``pytest benchmarks/ --benchmark-only`` still needs to produce.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["EXPECTED_RESULTS", "collect_results", "build_report"]
+
+#: Experiment id → (result-file stem, paper artifact description).
+EXPECTED_RESULTS: Dict[str, Tuple[str, str]] = {
+    "table1": ("table1", "Table I / Example 1 — motivating breach"),
+    "fig3": ("fig3", "Figure 3 — binary tree shape"),
+    "fig4a": ("fig4a", "Figure 4(a) — bulk time vs |D| × servers"),
+    "fig4b": ("fig4b", "Figure 4(b) — bulk time vs k"),
+    "fig5a": ("fig5a", "Figure 5(a) — average cloak area"),
+    "fig5b": ("fig5b", "Figure 5(b) — incremental vs bulk"),
+    "sec6d": ("sec6d", "§VI-D — parallel cost divergence"),
+    "fig6": ("fig6", "Figure 6 — k-sharing / k-reciprocity breaches"),
+    "thm1": ("thm1", "Theorem 1 — circular cloaks, exact vs greedy"),
+    "ablate-dp": ("ablate_dp", "§V ablation — DP optimization ladder"),
+    "sec7-cache": ("sec7_cache", "§VII — query serving with the cache"),
+    "sec7-des": ("sec7_des", "§VII — simulated deployment vs PIR"),
+    "ext-userk": ("ext_userk", "Extension — user-specified k"),
+    "ext-orientation": ("ext_orientation", "Extension — orientation choice"),
+}
+
+
+@dataclass(frozen=True)
+class RecordedResult:
+    experiment_id: str
+    description: str
+    table_text: Optional[str]
+
+    @property
+    def recorded(self) -> bool:
+        return self.table_text is not None
+
+
+def collect_results(results_dir) -> List[RecordedResult]:
+    """Read every expected result from ``results_dir`` (missing → None)."""
+    directory = pathlib.Path(results_dir)
+    out: List[RecordedResult] = []
+    for experiment_id, (stem, description) in EXPECTED_RESULTS.items():
+        path = directory / f"{stem}.txt"
+        text = path.read_text().rstrip() if path.exists() else None
+        out.append(RecordedResult(experiment_id, description, text))
+    return out
+
+
+def build_report(results_dir, title: str = "Recorded benchmark results") -> str:
+    """Render the collected results as a markdown document."""
+    results = collect_results(results_dir)
+    lines = [f"# {title}", ""]
+    missing = [r for r in results if not r.recorded]
+    if missing:
+        lines.append("Missing runs (regenerate with "
+                      "`pytest benchmarks/ --benchmark-only`):")
+        for result in missing:
+            lines.append(f"* `{result.experiment_id}` — {result.description}")
+        lines.append("")
+    for result in results:
+        if not result.recorded:
+            continue
+        lines.append(f"## {result.experiment_id} — {result.description}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.table_text)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

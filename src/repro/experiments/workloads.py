@@ -1,0 +1,45 @@
+"""Shared workload construction for benchmarks and examples.
+
+The master dataset is expensive to generate, so it is built once per
+process and per (seed, size) and then sampled down for individual data
+points, exactly mirroring the paper's methodology (§VI "Location Data").
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from ..core.geometry import Rect
+from ..core.locationdb import LocationDatabase
+from ..data.synthetic import bay_area_master, sample_users
+from .harness import ScaleProfile, current_scale
+
+__all__ = ["master_for", "sample_for", "scaled_master"]
+
+_MASTER_SEED = 20100301  # ICDE 2010 — fixed across all experiments.
+
+
+@lru_cache(maxsize=4)
+def master_for(n_intersections: int) -> Tuple[Rect, LocationDatabase]:
+    """The (region, master-db) pair for a given intersection count."""
+    return bay_area_master(
+        seed=_MASTER_SEED, n_intersections=n_intersections
+    )
+
+
+def scaled_master(
+    profile: ScaleProfile = None,
+) -> Tuple[Rect, LocationDatabase]:
+    """The master dataset of the active scale profile."""
+    if profile is None:
+        profile = current_scale()
+    return master_for(profile.master_intersections)
+
+
+def sample_for(n_users: int, profile: ScaleProfile = None, seed: int = 1):
+    """``(region, db)`` with ``n_users`` sampled from the scaled master."""
+    region, master = scaled_master(profile)
+    if n_users >= len(master):
+        return region, master
+    return region, sample_users(master, n_users, seed=seed)

@@ -1,0 +1,6 @@
+"""Extensions beyond the paper's core scope — its declared future work,
+implemented and validated: user-specified k (§I "Scope")."""
+
+from .userk import UserKSolution, audit_user_k, min_k_slack, solve_user_k
+
+__all__ = ["UserKSolution", "audit_user_k", "min_k_slack", "solve_user_k"]

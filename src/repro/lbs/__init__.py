@@ -1,0 +1,30 @@
+"""The privacy-conscious LBS substrate (§II): location database, POIs,
+the untrusted provider, the CSP pipeline, caching, and user mobility."""
+
+from .cache import AnswerCache, CacheStats
+from .locationdb import LocationDatabase, SnapshotSequence
+from .mobility import movement_stream, random_moves
+from .pipeline import CSP, MobilePositioningCenter, ServedRequest
+from .poi import POI, POIDatabase, generate_pois
+from .simulation import LBSSimulation, ServiceTimes, SimulationReport
+from .provider import LBSProvider, QueryAnswer
+
+__all__ = [
+    "AnswerCache",
+    "CSP",
+    "CacheStats",
+    "LBSProvider",
+    "LocationDatabase",
+    "MobilePositioningCenter",
+    "POI",
+    "POIDatabase",
+    "LBSSimulation",
+    "QueryAnswer",
+    "ServedRequest",
+    "ServiceTimes",
+    "SimulationReport",
+    "SnapshotSequence",
+    "generate_pois",
+    "movement_stream",
+    "random_moves",
+]

@@ -1,0 +1,85 @@
+"""CSP-side answer cache (§VII "Beyond k-anonymity").
+
+The paper observes that frequency-counting attacks in the spirit of
+l-diversity / t-closeness — e.g. seeing as many identical requests from
+a cloak as the cloak holds users — are precluded if the anonymizer
+caches LBS answers keyed by the anonymized request: the LBS then never
+sees (and so can never log, leak, or be subpoenaed for) duplicate
+requests within the cache's lifetime.  For stationary POIs the cache
+can live long, flushed at infrequent intervals; billing is preserved by
+keeping aggregate counts and submitting them at flush time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.requests import AnonymizedRequest
+from .provider import QueryAnswer
+
+__all__ = ["CacheStats", "AnswerCache"]
+
+#: Cache key: the information the LBS would have seen.
+CacheKey = Tuple[object, tuple]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+
+class AnswerCache:
+    """Answer cache keyed by ``(cloak, payload)``.
+
+    ``fetch`` consults the cache before the LBS.  Per-category counts of
+    *suppressed* duplicates accumulate so the CSP can settle billing
+    with the LBS at flush time without revealing per-request timing.
+    """
+
+    def __init__(self, provider):
+        self.provider = provider
+        self._answers: Dict[CacheKey, QueryAnswer] = {}
+        self.stats = CacheStats()
+        #: duplicates withheld from the LBS, per category (for billing).
+        self.deferred_billing: Dict[str, int] = {}
+
+    @staticmethod
+    def _key(request: AnonymizedRequest) -> CacheKey:
+        return (request.cloak, request.payload)
+
+    def fetch(self, request: AnonymizedRequest) -> QueryAnswer:
+        key = self._key(request)
+        cached = self._answers.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            category = dict(request.payload).get("poi", "?")
+            self.deferred_billing[category] = (
+                self.deferred_billing.get(category, 0) + 1
+            )
+            # Re-stamp with this request's id; the payload is identical.
+            return QueryAnswer(request.request_id, cached.candidates)
+        self.stats.misses += 1
+        answer = self.provider.serve(request)
+        self._answers[key] = answer
+        return answer
+
+    def flush(self) -> Dict[str, int]:
+        """Empty the cache (e.g. daily, per §VII) and hand back the
+        deferred billing totals for settlement with the LBS."""
+        settled = dict(self.deferred_billing)
+        self._answers.clear()
+        self.deferred_billing.clear()
+        return settled
+
+    def __len__(self) -> int:
+        return len(self._answers)

@@ -1,0 +1,10 @@
+"""Compatibility re-export.
+
+The location database lives in :mod:`repro.core.locationdb` (every
+layer of the library consumes it), but conceptually it belongs to the
+LBS model of §II-A, so it stays importable from here.
+"""
+
+from ..core.locationdb import LocationDatabase, SnapshotSequence
+
+__all__ = ["LocationDatabase", "SnapshotSequence"]

@@ -1,0 +1,78 @@
+"""User movement between location snapshots (§VI-C).
+
+The incremental-maintenance experiment moves a chosen percentage of
+users "to a point at a randomly selected distance (bounded by 200
+meters, the maximum possible movement within 10 seconds) in a randomly
+selected direction".  This module reproduces that model and provides a
+snapshot-stream convenience for longer simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..core.errors import WorkloadError
+from ..core.geometry import Point, Rect
+from .locationdb import LocationDatabase
+
+__all__ = ["random_moves", "movement_stream"]
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_moves(
+    db: LocationDatabase,
+    fraction: float,
+    region: Rect,
+    max_distance: float = 200.0,
+    seed=0,
+) -> Dict[str, Point]:
+    """Pick ``fraction`` of users and move each ≤ ``max_distance`` meters
+    in a uniformly random direction (clipped to the map).
+
+    Returns the ``{user_id: new_point}`` mapping consumed by
+    :meth:`BinaryTree.apply_moves` / :meth:`LocationDatabase.with_moves`.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise WorkloadError(f"fraction must be in [0, 1], got {fraction}")
+    if max_distance < 0:
+        raise WorkloadError(f"max_distance must be ≥ 0, got {max_distance}")
+    rng = _rng(seed)
+    ids = db.user_ids()
+    n_moving = int(round(fraction * len(ids)))
+    chosen = rng.choice(len(ids), size=n_moving, replace=False)
+    moves: Dict[str, Point] = {}
+    for i in sorted(chosen):
+        user_id = ids[i]
+        origin = db.location_of(user_id)
+        distance = rng.uniform(0.0, max_distance)
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        x = min(max(origin.x + distance * math.cos(angle), region.x1), region.x2)
+        y = min(max(origin.y + distance * math.sin(angle), region.y1), region.y2)
+        moves[user_id] = Point(x, y)
+    return moves
+
+
+def movement_stream(
+    db: LocationDatabase,
+    fraction: float,
+    region: Rect,
+    n_snapshots: int,
+    max_distance: float = 200.0,
+    seed=0,
+) -> Iterator[Dict[str, Point]]:
+    """Yield ``n_snapshots`` successive move sets, each applied to the
+    previous snapshot's state (a bounded random walk per moving user)."""
+    rng = _rng(seed)
+    current = db
+    for __ in range(n_snapshots):
+        moves = random_moves(current, fraction, region, max_distance, rng)
+        current = current.with_moves(moves)
+        yield moves

@@ -1,0 +1,134 @@
+"""The end-to-end privacy-conscious LBS pipeline (§II-B).
+
+Actors, wired exactly as the paper's model prescribes:
+
+* **MPC** — the Mobile Positioning Center: the authoritative source of
+  device locations (here, the current location database snapshot).
+* **CSP** — the trusted carrier.  It builds the service request from the
+  user's query and the MPC location, anonymizes it with the current
+  policy-aware optimal policy, consults the answer cache, and forwards
+  only the anonymized request to the LBS.
+* **LBS** — untrusted; sees cloaks and payloads, returns candidate sets.
+* **Client filter** — the final hop back at the CSP/handset: pick the
+  candidate nearest to the true location.
+
+``period`` snapshots: :meth:`CSP.advance_snapshot` moves users and
+incrementally repairs the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..core.anonymizer import IncrementalAnonymizer, UpdateReport
+from ..core.errors import ReproError
+from ..core.geometry import Point, Rect
+from ..core.requests import AnonymizedRequest, ServiceRequest, normalize_payload
+from .cache import AnswerCache
+from .locationdb import LocationDatabase
+from .poi import POI
+from .provider import LBSProvider, QueryAnswer
+
+__all__ = ["ServedRequest", "MobilePositioningCenter", "CSP"]
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Everything one request produced, end to end."""
+
+    request: ServiceRequest
+    anonymized: AnonymizedRequest
+    answer: QueryAnswer
+    result: Optional[POI]
+    cache_hit: bool
+
+    @property
+    def candidate_count(self) -> int:
+        """Client-side filtering work — the utility cost of the cloak."""
+        return self.answer.size
+
+
+class MobilePositioningCenter:
+    """The MPC: location lookups against the current snapshot."""
+
+    def __init__(self, db: LocationDatabase):
+        self.db = db
+
+    def locate(self, user_id: str) -> Point:
+        point = self.db.location_of(user_id)
+        if point is None:
+            raise ReproError(f"MPC has no location for user {user_id!r}")
+        return point
+
+    def refresh(self, db: LocationDatabase) -> None:
+        self.db = db
+
+
+class CSP:
+    """The trusted carrier orchestrating the whole flow."""
+
+    def __init__(
+        self,
+        region: Rect,
+        k: int,
+        db: LocationDatabase,
+        provider: LBSProvider,
+        use_cache: bool = True,
+        max_depth: int = 40,
+    ):
+        self.region = region
+        self.k = k
+        self.mpc = MobilePositioningCenter(db)
+        self.provider = provider
+        self.cache = AnswerCache(provider) if use_cache else None
+        self.anonymizer = IncrementalAnonymizer(region, k, max_depth=max_depth)
+        self.anonymizer.fit(db)
+
+    # -- serving ------------------------------------------------------------
+
+    def request(self, user_id: str, payload) -> ServedRequest:
+        """Serve one user query end to end."""
+        location = self.mpc.locate(user_id)
+        service_request = ServiceRequest(
+            str(user_id), location, normalize_payload(payload)
+        )
+        anonymized = self.anonymizer.anonymize(service_request)
+        if self.cache is not None:
+            hits_before = self.cache.stats.hits
+            answer = self.cache.fetch(anonymized)
+            cache_hit = self.cache.stats.hits > hits_before
+        else:
+            answer = self.provider.serve(anonymized)
+            cache_hit = False
+        result = self._client_filter(location, answer)
+        return ServedRequest(
+            request=service_request,
+            anonymized=anonymized,
+            answer=answer,
+            result=result,
+            cache_hit=cache_hit,
+        )
+
+    @staticmethod
+    def _client_filter(location: Point, answer: QueryAnswer) -> Optional[POI]:
+        """The last hop: exact nearest neighbour among the candidates."""
+        if not answer.candidates:
+            return None
+        return min(
+            answer.candidates,
+            key=lambda poi: (location.distance_to(poi.location), poi.poi_id),
+        )
+
+    # -- snapshot lifecycle --------------------------------------------------
+
+    def advance_snapshot(self, moves: Mapping[str, Point]) -> UpdateReport:
+        """Next location snapshot: apply moves, repair the policy
+        incrementally, refresh the MPC view."""
+        report = self.anonymizer.update(moves)
+        self.mpc.refresh(self.anonymizer.current_db)
+        return report
+
+    @property
+    def policy(self):
+        return self.anonymizer.policy

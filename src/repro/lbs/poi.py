@@ -1,0 +1,162 @@
+"""Points of interest and a grid-indexed POI store.
+
+The LBS provider answers "nearest restaurant"-style queries.  With
+cloaked requests it cannot pinpoint the requester, so (as in Casper's
+privacy-aware query processing, discussed in §VII) it returns a
+*candidate set* guaranteed to contain the true nearest neighbour of
+every possible location inside the cloak; the client filters locally.
+
+A uniform grid index keeps range and nearest queries sub-linear without
+pulling in a GIS dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ReproError, WorkloadError
+from ..core.geometry import Point, Rect
+
+__all__ = ["POI", "POIDatabase", "generate_pois"]
+
+
+@dataclass(frozen=True)
+class POI:
+    """A point of interest: id, location, and a category tag
+    (matching the ``(poi, <category>)`` payload pairs of Example 2)."""
+
+    poi_id: str
+    location: Point
+    category: str
+
+
+class POIDatabase:
+    """Grid-indexed store of POIs with range / NN-candidate queries."""
+
+    def __init__(self, region: Rect, pois: Iterable[POI], grid_cells: int = 64):
+        if grid_cells < 1:
+            raise ReproError("grid must have at least one cell per side")
+        self.region = region
+        self.grid_cells = grid_cells
+        self._cell_w = region.width / grid_cells
+        self._cell_h = region.height / grid_cells
+        self._grid: Dict[Tuple[int, int], List[POI]] = {}
+        self._by_category: Dict[str, List[POI]] = {}
+        self._all: List[POI] = []
+        for poi in pois:
+            if not region.contains(poi.location):
+                raise ReproError(f"POI {poi.poi_id!r} outside the map")
+            self._grid.setdefault(self._cell_of(poi.location), []).append(poi)
+            self._by_category.setdefault(poi.category, []).append(poi)
+            self._all.append(poi)
+
+    def _cell_of(self, point: Point) -> Tuple[int, int]:
+        cx = min(int((point.x - self.region.x1) / self._cell_w), self.grid_cells - 1)
+        cy = min(int((point.y - self.region.y1) / self._cell_h), self.grid_cells - 1)
+        return (cx, cy)
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def categories(self) -> List[str]:
+        return sorted(self._by_category)
+
+    def in_category(self, category: str) -> List[POI]:
+        return list(self._by_category.get(category, []))
+
+    # -- queries -----------------------------------------------------------------
+
+    def range_query(self, rect: Rect, category: Optional[str] = None) -> List[POI]:
+        """All POIs inside ``rect`` (optionally category-filtered)."""
+        cx1, cy1 = self._cell_of(Point(max(rect.x1, self.region.x1),
+                                       max(rect.y1, self.region.y1)))
+        cx2, cy2 = self._cell_of(Point(min(rect.x2, self.region.x2),
+                                       min(rect.y2, self.region.y2)))
+        out: List[POI] = []
+        for cx in range(cx1, cx2 + 1):
+            for cy in range(cy1, cy2 + 1):
+                for poi in self._grid.get((cx, cy), ()):
+                    if rect.contains(poi.location):
+                        if category is None or poi.category == category:
+                            out.append(poi)
+        return out
+
+    def nearest(self, point: Point, category: Optional[str] = None) -> Optional[POI]:
+        """The POI nearest to ``point`` (expanding ring search)."""
+        best: Optional[POI] = None
+        best_dist = math.inf
+        cx0, cy0 = self._cell_of(point)
+        max_ring = self.grid_cells
+        for ring in range(max_ring + 1):
+            # Once a candidate is found, one extra ring guarantees no
+            # closer POI hides in a farther cell.
+            if best is not None and ring * min(self._cell_w, self._cell_h) > best_dist + max(self._cell_w, self._cell_h):
+                break
+            for cx in range(cx0 - ring, cx0 + ring + 1):
+                for cy in range(cy0 - ring, cy0 + ring + 1):
+                    if max(abs(cx - cx0), abs(cy - cy0)) != ring:
+                        continue
+                    if not (0 <= cx < self.grid_cells and 0 <= cy < self.grid_cells):
+                        continue
+                    for poi in self._grid.get((cx, cy), ()):
+                        if category is not None and poi.category != category:
+                            continue
+                        dist = point.distance_to(poi.location)
+                        if dist < best_dist:
+                            best, best_dist = poi, dist
+        return best
+
+    def nn_candidates(
+        self, cloak: Rect, category: Optional[str] = None
+    ) -> List[POI]:
+        """A candidate set containing the nearest POI of *every* point in
+        the cloak.
+
+        Soundness: let ``p₀`` be the POI nearest to the cloak's center,
+        at distance ``d₀``.  Any point ``q`` in the cloak has
+        ``dist(q, NN(q)) ≤ dist(q, p₀) ≤ d₀ + diag/2``, so every
+        possible nearest neighbour lies within ``d₀ + diag`` of the
+        center; we return all POIs inside that disk (via a bounding
+        rectangle range query plus a distance filter).
+        """
+        center = cloak.center
+        anchor = self.nearest(center, category)
+        if anchor is None:
+            return []
+        diag = math.hypot(cloak.width, cloak.height)
+        radius = center.distance_to(anchor.location) + diag
+        box = Rect(
+            max(center.x - radius, self.region.x1),
+            max(center.y - radius, self.region.y1),
+            min(center.x + radius, self.region.x2),
+            min(center.y + radius, self.region.y2),
+        )
+        return [
+            poi
+            for poi in self.range_query(box, category)
+            if center.distance_to(poi.location) <= radius + 1e-9
+        ]
+
+
+def generate_pois(
+    region: Rect,
+    counts_by_category: Dict[str, int],
+    seed=0,
+) -> POIDatabase:
+    """Scatter POIs uniformly per category (synthetic LBS content)."""
+    if not counts_by_category:
+        raise WorkloadError("need at least one POI category")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    pois: List[POI] = []
+    for category, count in sorted(counts_by_category.items()):
+        if count < 0:
+            raise WorkloadError(f"negative POI count for {category!r}")
+        xs = rng.uniform(region.x1, region.x2, size=count)
+        ys = rng.uniform(region.y1, region.y2, size=count)
+        for i, (x, y) in enumerate(zip(xs, ys)):
+            pois.append(POI(f"{category}-{i}", Point(float(x), float(y)), category))
+    return POIDatabase(region, pois)

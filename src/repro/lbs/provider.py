@@ -1,0 +1,81 @@
+"""The (untrusted) LBS provider.
+
+Receives only *anonymized* requests; never sees identities or exact
+locations.  For a nearest-POI request it returns the NN candidate set of
+the cloak; for a range request, all matching POIs in the window.  It
+also keeps per-category billing counters — §VII argues our scheme keeps
+the LBS's advertising business model viable precisely because the LBS
+still knows *what* it returned (unlike cryptographic PIR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import ReproError
+from ..core.geometry import Rect
+from ..core.requests import AnonymizedRequest
+from .poi import POI, POIDatabase
+
+__all__ = ["QueryAnswer", "LBSProvider"]
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """What the LBS returns for one anonymized request."""
+
+    request_id: int
+    candidates: Tuple[POI, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.candidates)
+
+
+def _payload_get(payload, name: str) -> Optional[str]:
+    for key, value in payload:
+        if key == name:
+            return value
+    return None
+
+
+class LBSProvider:
+    """Serves anonymized requests over a POI database."""
+
+    def __init__(self, pois: POIDatabase):
+        self.pois = pois
+        #: requests served per category — the billing counters of §VII.
+        self.billing: Dict[str, int] = {}
+        self.served = 0
+
+    def serve(self, request: AnonymizedRequest) -> QueryAnswer:
+        """Answer one anonymized request.
+
+        Payload convention (Example 2): ``poi`` names the request kind's
+        target category; an optional ``range`` (meters) switches from
+        nearest-POI to a range query around the cloak.
+        """
+        if not isinstance(request.cloak, Rect):
+            raise ReproError(
+                "this provider serves rectangular cloaks "
+                f"(got {type(request.cloak).__name__})"
+            )
+        category = _payload_get(request.payload, "poi")
+        if category is None:
+            raise ReproError("request payload lacks a 'poi' category")
+        window = _payload_get(request.payload, "range")
+        if window is not None:
+            margin = float(window)
+            rect = Rect(
+                max(request.cloak.x1 - margin, self.pois.region.x1),
+                max(request.cloak.y1 - margin, self.pois.region.y1),
+                min(request.cloak.x2 + margin, self.pois.region.x2),
+                min(request.cloak.y2 + margin, self.pois.region.y2),
+            )
+            candidates = self.pois.range_query(rect, category)
+        else:
+            candidates = self.pois.nn_candidates(request.cloak, category)
+        self.billing[category] = self.billing.get(category, 0) + 1
+        self.served += 1
+        return QueryAnswer(request.request_id, tuple(candidates))

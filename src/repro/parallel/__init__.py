@@ -1,0 +1,15 @@
+"""Parallel anonymization across server jurisdictions (§V), plus the
+dynamic pool maintenance of the paper's declared future work."""
+
+from .dynamic import PoolReport, RebalancingPool
+from .engine import ParallelResult, parallel_bulk_anonymize
+from .master import MasterPolicy, ServerPolicy
+
+__all__ = [
+    "MasterPolicy",
+    "ParallelResult",
+    "PoolReport",
+    "RebalancingPool",
+    "ServerPolicy",
+    "parallel_bulk_anonymize",
+]

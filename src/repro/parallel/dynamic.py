@@ -1,0 +1,231 @@
+"""Dynamic jurisdiction maintenance and load re-balancing.
+
+§V closes with: "In future work, we will study the systems issues
+related to the dynamic maintenance (and load re-balancing) of the
+server pool for highly dynamic fluctuations of the population density."
+This module implements that future work at the algorithmic level:
+
+* a :class:`RebalancingPool` keeps a greedy jurisdiction partition alive
+  across location snapshots;
+* each snapshot, moved users are re-routed to their (possibly new)
+  jurisdiction and only the *affected* jurisdictions re-solve their
+  local policies;
+* when the load imbalance (max/mean users per non-empty jurisdiction)
+  drifts past a threshold, the map is re-partitioned from a fresh tree
+  and every server re-solves — the paper's "static partition per
+  representative snapshot" generalized to an online trigger.
+
+The privacy guarantee is unconditional: after every advance, each
+jurisdiction's policy is the policy-aware optimal one for its current
+population, so the master policy is policy-aware k-anonymous throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set
+
+from ..core.binary_dp import solve
+from ..core.errors import ReproError
+from ..core.geometry import Point, Rect
+from ..core.locationdb import LocationDatabase
+from ..core.policy import CloakingPolicy
+from ..trees.binarytree import BinaryTree
+from ..trees.partition import Jurisdiction, greedy_partition
+from .master import MasterPolicy, ServerPolicy
+
+__all__ = ["PoolReport", "RebalancingPool"]
+
+
+@dataclass(frozen=True)
+class PoolReport:
+    """What one snapshot transition cost the pool."""
+
+    moved_users: int
+    crossed_jurisdictions: int
+    resolved_jurisdictions: int
+    repartitioned: bool
+    imbalance: float
+
+
+class RebalancingPool:
+    """A self-maintaining pool of anonymization servers."""
+
+    def __init__(
+        self,
+        region: Rect,
+        k: int,
+        n_servers: int,
+        imbalance_threshold: float = 2.5,
+        max_depth: int = 40,
+    ):
+        if n_servers < 1:
+            raise ReproError("need at least one server")
+        if imbalance_threshold < 1.0:
+            raise ReproError("imbalance threshold must be ≥ 1.0")
+        self.region = region
+        self.k = k
+        self.n_servers = n_servers
+        self.imbalance_threshold = imbalance_threshold
+        self.max_depth = max_depth
+        self.db: Optional[LocationDatabase] = None
+        self._jurisdictions: List[Jurisdiction] = []
+        self._members: Dict[int, Set[str]] = {}
+        self._policies: Dict[int, Optional[CloakingPolicy]] = {}
+        self._jurisdiction_of: Dict[str, int] = {}
+        #: lifetime counters
+        self.repartition_count = 0
+        self.resolve_count = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def fit(self, db: LocationDatabase) -> "RebalancingPool":
+        """Initial partition + solve; returns self."""
+        self.db = db
+        self._repartition()
+        return self
+
+    def _require_fit(self) -> LocationDatabase:
+        if self.db is None:
+            raise ReproError("call fit(db) before using the pool")
+        return self.db
+
+    def _repartition(self) -> None:
+        """Re-draw jurisdictions from the current snapshot and re-solve
+        every populated one."""
+        tree = BinaryTree.build(
+            self.region, self.db, self.k, max_depth=self.max_depth
+        )
+        self._jurisdictions = list(
+            greedy_partition(tree, self.n_servers, self.k)
+        )
+        self._members = {
+            j.node_id: set(tree.users_of(tree.nodes[j.node_id]))
+            for j in self._jurisdictions
+        }
+        self._jurisdiction_of = {
+            uid: node_id
+            for node_id, members in self._members.items()
+            for uid in members
+        }
+        self._policies = {}
+        for jur in self._jurisdictions:
+            self._solve_jurisdiction(jur.node_id)
+        self.repartition_count += 1
+
+    def _solve_jurisdiction(self, node_id: int) -> None:
+        members = self._members[node_id]
+        if not members:
+            self._policies[node_id] = None
+            return
+        jur = self._by_id(node_id)
+        local_db = self.db.subset(sorted(members))
+        tree = BinaryTree.build(
+            jur.rect, local_db, self.k, max_depth=self.max_depth
+        )
+        self._policies[node_id] = solve(tree, self.k).policy(
+            name=f"server-{node_id}"
+        )
+        self.resolve_count += 1
+
+    def _by_id(self, node_id: int) -> Jurisdiction:
+        for jur in self._jurisdictions:
+            if jur.node_id == node_id:
+                return jur
+        raise ReproError(f"unknown jurisdiction {node_id}")
+
+    def _route(self, point: Point) -> int:
+        """The jurisdiction whose rectangle holds ``point`` (first match,
+        in deterministic node-id order, for boundary points)."""
+        for jur in self._jurisdictions:
+            if jur.rect.contains(point):
+                return jur.node_id
+        raise ReproError(f"point {point} outside every jurisdiction")
+
+    # -- snapshot evolution ------------------------------------------------------
+
+    def advance(self, moves: Mapping[str, Point]) -> PoolReport:
+        """Next snapshot: apply moves, re-solve what changed, re-balance
+        if the load drifted too far."""
+        db = self._require_fit()
+        self.db = db.with_moves(moves)
+
+        dirty: Set[int] = set()
+        crossed = 0
+        for uid, new_point in moves.items():
+            uid = str(uid)
+            old_id = self._jurisdiction_of[uid]
+            new_id = self._route(new_point)
+            dirty.add(old_id)
+            if new_id != old_id:
+                crossed += 1
+                dirty.add(new_id)
+                self._members[old_id].discard(uid)
+                self._members[new_id].add(uid)
+                self._jurisdiction_of[uid] = new_id
+
+        # A jurisdiction stranded with 0 < population < k cannot
+        # anonymize its users locally — movement across borders can
+        # create this even though the initial partition could not.
+        stranded = any(
+            0 < len(self._members[j.node_id]) < self.k
+            for j in self._jurisdictions
+        )
+        imbalance = self.current_imbalance()
+        if stranded or imbalance > self.imbalance_threshold:
+            self._repartition()
+            return PoolReport(
+                moved_users=len(moves),
+                crossed_jurisdictions=crossed,
+                resolved_jurisdictions=len(self._jurisdictions),
+                repartitioned=True,
+                imbalance=self.current_imbalance(),
+            )
+
+        for node_id in dirty:
+            self._solve_jurisdiction(node_id)
+        return PoolReport(
+            moved_users=len(moves),
+            crossed_jurisdictions=crossed,
+            resolved_jurisdictions=len(dirty),
+            repartitioned=False,
+            imbalance=imbalance,
+        )
+
+    # -- views --------------------------------------------------------------------
+
+    def current_imbalance(self) -> float:
+        """Max/mean users per server, counting *all* servers.
+
+        Unlike :func:`~repro.trees.partition.load_imbalance` (which
+        ignores empty partitions when describing a map split), a pool
+        cares about idle servers: a drained jurisdiction is wasted
+        capacity while its neighbours overload, so the mean runs over
+        the whole pool.
+        """
+        counts = [len(self._members[j.node_id]) for j in self._jurisdictions]
+        total = sum(counts)
+        if total == 0 or not counts:
+            return 1.0
+        mean = total / len(counts)
+        return max(counts) / mean
+
+    def master_policy(self) -> MasterPolicy:
+        """The current distributed policy over the whole snapshot."""
+        db = self._require_fit()
+        servers = []
+        for jur in self._jurisdictions:
+            refreshed = Jurisdiction(
+                rect=jur.rect,
+                is_semi=jur.is_semi,
+                count=len(self._members[jur.node_id]),
+                node_id=jur.node_id,
+            )
+            servers.append(
+                ServerPolicy(refreshed, self._policies[jur.node_id])
+            )
+        return MasterPolicy(servers, db)
+
+    @property
+    def n_jurisdictions(self) -> int:
+        return len(self._jurisdictions)

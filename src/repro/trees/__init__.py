@@ -1,0 +1,17 @@
+"""Spatial partitioning trees: quad tree (§IV), binary tree of
+quadrants/semi-quadrants (§V), and the greedy jurisdiction partitioner
+for parallel anonymization."""
+
+from .binarytree import BinaryTree
+from .node import SpatialNode
+from .partition import Jurisdiction, greedy_partition, load_imbalance
+from .quadtree import QuadTree
+
+__all__ = [
+    "BinaryTree",
+    "Jurisdiction",
+    "QuadTree",
+    "SpatialNode",
+    "greedy_partition",
+    "load_imbalance",
+]

@@ -1,0 +1,111 @@
+"""Greedy jurisdiction partitioning for parallel anonymization (§V).
+
+The map is split into *jurisdictions*, one per anonymization server.
+Each server sees only the users inside its jurisdiction and computes an
+optimal policy for them independently — the spatial structure of the
+problem makes this embarrassingly parallel.
+
+The paper's greedy scheme (verbatim): start with the root as the only
+jurisdiction; at every step pick the eligible listed node with the most
+locations — eligible meaning *all of its children have either 0 or at
+least k locations*, so no jurisdiction strands a small group that could
+not be anonymized locally — and replace it with its children.  Repeat
+until the list reaches the desired number of servers (or no eligible
+node remains).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.errors import TreeError
+from .binarytree import BinaryTree
+from .node import SpatialNode
+
+__all__ = ["Jurisdiction", "greedy_partition"]
+
+
+@dataclass(frozen=True)
+class Jurisdiction:
+    """A server's territory: a tree node's rectangle plus its shape kind.
+
+    ``is_semi`` records whether the region is a semi-quadrant (a 1:2
+    rectangle), which a per-jurisdiction binary tree needs to know to
+    resume the vertical/horizontal split alternation correctly.
+    """
+
+    rect: "object"
+    is_semi: bool
+    count: int
+    node_id: int
+
+
+def _eligible(node: SpatialNode, k: int) -> bool:
+    """The paper's split-eligibility test for the greedy partitioner."""
+    if node.is_leaf:
+        return False
+    return all(child.count == 0 or child.count >= k for child in node.children)
+
+
+def greedy_partition(
+    tree: BinaryTree, n_servers: int, k: int = None
+) -> List[Jurisdiction]:
+    """Partition ``tree``'s map into at most ``n_servers`` jurisdictions.
+
+    Returns fewer jurisdictions than requested when the tree runs out of
+    eligible splits — e.g. an almost-empty map cannot be usefully divided
+    among 4096 servers.
+    """
+    if n_servers < 1:
+        raise TreeError("need at least one server")
+    if k is None:
+        k = tree.split_threshold
+
+    # Max-heap on location count; node ids break ties deterministically.
+    counter = 0
+    heap = []  # entries: (-count, tiebreak, node)
+    result: List[SpatialNode] = []
+
+    def push(node: SpatialNode) -> None:
+        nonlocal counter
+        if _eligible(node, k):
+            heapq.heappush(heap, (-node.count, counter, node))
+            counter += 1
+        else:
+            result.append(node)
+
+    push(tree.root)
+    while heap and len(result) + len(heap) < n_servers:
+        __, __, node = heapq.heappop(heap)
+        for child in node.children:
+            push(child)
+    # Whatever is still heaped stays a jurisdiction as-is.
+    while heap:
+        __, __, node = heapq.heappop(heap)
+        result.append(node)
+
+    result.sort(key=lambda n: n.node_id)
+    return [
+        Jurisdiction(
+            rect=node.rect,
+            is_semi=node.is_semi,
+            count=node.count,
+            node_id=node.node_id,
+        )
+        for node in result
+    ]
+
+
+def load_imbalance(jurisdictions: Sequence[Jurisdiction]) -> float:
+    """Max/mean location-count ratio — 1.0 means perfectly balanced.
+
+    Empty partitions are excluded from the mean so that sparse maps do
+    not make balance look artificially bad.
+    """
+    counts = [j.count for j in jurisdictions if j.count > 0]
+    if not counts:
+        return 1.0
+    mean = sum(counts) / len(counts)
+    return max(counts) / mean if mean else 1.0

@@ -1,0 +1,57 @@
+"""API-surface tests: exports, error hierarchy, version."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.core import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_breach_error_carries_users(self):
+        err = errors.AnonymityBreachError("boom", breached_users=["a", "b"])
+        assert err.breached_users == ("a", "b")
+
+    def test_breach_error_defaults(self):
+        assert errors.AnonymityBreachError("boom").breached_users == ()
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro",
+        "repro.core",
+        "repro.trees",
+        "repro.lbs",
+        "repro.baselines",
+        "repro.attacks",
+        "repro.data",
+        "repro.parallel",
+        "repro.experiments",
+    ],
+)
+class TestExports:
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_all_sorted_unique(self, module_name):
+        module = importlib.import_module(module_name)
+        assert len(module.__all__) == len(set(module.__all__))
+
+
+class TestVersion:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)

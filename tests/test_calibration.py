@@ -1,0 +1,112 @@
+"""Tests for the scaling-law analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro import ReproError
+from repro.experiments.calibration import (
+    PowerLawFit,
+    fit_power_law,
+    r_squared,
+    speedup_curve,
+)
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        actual = [1.0, 2.0, 3.0]
+        assert r_squared(actual, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_constant_series(self):
+        assert r_squared([2, 2], [2, 2]) == 1.0
+        assert r_squared([2, 2], [3, 3]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            r_squared([1], [1, 2])
+        with pytest.raises(ReproError):
+            r_squared([], [])
+
+
+class TestPowerLawFit:
+    def test_recovers_linear(self):
+        xs = [1e3, 2e3, 4e3, 8e3]
+        ys = [0.5 * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.scale == pytest.approx(0.5)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.is_near_linear and fit.is_subquadratic
+
+    def test_recovers_quadratic(self):
+        xs = [10, 20, 40, 80]
+        ys = [3.0 * x * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0)
+        assert not fit.is_subquadratic
+
+    def test_noisy_fit_reports_r2(self):
+        rng = np.random.default_rng(0)
+        xs = np.linspace(100, 1000, 12)
+        ys = 2.0 * xs * rng.uniform(0.9, 1.1, size=12)
+        fit = fit_power_law(list(xs), list(ys))
+        assert 0.8 < fit.r2 <= 1.0
+        assert 0.8 < fit.exponent < 1.2
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=1.0, scale=2.0, r2=1.0)
+        assert fit.predict(10) == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            fit_power_law([1], [1])
+        with pytest.raises(ReproError):
+            fit_power_law([1, -2], [1, 2])
+        with pytest.raises(ReproError):
+            fit_power_law([1, 2], [0, 2])
+
+
+class TestSpeedupCurve:
+    def test_perfect_scaling(self):
+        curve = speedup_curve([1, 2, 4], [8.0, 4.0, 2.0])
+        assert curve == [(1, 1.0, 1.0), (2, 2.0, 1.0), (4, 4.0, 1.0)]
+
+    def test_imperfect_scaling(self):
+        curve = speedup_curve([1, 4], [8.0, 4.0])
+        assert curve[1] == (4, 2.0, 0.5)
+
+    def test_unsorted_input_sorted(self):
+        curve = speedup_curve([4, 1], [2.0, 8.0])
+        assert [m for m, __, ___ in curve] == [1, 4]
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            speedup_curve([2, 4], [1.0, 0.5])  # no 1-server baseline
+        with pytest.raises(ReproError):
+            speedup_curve([], [])
+        with pytest.raises(ReproError):
+            speedup_curve([1, 2], [0.0, 1.0])
+
+
+class TestOnRecordedResults:
+    def test_fig4a_measured_shape_if_available(self):
+        """If a default-scale fig4a run is recorded, its single-server
+        curve should fit a near-linear power law."""
+        import pathlib
+
+        path = pathlib.Path(__file__).resolve().parent.parent / "bench_results" / "fig4a.txt"
+        if not path.exists():
+            pytest.skip("no recorded fig4a run")
+        xs, ys = [], []
+        for line in path.read_text().splitlines():
+            parts = line.split()
+            if len(parts) >= 3 and parts[0].isdigit() and parts[1] == "1":
+                xs.append(float(parts[0]))
+                ys.append(float(parts[2]))
+        if len(xs) < 2:
+            pytest.skip("not enough single-server rows")
+        fit = fit_power_law(xs, ys)
+        assert fit.is_subquadratic

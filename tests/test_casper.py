@@ -1,0 +1,83 @@
+"""Tests for the Casper prototype baseline [23]."""
+
+import pytest
+
+from repro import LocationDatabase, NoFeasiblePolicyError, Rect
+from repro.attacks import audit_policy
+from repro.baselines import casper_cloak, casper_policy, policy_unaware_quad
+from repro.data import uniform_users
+from repro.trees import QuadTree
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 512, 512)
+
+
+@pytest.fixture
+def db(region):
+    return uniform_users(250, region, seed=41)
+
+
+class TestCloakShape:
+    def test_cloak_contains_requester_and_k_users(self, region, db):
+        policy = casper_policy(region, db, 10)
+        for uid, point in db.items():
+            cloak = policy.cloak_for(uid)
+            assert cloak.contains(point)
+            assert db.count_in(cloak) >= 10
+
+    def test_cloaks_are_cells_or_semi_quadrants(self, region, db):
+        """Every Casper cloak is a quadrant or a 2:1 / 1:2 rectangle."""
+        policy = casper_policy(region, db, 10)
+        for __, cloak in policy.items():
+            ratio = cloak.width / cloak.height
+            assert ratio in (0.5, 1.0, 2.0)
+
+    def test_semi_quadrant_choice_beats_full_parent(self, region, db):
+        """Whenever Casper picks a semi-quadrant, the parent quadrant
+        (twice the area) would also have qualified — Casper's whole
+        point is halving that cloak."""
+        tree = QuadTree.build_adaptive(region, db, split_threshold=10)
+        for uid, point in list(db.items())[:60]:
+            cloak = casper_cloak(tree, point, 10)
+            if cloak.width != cloak.height:  # it is a semi-quadrant
+                assert db.count_in(cloak) >= 10
+
+
+class TestUtility:
+    def test_casper_at_most_puq_per_user(self, region, db):
+        """Casper's cloak never exceeds the tightest qualifying quadrant:
+        it returns either a quadrant at least as deep, or half of one."""
+        casper = casper_policy(region, db, 10)
+        puq = policy_unaware_quad(region, db, 10)
+        assert casper.cost() <= puq.cost() + 1e-6
+
+    def test_average_area_reported(self, region, db):
+        policy = casper_policy(region, db, 10)
+        assert policy.average_cloak_area() > 0
+
+
+class TestPrivacy:
+    def test_policy_unaware_safe(self, region, db):
+        report = audit_policy(casper_policy(region, db, 10), 10)
+        assert report.safe_policy_unaware
+
+    def test_policy_aware_breach_on_table1(self, table1_region, table1_db):
+        policy = casper_policy(table1_region, table1_db, 2, max_depth=2)
+        report = audit_policy(policy, 2)
+        assert report.safe_policy_unaware
+        assert not report.safe_policy_aware
+
+
+class TestEdgeCases:
+    def test_fewer_than_k_users(self, region):
+        db = LocationDatabase([("a", 5, 5)])
+        with pytest.raises(NoFeasiblePolicyError):
+            casper_policy(region, db, 2)
+
+    def test_root_fallback(self, region):
+        # Two users in opposite corners: no semi-quadrant holds both.
+        db = LocationDatabase([("a", 1, 1), ("b", 510, 510)])
+        policy = casper_policy(region, db, 2)
+        assert policy.cloak_for("a") == region

@@ -1,0 +1,131 @@
+"""Tests for the adaptive Casper pyramid."""
+
+import numpy as np
+import pytest
+
+from repro import LocationDatabase, NoFeasiblePolicyError, Point, Rect, TreeError
+from repro.baselines import casper_policy
+from repro.baselines.casper_adaptive import CasperPyramid
+from repro.data import uniform_users
+from repro.lbs import random_moves
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 1024, 1024)
+
+
+@pytest.fixture
+def db(region):
+    return uniform_users(300, region, seed=281)
+
+
+class TestConstruction:
+    def test_counts_roll_up(self, region, db):
+        pyramid = CasperPyramid(region, db, height=6)
+        pyramid.check_counts()
+
+    def test_square_required(self, db):
+        with pytest.raises(TreeError, match="square"):
+            CasperPyramid(Rect(0, 0, 10, 20), db, 3)
+
+    def test_height_validated(self, region, db):
+        with pytest.raises(TreeError):
+            CasperPyramid(region, db, -1)
+
+    def test_zero_height_pyramid(self, region, db):
+        pyramid = CasperPyramid(region, db, 0)
+        assert pyramid.cloak(Point(5, 5), 10) == region
+
+
+class TestCloaking:
+    def test_cloak_contains_point_and_k_users(self, region, db):
+        pyramid = CasperPyramid(region, db, height=6)
+        for uid, point in list(db.items())[:60]:
+            cloak = pyramid.cloak(point, 10)
+            assert cloak.contains(point)
+            assert db.count_in(cloak) >= 10
+
+    def test_matches_prototype_cloak_sizes(self, region, db):
+        """On a static snapshot the pyramid's cloaks have exactly the
+        sizes the quadtree prototype produces (orientation of an
+        equal-count semi tie may differ; areas cannot)."""
+        from repro.trees import QuadTree
+
+        k = 10
+        height = 6
+        tree = QuadTree.build_adaptive(
+            region, db, split_threshold=k, max_depth=height
+        )
+        # Precondition for exact depth correspondence: no adaptive leaf
+        # at max depth still holds ≥ k users.
+        assert all(
+            leaf.count < k or leaf.depth < height for leaf in tree.leaves()
+        )
+        prototype = casper_policy(region, db, k, max_depth=height, tree=tree)
+        pyramid = CasperPyramid(region, db, height=height)
+        for uid, point in db.items():
+            assert pyramid.cloak(point, k).area == pytest.approx(
+                prototype.cloak_for(uid).area
+            )
+
+    def test_policy_is_k_inside(self, region, db):
+        pyramid = CasperPyramid(region, db, height=6)
+        policy = pyramid.policy(10)
+        assert policy.min_inside_count() >= 10
+
+    def test_infeasible(self, region):
+        db = LocationDatabase([("a", 1, 1)])
+        pyramid = CasperPyramid(region, db, 4)
+        with pytest.raises(NoFeasiblePolicyError):
+            pyramid.cloak(Point(1, 1), 2)
+
+
+class TestMaintenance:
+    def test_moves_update_counts(self, region, db):
+        pyramid = CasperPyramid(region, db, height=6)
+        moves = random_moves(db, 0.2, region, max_distance=100, seed=282)
+        touched = pyramid.apply_moves(moves)
+        pyramid.check_counts()
+        assert touched >= 0
+        assert len(pyramid.db) == len(db)
+
+    def test_incremental_equals_rebuild(self, region, db):
+        pyramid = CasperPyramid(region, db, height=6)
+        current = db
+        for step in range(3):
+            moves = random_moves(current, 0.3, region, max_distance=200, seed=step)
+            pyramid.apply_moves(moves)
+            current = current.with_moves(moves)
+        fresh = CasperPyramid(region, current, height=6)
+        for level in range(7):
+            assert np.array_equal(
+                pyramid.counts[level], fresh.counts[level]
+            )
+        # And the cloaks agree with the rebuilt pyramid's.
+        for uid, point in list(current.items())[:40]:
+            assert pyramid.cloak(point, 10) == fresh.cloak(point, 10)
+
+    def test_move_cost_is_logarithmic(self, region, db):
+        pyramid = CasperPyramid(region, db, height=6)
+        uid = db.user_ids()[0]
+        touched = pyramid.apply_moves({uid: Point(1000, 1000)})
+        assert touched == 2 * 7  # two paths of height+1 cells
+
+    def test_within_cell_move_is_free(self, region, db):
+        pyramid = CasperPyramid(region, db, height=2)  # huge cells
+        uid, point = next(iter(db.items()))
+        nearby = Point(point.x + 0.25, point.y)
+        touched = pyramid.apply_moves({uid: nearby})
+        assert touched == 0
+        assert pyramid.db.location_of(uid) == nearby
+
+    def test_unknown_user_rejected(self, region, db):
+        pyramid = CasperPyramid(region, db, 4)
+        with pytest.raises(TreeError, match="unknown"):
+            pyramid.apply_moves({"ghost": Point(1, 1)})
+
+    def test_move_outside_map_rejected(self, region, db):
+        pyramid = CasperPyramid(region, db, 4)
+        with pytest.raises(TreeError, match="outside"):
+            pyramid.apply_moves({db.user_ids()[0]: Point(-5, 5)})

@@ -1,0 +1,89 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro import ReproError
+from repro.experiments import Table, bar_chart, chart_table, line_chart
+
+
+class TestLineChart:
+    def test_dimensions_and_markers(self):
+        text = line_chart(
+            [1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            width=30, height=8,
+        )
+        lines = text.split("\n")
+        assert "o=a" in lines[-1] and "x=b" in lines[-1]
+        body = "\n".join(lines[:-1])
+        assert "o" in body and "x" in body
+
+    def test_extremes_on_axis_labels(self):
+        text = line_chart([0, 10], {"s": [5.0, 50.0]}, width=20, height=6)
+        assert "50" in text and "5" in text
+        assert "0" in text and "10" in text
+
+    def test_log_axis(self):
+        text = line_chart(
+            [1, 2, 3], {"s": [1.0, 100.0, 10_000.0]},
+            width=20, height=9, log_y=True,
+        )
+        assert "log y" in text
+        # On a log axis the three points are evenly spaced vertically.
+        rows = [
+            i
+            for i, line in enumerate(text.split("\n"))
+            if "o" in line and "legend" not in line
+        ]
+        assert len(rows) == 3
+        assert rows[1] - rows[0] == rows[2] - rows[1]
+
+    def test_constant_series(self):
+        text = line_chart([1, 2], {"s": [5.0, 5.0]}, width=12, height=5)
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            line_chart([], {}, width=20, height=6)
+        with pytest.raises(ReproError):
+            line_chart([1], {"s": [1.0, 2.0]}, width=20, height=6)
+        with pytest.raises(ReproError):
+            line_chart([1], {"s": [1.0]}, width=2, height=2)
+        with pytest.raises(ReproError):
+            line_chart([1], {"s": [0.0]}, width=20, height=6, log_y=True)
+        with pytest.raises(ReproError):
+            line_chart(
+                [1], {str(i): [1.0] for i in range(9)}, width=20, height=6
+            )
+
+
+class TestBarChart:
+    def test_scaling(self):
+        text = bar_chart(["a", "bb"], [1.0, 4.0], width=8)
+        lines = text.split("\n")
+        assert lines[1].count("█") == 8
+        assert lines[0].count("█") == 2
+
+    def test_zero_bar(self):
+        text = bar_chart(["x", "y"], [0.0, 2.0], width=4)
+        assert "x │ 0" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bar_chart([], [])
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestChartTable:
+    def test_charts_table_columns(self):
+        table = Table("demo", ["n", "t"])
+        table.add(n=10, t=1.0)
+        table.add(n=20, t=2.0)
+        text = chart_table(table, "n", ["t"])
+        assert "demo" in text and "o=t" in text
+
+    def test_missing_column(self):
+        table = Table("demo", ["n"])
+        table.add(n=1)
+        with pytest.raises(ReproError, match="no column"):
+            chart_table(table, "n", ["zzz"])

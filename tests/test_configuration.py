@@ -1,0 +1,190 @@
+"""Unit tests for configurations and k-summation (Definitions 7–9,
+Lemmas 1–3)."""
+
+import pytest
+
+from repro import ConfigurationError, LocationDatabase, Rect
+from repro.core.configuration import (
+    Configuration,
+    configuration_of_policy,
+    enumerate_ksummation_configurations,
+    policy_from_configuration,
+)
+from repro.core.policy import CloakingPolicy
+from repro.data import uniform_users
+from repro.trees import BinaryTree, QuadTree
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 16, 16)
+
+
+@pytest.fixture
+def db():
+    # Four users in the SW corner, two in the NE corner.
+    return LocationDatabase(
+        [
+            ("a", 1, 1),
+            ("b", 2, 2),
+            ("c", 3, 1),
+            ("d", 1, 3),
+            ("e", 13, 13),
+            ("f", 14, 14),
+        ]
+    )
+
+
+@pytest.fixture
+def tree(region, db):
+    return QuadTree.build_full(region, db, depth=1)
+
+
+def config_for(tree, values_by_rect):
+    values = {}
+    for node in tree.iter_postorder():
+        values[node.node_id] = values_by_rect[node.rect]
+    return Configuration(tree, values)
+
+
+class TestValidation:
+    def test_valid_configuration_passes(self, tree):
+        # Leaves pass everything up; root cloaks everyone.
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        values[tree.root.node_id] = 0
+        Configuration(tree, values).validate()
+
+    def test_leaf_over_capacity_rejected(self, tree):
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        leaf = tree.root.children[0]
+        values[leaf.node_id] = leaf.count + 1
+        with pytest.raises(ConfigurationError, match="exceeds d"):
+            Configuration(tree, values).validate()
+
+    def test_internal_over_delta_rejected(self, tree):
+        values = {n.node_id: 0 for n in tree.iter_postorder()}
+        values[tree.root.node_id] = 1
+        with pytest.raises(ConfigurationError, match="exceeds Δ"):
+            Configuration(tree, values).validate()
+
+    def test_negative_rejected(self, tree):
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        values[tree.root.node_id] = -1
+        with pytest.raises(ConfigurationError, match="negative"):
+            Configuration(tree, values).validate()
+
+    def test_missing_node_raises(self, tree):
+        with pytest.raises(ConfigurationError, match="no value"):
+            Configuration(tree, {})[tree.root.node_id]
+
+
+class TestCost:
+    def test_cost_counts_cloaked_times_area(self, tree, db):
+        # Everything passed up and cloaked at the root: 6 users × 256 m².
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        values[tree.root.node_id] = 0
+        assert Configuration(tree, values).cost() == 6 * 256
+
+    def test_cost_with_leaf_cloaking(self, tree, db):
+        # SW leaf (4 users) cloaks all its users; root cloaks the rest.
+        sw = tree.root.children[2]
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        values[sw.node_id] = 0
+        values[tree.root.node_id] = 0
+        cost = Configuration(tree, values).cost()
+        assert cost == 4 * 64 + 2 * 256
+
+    def test_is_complete(self, tree):
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        assert not Configuration(tree, values).is_complete
+        values[tree.root.node_id] = 0
+        assert Configuration(tree, values).is_complete
+
+
+class TestKSummation:
+    def test_all_at_root_satisfies(self, tree):
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        values[tree.root.node_id] = 0
+        assert Configuration(tree, values).satisfies_ksummation(2)
+
+    def test_partial_cloak_below_k_fails(self, tree):
+        # Root cloaks only 1 of 6 (passes up 5) — cloaking < k is banned.
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        values[tree.root.node_id] = 5
+        assert not Configuration(tree, values).satisfies_ksummation(2)
+
+    def test_sparse_leaf_must_pass_all(self, tree):
+        # NE leaf holds 2 users; with k=3 it must pass both up.
+        ne = tree.root.children[1]
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        values[ne.node_id] = 0  # cloaks 2 < k=3
+        values[tree.root.node_id] = 0
+        assert not Configuration(tree, values).satisfies_ksummation(3)
+
+    def test_lemma3_matches_group_audit(self, region):
+        """Lemma 3 operational check: a configuration satisfies
+        k-summation iff the materialized policy's cloak groups are ≥ k."""
+        db = uniform_users(40, region, seed=5)
+        tree = BinaryTree.build(region, db, 3, max_depth=6)
+        count = 0
+        for config in enumerate_ksummation_configurations(tree, 3, max_nodes=64):
+            policy = policy_from_configuration(tree, config)
+            assert policy.min_group_size() >= 3
+            count += 1
+            if count >= 50:
+                break
+        assert count > 0
+
+
+class TestRoundTrip:
+    def test_policy_config_policy(self, region):
+        db = uniform_users(30, region, seed=2)
+        tree = BinaryTree.build(region, db, 3, max_depth=6)
+        configs = enumerate_ksummation_configurations(tree, 3, max_nodes=64)
+        config = next(configs)
+        policy = policy_from_configuration(tree, config)
+        back = configuration_of_policy(tree, policy)
+        for node in tree.iter_postorder():
+            assert back[node.node_id] == config[node.node_id]
+        # Lemma 2: configuration cost equals policy cost.
+        assert config.cost() == pytest.approx(policy.cost())
+
+    def test_foreign_cloak_rejected(self, tree, db):
+        policy = CloakingPolicy(
+            {uid: Rect(0, 0, 16, 16) for uid in db.user_ids()}, db
+        )
+        # Tamper: a cloak that is not a node of this tree.
+        bad = CloakingPolicy(
+            {
+                uid: (Rect(0, 0, 3, 3) if uid == "a" else Rect(0, 0, 16, 16))
+                for uid in db.user_ids()
+            },
+            db,
+        )
+        configuration_of_policy(tree, policy)  # fine
+        with pytest.raises(ConfigurationError, match="not a tree node"):
+            configuration_of_policy(tree, bad)
+
+    def test_incomplete_configuration_cannot_materialize(self, tree):
+        values = {n.node_id: n.count for n in tree.iter_postorder()}
+        config = Configuration(tree, values)  # root passes everyone up
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            policy_from_configuration(tree, config)
+
+
+class TestEnumeration:
+    def test_enumeration_guard(self, region):
+        db = uniform_users(500, region, seed=0)
+        tree = BinaryTree.build(region, db, 2, max_depth=12)
+        with pytest.raises(ConfigurationError, match="refusing"):
+            list(enumerate_ksummation_configurations(tree, 2, max_nodes=8))
+
+    def test_all_enumerated_are_complete_and_valid(self, region):
+        db = uniform_users(12, region, seed=4)
+        tree = BinaryTree.build(region, db, 3, max_depth=4)
+        configs = list(enumerate_ksummation_configurations(tree, 3))
+        assert configs
+        for config in configs:
+            config.validate()
+            assert config.is_complete
+            assert config.satisfies_ksummation(3)

@@ -1,0 +1,62 @@
+"""Static sanity checks for the example scripts.
+
+The examples are long-running by design (they carry the narrative of
+the repo), so the test suite does not execute them; it verifies they
+compile, follow the script conventions, and only import public API.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_the_promised_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert {"quickstart.py", "attack_demo.py", "sf_bay_simulation.py"} <= names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestExampleScripts:
+    def test_compiles(self, path):
+        ast.parse(path.read_text(), filename=str(path))
+
+    def test_has_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+        functions = [
+            node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+        ]
+        assert "main" in functions, f"{path.name} lacks a main()"
+
+    def test_has_main_guard(self, path):
+        assert 'if __name__ == "__main__":' in path.read_text()
+
+    def test_imports_only_public_modules(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                assert root in {"repro", "numpy", "time"}, (
+                    f"{path.name} imports {node.module}"
+                )
+
+    def test_importable_names_resolve(self, path):
+        """Every ``from repro.x import y`` in an example resolves."""
+        import importlib
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom) or not node.module:
+                continue
+            if not node.module.startswith("repro"):
+                continue
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing"
+                )

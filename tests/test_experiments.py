@@ -1,0 +1,139 @@
+"""Smoke tests for the experiment runners and the harness."""
+
+import pytest
+
+from repro.experiments import (
+    ScaleProfile,
+    Table,
+    current_scale,
+    run_ablation_dp,
+    run_fig3,
+    run_fig4a,
+    run_fig4b,
+    run_fig5a,
+    run_fig5b,
+    run_fig6,
+    run_sec6d,
+    run_sec7_cache,
+    run_table1,
+    run_thm1,
+    timed,
+)
+
+#: A miniature profile so every runner finishes in seconds.
+TINY = ScaleProfile(
+    name="tiny",
+    master_intersections=300,
+    db_sweep=(1_000, 2_000),
+    k_sweep=(5, 10),
+    db_fixed=1_500,
+    k=10,
+    server_sweep=(1, 2),
+    move_percentages=(1.0, 5.0),
+    jurisdiction_sweep=(1, 4),
+)
+
+
+class TestHarness:
+    def test_table_rendering(self):
+        table = Table("demo", ["a", "b"])
+        table.add(a=1, b=2.5)
+        table.add(a="x")
+        out = table.render()
+        assert "demo" in out and "2.5" in out and "x" in out
+
+    def test_table_rejects_unknown_columns(self):
+        table = Table("demo", ["a"])
+        with pytest.raises(KeyError):
+            table.add(zzz=1)
+
+    def test_table_column(self):
+        table = Table("demo", ["a"])
+        table.add(a=1)
+        table.add(a=2)
+        assert table.column("a") == [1, 2]
+
+    def test_timed(self):
+        with timed() as t:
+            sum(range(1000))
+        assert t[0] >= 0
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert current_scale().name == "quick"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+
+class TestRunners:
+    def test_table1(self):
+        table = run_table1()
+        rows = {
+            (r["policy"], r["user"]): r["aware_candidates"] for r in table.rows
+        }
+        # The paper's breach: Carol identified under the 2-inside policy.
+        assert rows[("PUB", "Carol")] == 1
+        # The optimal policy protects everyone.
+        assert all(
+            v >= 2 for (p, __), v in rows.items() if p != "PUB"
+        )
+
+    def test_fig3(self):
+        table = run_fig3(TINY)
+        assert len(table.rows) == len(TINY.db_sweep)
+        assert all(r["max_leaf_count"] < TINY.k for r in table.rows)
+
+    def test_fig4a(self):
+        table = run_fig4a(TINY)
+        assert len(table.rows) == len(TINY.db_sweep) * len(TINY.server_sweep)
+        # Cost is a property of the partition, not of timing.
+        assert all(r["cost"] > 0 for r in table.rows)
+
+    def test_fig4b(self):
+        table = run_fig4b(TINY)
+        assert [r["k"] for r in table.rows] == list(TINY.k_sweep)
+
+    def test_fig5a_orderings(self):
+        table = run_fig5a(TINY)
+        for row in table.rows:
+            assert row["casper"] <= row["puq"] + 1e-6
+            assert row["pub"] <= row["policy_aware"] + 1e-6
+            assert row["pa_over_casper"] < 2.5
+
+    def test_fig5b_costs_always_equal(self):
+        table = run_fig5b(TINY)
+        assert all(row["costs_equal"] for row in table.rows)
+
+    def test_sec6d_overhead_small(self):
+        table = run_sec6d(TINY)
+        assert all(row["overhead_percent"] <= 1.0 for row in table.rows)
+        assert all(row["overhead_percent"] >= -1e-9 for row in table.rows)
+
+    def test_fig6_breaches_present(self):
+        table = run_fig6(n_random_trials=3)
+        by_scenario = {(r["scenario"], r["scheme"]): r for r in table.rows}
+        assert by_scenario[("paper 6(a)", "k-sharing")]["breach"]
+        assert by_scenario[("paper 6(b)", "k-reciprocity")]["breach"]
+
+    def test_thm1_exact_grows(self):
+        table = run_thm1(max_users=9, k=3)
+        assert all(row["cost_ratio"] >= 1.0 - 1e-9 for row in table.rows)
+
+    def test_ablation_costs_consistent(self):
+        table = run_ablation_dp(n_users=60, k=4)
+        costs = {r["variant"]: r["cost"] for r in table.rows}
+        assert costs["Algorithm 1 (naive)"] == pytest.approx(
+            costs["staged min-plus"]
+        )
+        assert costs["staged, no Lemma 5"] == pytest.approx(
+            costs["staged + Lemma 5"]
+        )
+        # Binary optimum never exceeds the quad optimum.
+        assert costs["staged + Lemma 5"] <= costs["Algorithm 1 (naive)"] + 1e-6
+
+    def test_sec7_cache(self):
+        table = run_sec7_cache(n_users=400, n_requests=100, k=10)
+        row = table.rows[0]
+        assert row["cache_hit_rate"] > 0
+        assert row["lbs_served"] < 100

@@ -1,0 +1,120 @@
+"""Tests for the §VII frequency-counting attack and its cache
+counter-measure."""
+
+import pytest
+
+from repro import Rect
+from repro.attacks import frequency_attack, max_duplicate_count
+from repro.core.binary_dp import solve
+from repro.core.requests import ServiceRequest
+from repro.data import uniform_users
+from repro.lbs import CSP, LBSProvider, generate_pois
+from repro.trees import BinaryTree
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 4096, 4096)
+
+
+@pytest.fixture
+def setup(region):
+    db = uniform_users(120, region, seed=151)
+    policy = solve(BinaryTree.build(region, db, 10), 10).policy()
+    return db, policy
+
+
+PAYLOAD = (("poi", "rest"),)
+
+
+def requests_from(policy, db, users, payload=PAYLOAD):
+    return [
+        policy.anonymize(ServiceRequest(u, db.location_of(u), payload))
+        for u in users
+    ]
+
+
+class TestFrequencyAttack:
+    def test_saturated_group_is_exposed(self, setup):
+        db, policy = setup
+        # Pick one full cloak group and have *everyone* in it send the
+        # same request within the snapshot.
+        group = next(iter(policy.groups().values()))
+        observed = requests_from(policy, db, group)
+        findings = frequency_attack(observed, policy)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.saturated
+        assert finding.exposed_users == tuple(sorted(group))
+        assert finding.observed_count == len(group)
+
+    def test_partial_group_is_safe(self, setup):
+        db, policy = setup
+        group = next(iter(policy.groups().values()))
+        observed = requests_from(policy, db, group[:-1])  # one user silent
+        assert frequency_attack(observed, policy) == []
+
+    def test_different_payloads_do_not_accumulate(self, setup):
+        db, policy = setup
+        group = next(iter(policy.groups().values()))
+        half = len(group) // 2
+        observed = requests_from(policy, db, group[:half], PAYLOAD)
+        observed += requests_from(
+            policy, db, group[half:], (("poi", "groc"),)
+        )
+        assert frequency_attack(observed, policy) == []
+
+    def test_max_duplicate_count(self, setup):
+        db, policy = setup
+        group = next(iter(policy.groups().values()))
+        observed = requests_from(policy, db, group[:3])
+        assert max_duplicate_count(observed) == 3
+        assert max_duplicate_count([]) == 0
+
+
+class TestCacheCounterMeasure:
+    def test_cache_caps_observable_duplicates_at_one(self, region):
+        """With the CSP cache, the LBS-visible log never contains
+        duplicates — the attack surface of §VII's discussion vanishes."""
+        db = uniform_users(200, region, seed=152)
+        pois = generate_pois(region, {"rest": 50}, seed=152)
+
+        class LoggingProvider(LBSProvider):
+            def __init__(self, pois):
+                super().__init__(pois)
+                self.log = []
+
+            def serve(self, request):
+                self.log.append(request)
+                return super().serve(request)
+
+        provider = LoggingProvider(pois)
+        csp = CSP(region, 10, db, provider)
+        group = next(iter(csp.policy.groups().values()))
+        for uid in group:  # the whole group asks the same thing
+            csp.request(uid, PAYLOAD)
+        # Without the cache this log would saturate the group...
+        assert max_duplicate_count(provider.log) == 1
+        # ...and indeed the attack finds nothing in what the LBS saw.
+        assert frequency_attack(provider.log, csp.policy) == []
+
+    def test_without_cache_the_attack_succeeds(self, region):
+        db = uniform_users(200, region, seed=153)
+        pois = generate_pois(region, {"rest": 50}, seed=153)
+
+        class LoggingProvider(LBSProvider):
+            def __init__(self, pois):
+                super().__init__(pois)
+                self.log = []
+
+            def serve(self, request):
+                self.log.append(request)
+                return super().serve(request)
+
+        provider = LoggingProvider(pois)
+        csp = CSP(region, 10, db, provider, use_cache=False)
+        group = next(iter(csp.policy.groups().values()))
+        for uid in group:
+            csp.request(uid, PAYLOAD)
+        findings = frequency_attack(provider.log, csp.policy)
+        assert findings and findings[0].saturated

@@ -1,0 +1,166 @@
+"""Unit tests for the geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.core.errors import GeometryError
+from repro.core.geometry import Circle, Point, Rect, bounding_rect
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2), Point(-4, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, 3.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_as_tuple(self):
+        assert Point(1, 2).as_tuple() == (1, 2)
+
+    def test_points_are_hashable_values(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 1) < Point(1, 2)
+
+
+class TestRect:
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(2, 0, 1, 1)
+        with pytest.raises(GeometryError):
+            Rect(0, 2, 1, 1)
+
+    def test_zero_area_rect_allowed(self):
+        # A point-rect is legal (a bounding box of one point).
+        r = Rect(1, 1, 1, 1)
+        assert r.area == 0.0
+        assert r.contains(Point(1, 1))
+
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 8)
+        assert (r.width, r.height, r.area) == (3, 6, 18)
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_containment_is_closed(self):
+        r = Rect(0, 0, 2, 2)
+        for p in (Point(0, 0), Point(2, 2), Point(0, 2), Point(1, 0)):
+            assert r.contains(p)
+        assert not r.contains(Point(2.0001, 1))
+        assert not r.contains(Point(1, -0.0001))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 5, 5))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 6))
+
+    def test_intersects_and_intersection(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        assert a.intersects(b)
+        assert a.intersection(b) == Rect(2, 2, 4, 4)
+
+    def test_touching_rects_intersect(self):
+        # Closed rectangles sharing only an edge still intersect.
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_disjoint_intersection_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 1, 1).intersection(Rect(3, 3, 4, 4))
+
+    def test_quadrants_partition_area(self):
+        r = Rect(0, 0, 8, 8)
+        quads = r.quadrants()
+        assert len(quads) == 4
+        assert sum(q.area for q in quads) == r.area
+        # NW, NE, SW, SE order per the docstring
+        nw, ne, sw, se = quads
+        assert nw == Rect(0, 4, 4, 8)
+        assert ne == Rect(4, 4, 8, 8)
+        assert sw == Rect(0, 0, 4, 4)
+        assert se == Rect(4, 0, 8, 4)
+
+    def test_halves_vertical(self):
+        west, east = Rect(0, 0, 4, 8).halves_vertical()
+        assert west == Rect(0, 0, 2, 8)
+        assert east == Rect(2, 0, 4, 8)
+
+    def test_halves_horizontal(self):
+        south, north = Rect(0, 0, 4, 8).halves_horizontal()
+        assert south == Rect(0, 0, 4, 4)
+        assert north == Rect(0, 4, 4, 8)
+
+    def test_sample_grid_points_inside(self):
+        r = Rect(1, 1, 3, 5)
+        pts = list(r.sample_grid(3))
+        assert len(pts) == 9
+        assert all(r.contains(p) for p in pts)
+
+    def test_sample_grid_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            list(Rect(0, 0, 1, 1).sample_grid(0))
+
+    def test_as_tuple_roundtrip(self):
+        r = Rect(1, 2, 3, 4)
+        assert Rect(*r.as_tuple()) == r
+
+    def test_str_is_compact(self):
+        assert str(Rect(0, 0, 2, 4)) == "[0,0 .. 2,4]"
+
+
+class TestCircle:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Circle(Point(0, 0), -1)
+
+    def test_area(self):
+        assert Circle(Point(0, 0), 2).area == pytest.approx(4 * math.pi)
+
+    def test_containment_is_closed(self):
+        c = Circle(Point(0, 0), 5)
+        assert c.contains(Point(3, 4))  # exactly on the boundary
+        assert c.contains(Point(0, 0))
+        assert not c.contains(Point(3.1, 4.1))
+
+    def test_boundary_tolerance(self):
+        # The minimal disk through a farthest member must contain it
+        # despite float noise in the radius computation.
+        center = Point(0.1, 0.2)
+        member = Point(10.3, -7.7)
+        c = Circle(center, center.distance_to(member))
+        assert c.contains(member)
+
+    def test_intersects(self):
+        assert Circle(Point(0, 0), 1).intersects(Circle(Point(2, 0), 1))
+        assert not Circle(Point(0, 0), 1).intersects(Circle(Point(5, 0), 1))
+
+
+class TestBoundingRect:
+    def test_single_point(self):
+        assert bounding_rect([Point(3, 4)]) == Rect(3, 4, 3, 4)
+
+    def test_multiple_points(self):
+        r = bounding_rect([Point(1, 5), Point(4, 2), Point(2, 8)])
+        assert r == Rect(1, 2, 4, 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            bounding_rect([])
+
+    def test_contains_all_inputs(self):
+        pts = [Point(i * 0.7, (i * i) % 5) for i in range(20)]
+        box = bounding_rect(pts)
+        assert all(box.contains(p) for p in pts)

@@ -1,0 +1,111 @@
+"""Incremental maintenance (§IV): the repaired DP must always equal a
+from-scratch bulk recomputation, under arbitrary move streams."""
+
+import numpy as np
+import pytest
+
+from repro import Point, Rect
+from repro.core.binary_dp import resolve_dirty, solve
+from repro.data import uniform_users
+from repro.lbs import movement_stream, random_moves
+from repro.trees import BinaryTree
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 512, 512)
+
+
+def assert_equivalent_to_bulk(tree, solution, k):
+    fresh_tree = BinaryTree.build(tree.region, tree.db, k, max_depth=tree.max_depth)
+    fresh = solve(fresh_tree, k)
+    assert solution.optimal_cost == pytest.approx(fresh.optimal_cost)
+
+
+class TestResolveDirty:
+    def test_single_move(self, region):
+        db = uniform_users(120, region, seed=1)
+        tree = BinaryTree.build(region, db, 5)
+        solution = solve(tree, 5)
+        dirty = tree.apply_moves({db.user_ids()[0]: Point(500, 500)})
+        repaired, recomputed = resolve_dirty(solution, dirty)
+        assert recomputed >= 1
+        assert_equivalent_to_bulk(tree, repaired, 5)
+
+    def test_recomputation_is_partial_for_local_moves(self, region):
+        db = uniform_users(600, region, seed=2)
+        tree = BinaryTree.build(region, db, 8)
+        solution = solve(tree, 8)
+        moves = random_moves(db, 0.01, region, max_distance=5, seed=3)
+        dirty = tree.apply_moves(moves)
+        repaired, recomputed = resolve_dirty(solution, dirty)
+        assert recomputed < len(tree)  # strictly partial repair
+        assert_equivalent_to_bulk(tree, repaired, 8)
+
+    def test_everything_moves(self, region):
+        db = uniform_users(100, region, seed=4)
+        tree = BinaryTree.build(region, db, 5)
+        solution = solve(tree, 5)
+        rng = np.random.default_rng(0)
+        moves = {
+            uid: Point(float(rng.uniform(0, 512)), float(rng.uniform(0, 512)))
+            for uid in db.user_ids()
+        }
+        dirty = tree.apply_moves(moves)
+        repaired, __ = resolve_dirty(solution, dirty)
+        assert_equivalent_to_bulk(tree, repaired, 5)
+
+    def test_long_move_stream(self, region):
+        db = uniform_users(200, region, seed=5)
+        k = 6
+        tree = BinaryTree.build(region, db, k)
+        solution = solve(tree, k)
+        for moves in movement_stream(db, 0.15, region, n_snapshots=6,
+                                     max_distance=40, seed=6):
+            dirty = tree.apply_moves(moves)
+            solution, __ = resolve_dirty(solution, dirty)
+            tree.check_invariants()
+        assert_equivalent_to_bulk(tree, solution, k)
+
+    @pytest.mark.parametrize("orientation", ["vertical", "horizontal"])
+    def test_policy_extraction_after_repair(self, region, orientation):
+        db = uniform_users(150, region, seed=7)
+        tree = BinaryTree.build(region, db, 5, orientation=orientation)
+        solution = solve(tree, 5)
+        moves = random_moves(db, 0.1, region, max_distance=100, seed=8)
+        dirty = tree.apply_moves(moves)
+        repaired, __ = resolve_dirty(solution, dirty)
+        policy = repaired.policy()
+        assert policy.min_group_size() >= 5
+        assert policy.cost() == pytest.approx(repaired.optimal_cost)
+
+    @pytest.mark.parametrize("orientation", ["vertical", "horizontal"])
+    def test_repair_equals_bulk_in_both_orientations(self, region, orientation):
+        db = uniform_users(180, region, seed=10)
+        k = 6
+        tree = BinaryTree.build(region, db, k, orientation=orientation)
+        solution = solve(tree, k)
+        moves = random_moves(db, 0.2, region, max_distance=60, seed=11)
+        dirty = tree.apply_moves(moves)
+        repaired, __ = resolve_dirty(solution, dirty)
+        fresh_tree = BinaryTree.build(
+            region, tree.db, k, orientation=orientation
+        )
+        fresh = solve(fresh_tree, k)
+        assert repaired.optimal_cost == pytest.approx(fresh.optimal_cost)
+
+    def test_moves_crossing_jurisdiction_boundaries(self, region):
+        # Move users from the far west to the far east repeatedly; both
+        # subtree shapes and counts change drastically.
+        db = uniform_users(300, region, seed=9)
+        k = 7
+        tree = BinaryTree.build(region, db, k)
+        solution = solve(tree, k)
+        west_users = [
+            uid for uid, p in db.items() if p.x < 128
+        ][:50]
+        moves = {uid: Point(500.0, float(i)) for i, uid in enumerate(west_users)}
+        dirty = tree.apply_moves(moves)
+        solution, __ = resolve_dirty(solution, dirty)
+        tree.check_invariants()
+        assert_equivalent_to_bulk(tree, solution, k)

@@ -1,0 +1,89 @@
+"""Tests for the k-inside baselines PUQ and PUB (Propositions 2–3)."""
+
+import pytest
+
+from repro import LocationDatabase, NoFeasiblePolicyError, Rect
+from repro.attacks import audit_policy
+from repro.baselines import policy_unaware_binary, policy_unaware_quad
+from repro.core.binary_dp import solve
+from repro.data import uniform_users
+from repro.trees import BinaryTree
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 512, 512)
+
+
+@pytest.fixture
+def db(region):
+    return uniform_users(250, region, seed=31)
+
+
+class TestKInsideProperty:
+    @pytest.mark.parametrize("maker", [policy_unaware_quad, policy_unaware_binary])
+    def test_every_cloak_holds_k_users(self, maker, region, db):
+        policy = maker(region, db, 10)
+        assert policy.min_inside_count() >= 10
+
+    @pytest.mark.parametrize("maker", [policy_unaware_quad, policy_unaware_binary])
+    def test_policy_unaware_audit_passes(self, maker, region, db):
+        """Proposition 2: k-inside ⇒ safe against policy-unaware attackers."""
+        report = audit_policy(maker(region, db, 10), 10)
+        assert report.safe_policy_unaware
+
+    def test_proposition3_breach_instance(self, table1_region, table1_db):
+        """Proposition 3: some k-inside policies breach against a
+        policy-aware attacker — Table I is the paper's witness."""
+        policy = policy_unaware_binary(table1_region, table1_db, 2, max_depth=4)
+        report = audit_policy(policy, 2)
+        assert report.safe_policy_unaware
+        assert not report.safe_policy_aware
+        assert report.identified_users == ("Carol",)
+
+
+class TestTightness:
+    def test_pub_cloak_is_tightest(self, region, db):
+        tree = BinaryTree.build(region, db, 10)
+        policy = policy_unaware_binary(region, db, 10, tree=tree)
+        for uid, point in list(db.items())[:40]:
+            cloak = policy.cloak_for(uid)
+            node = tree.smallest_node_with(point, 10)
+            assert cloak == node.rect
+
+    def test_pub_never_costlier_than_puq(self, region, db):
+        """The binary vocabulary contains all quadrants, so the per-user
+        tightest binary cloak is at most the tightest quadrant."""
+        pub = policy_unaware_binary(region, db, 10)
+        puq = policy_unaware_quad(region, db, 10)
+        for uid in db.user_ids():
+            assert pub.cloak_for(uid).area <= puq.cloak_for(uid).area + 1e-9
+
+    def test_pub_lower_bounds_policy_aware_optimum(self, region, db):
+        """The PA optimum is itself k-inside over the same vocabulary,
+        so PUB (per-user minimum) can only be cheaper."""
+        pub = policy_unaware_binary(region, db, 10)
+        pa = solve(BinaryTree.build(region, db, 10), 10).policy()
+        assert pub.cost() <= pa.cost() + 1e-6
+
+
+class TestEdgeCases:
+    def test_fewer_than_k_users(self, region):
+        db = LocationDatabase([("a", 1, 1)])
+        with pytest.raises(NoFeasiblePolicyError):
+            policy_unaware_quad(region, db, 2)
+
+    def test_exactly_k_users_cloak_at_root(self, region):
+        db = LocationDatabase([("a", 1, 1), ("b", 500, 500)])
+        policy = policy_unaware_quad(region, db, 2)
+        assert policy.cloak_for("a") == region
+
+    def test_example1_cloaks_match_paper(self, table1_region, table1_db):
+        """PUB on Table I yields exactly the cloaks of Example 3:
+        R1 = (0,0,1,2), R3 = (0,0,2,4), R2 = (2,0,4,4)."""
+        policy = policy_unaware_binary(table1_region, table1_db, 2, max_depth=4)
+        assert policy.cloak_for("Alice") == Rect(0, 0, 1, 2)
+        assert policy.cloak_for("Bob") == Rect(0, 0, 1, 2)
+        assert policy.cloak_for("Carol") == Rect(0, 0, 2, 4)
+        assert policy.cloak_for("Sam") == Rect(2, 0, 4, 4)
+        assert policy.cloak_for("Tom") == Rect(2, 0, 4, 4)

@@ -1,0 +1,99 @@
+"""Tests for the base-station circular baseline and its Figure 6(b)
+breach of k-reciprocity."""
+
+import pytest
+
+from repro import LocationDatabase, NoFeasiblePolicyError, Point
+from repro.attacks import audit_policy
+from repro.baselines import (
+    satisfies_k_reciprocity,
+    station_circle_for,
+    station_circle_policy,
+)
+
+
+@pytest.fixture
+def fig6b():
+    """Figure 6(b): Alice nearer station S1, Bob nearer S2, both inside
+    both resulting circles."""
+    db = LocationDatabase([("Alice", 2, 0), ("Bob", 3, 0)])
+    stations = [Point(0, 0), Point(5, 0)]
+    return db, stations
+
+
+class TestCircleConstruction:
+    def test_center_is_nearest_station(self, fig6b):
+        db, stations = fig6b
+        assert station_circle_for(db, stations, "Alice", 2).center == Point(0, 0)
+        assert station_circle_for(db, stations, "Bob", 2).center == Point(5, 0)
+
+    def test_circle_covers_k_users(self, fig6b):
+        db, stations = fig6b
+        circle = station_circle_for(db, stations, "Alice", 2)
+        covered = sum(1 for __, p in db.items() if circle.contains(p))
+        assert covered >= 2
+
+    def test_circle_covers_requester(self):
+        # Requester farther than the k nearest users to the station.
+        db = LocationDatabase([("x", 10, 0), ("a", 1, 0), ("b", 2, 0)])
+        circle = station_circle_for(db, [Point(0, 0)], "x", 2)
+        assert circle.contains(Point(10, 0))
+
+    def test_unknown_user(self, fig6b):
+        db, stations = fig6b
+        with pytest.raises(NoFeasiblePolicyError):
+            station_circle_for(db, stations, "Zoe", 2)
+
+    def test_too_few_users(self):
+        db = LocationDatabase([("a", 0, 0)])
+        with pytest.raises(NoFeasiblePolicyError):
+            station_circle_for(db, [Point(0, 0)], "a", 2)
+
+    def test_no_stations(self, fig6b):
+        db, __ = fig6b
+        with pytest.raises(NoFeasiblePolicyError):
+            station_circle_policy(db, [], 2)
+
+
+class TestFigure6bBreach:
+    def test_reciprocity_holds(self, fig6b):
+        db, stations = fig6b
+        policy = station_circle_policy(db, stations, 2)
+        assert satisfies_k_reciprocity(policy, 2)
+
+    def test_policy_unaware_safe_but_aware_breached(self, fig6b):
+        db, stations = fig6b
+        policy = station_circle_policy(db, stations, 2)
+        report = audit_policy(policy, 2)
+        assert report.safe_policy_unaware
+        assert not report.safe_policy_aware
+        # Both Alice and Bob are fully identified by their circles.
+        assert report.identified_users == ("Alice", "Bob")
+
+    def test_distinct_circles_per_user(self, fig6b):
+        db, stations = fig6b
+        policy = station_circle_policy(db, stations, 2)
+        assert policy.cloak_for("Alice") != policy.cloak_for("Bob")
+
+
+class TestReciprocityChecker:
+    def test_shared_circle_is_reciprocal(self):
+        db = LocationDatabase([("a", 1, 0), ("b", 2, 0), ("c", 1.5, 1)])
+        policy = station_circle_policy(db, [Point(0, 0)], 3)
+        # One station ⇒ same center; radii may differ but all contain all.
+        assert satisfies_k_reciprocity(policy, 3)
+
+    def test_violation_detected(self):
+        from repro.core.geometry import Circle
+        from repro.core.policy import CloakingPolicy
+
+        db = LocationDatabase([("a", 0, 0), ("b", 3, 0)])
+        # a's cloak covers both; b's tiny cloak covers only b.
+        policy = CloakingPolicy(
+            {
+                "a": Circle(Point(0, 0), 5),
+                "b": Circle(Point(3, 0), 0.5),
+            },
+            db,
+        )
+        assert not satisfies_k_reciprocity(policy, 2)

@@ -1,0 +1,102 @@
+"""Tests for the k-sharing baseline [11] and its Figure 6(a) breach."""
+
+import pytest
+
+from repro import LocationDatabase, NoFeasiblePolicyError, Rect
+from repro.attacks import audit_policy
+from repro.baselines import (
+    first_request_candidates,
+    first_request_group,
+    ksharing_policy,
+    satisfies_k_sharing,
+)
+from repro.core.geometry import bounding_rect
+from repro.data import uniform_users
+
+
+@pytest.fixture
+def fig6a_db():
+    """Figure 6(a): A and B adjacent, C off to the side."""
+    return LocationDatabase([("A", 3, 0), ("B", 4, 0), ("C", 7, 0)])
+
+
+class TestGroupFormation:
+    def test_group_contains_requester_first(self, fig6a_db):
+        assert first_request_group(fig6a_db, 2, "C")[0] == "C"
+
+    def test_group_size_is_k(self, fig6a_db):
+        assert len(first_request_group(fig6a_db, 2, "C")) == 2
+
+    def test_groups_depend_on_requester(self, fig6a_db):
+        """The order-dependence at the heart of the breach: C groups
+        with B, but B groups with A."""
+        assert first_request_group(fig6a_db, 2, "C") == ["C", "B"]
+        assert first_request_group(fig6a_db, 2, "B") == ["B", "A"]
+        assert first_request_group(fig6a_db, 2, "A") == ["A", "B"]
+
+    def test_unknown_requester(self, fig6a_db):
+        with pytest.raises(NoFeasiblePolicyError):
+            first_request_group(fig6a_db, 2, "Z")
+
+    def test_too_few_users(self):
+        db = LocationDatabase([("A", 0, 0)])
+        with pytest.raises(NoFeasiblePolicyError):
+            first_request_group(db, 2, "A")
+
+
+class TestFigure6aBreach:
+    def test_observed_cloak_identifies_sender(self, fig6a_db):
+        group = first_request_group(fig6a_db, 2, "C")
+        cloak = bounding_rect(fig6a_db.location_of(u) for u in group)
+        candidates = first_request_candidates(fig6a_db, 2, cloak)
+        assert candidates == ["C"]  # total identification
+
+    def test_ab_cloak_is_ambiguous(self, fig6a_db):
+        """The {A,B} cloak could come from either A or B — no breach
+        for those two senders."""
+        cloak = bounding_rect(
+            [fig6a_db.location_of("A"), fig6a_db.location_of("B")]
+        )
+        assert sorted(first_request_candidates(fig6a_db, 2, cloak)) == ["A", "B"]
+
+
+class TestBulkPolicy:
+    def test_ksharing_property_holds(self):
+        db = uniform_users(60, Rect(0, 0, 256, 256), seed=51)
+        policy = ksharing_policy(db, 5)
+        assert satisfies_k_sharing(policy, 5)
+
+    def test_policy_unaware_safe(self):
+        db = uniform_users(60, Rect(0, 0, 256, 256), seed=52)
+        report = audit_policy(ksharing_policy(db, 5), 5)
+        assert report.safe_policy_unaware
+
+    def test_arrival_order_changes_groups(self):
+        db = uniform_users(40, Rect(0, 0, 256, 256), seed=53)
+        order_a = db.user_ids()
+        order_b = list(reversed(order_a))
+        policy_a = ksharing_policy(db, 4, arrival_order=order_a)
+        policy_b = ksharing_policy(db, 4, arrival_order=order_b)
+        cloaks_a = {u: policy_a.cloak_for(u) for u in order_a}
+        cloaks_b = {u: policy_b.cloak_for(u) for u in order_a}
+        assert cloaks_a != cloaks_b  # the realized "policy" is unstable
+
+    def test_stragglers_join_groups(self):
+        # 7 users, k=3: two groups of 3 plus one straggler → 3+4 split.
+        db = LocationDatabase(
+            [(f"u{i}", float(i), 0.0) for i in range(7)]
+        )
+        policy = ksharing_policy(db, 3)
+        sizes = sorted(len(g) for g in policy.groups().values())
+        assert sum(sizes) == 7
+        assert all(size >= 3 for size in sizes)
+
+    def test_order_must_be_permutation(self):
+        db = LocationDatabase([("a", 0, 0), ("b", 1, 1)])
+        with pytest.raises(NoFeasiblePolicyError, match="permutation"):
+            ksharing_policy(db, 2, arrival_order=["a"])
+
+    def test_too_few_users(self):
+        db = LocationDatabase([("a", 0, 0)])
+        with pytest.raises(NoFeasiblePolicyError):
+            ksharing_policy(db, 2)

@@ -1,0 +1,129 @@
+"""Randomized validation of the paper's formal claims (Lemmas 1–5,
+Propositions 1–2, Theorem 2) via the executable checkers."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import LocationDatabase, Rect
+from repro.baselines import casper_policy, policy_unaware_binary, policy_unaware_quad
+from repro.core.binary_dp import solve
+from repro.core.configuration import enumerate_ksummation_configurations
+from repro.core.lemmas import (
+    LemmaViolation,
+    check_lemma1,
+    check_lemma2,
+    check_lemma3,
+    check_lemma5,
+    check_proposition1,
+    check_proposition2,
+    check_theorem2,
+)
+from repro.trees import BinaryTree
+
+from conftest import random_instance
+
+
+def small_tree(seed, k=None):
+    region, db, drawn_k = random_instance(seed, n_range=(4, 14), k_range=(2, 4))
+    k = k or drawn_k
+    return region, db, k, BinaryTree.build(region, db, k, max_depth=4)
+
+
+def some_configs(tree, k, limit=12):
+    return list(
+        itertools.islice(
+            enumerate_ksummation_configurations(tree, k, max_nodes=64), limit
+        )
+    )
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("seed", range(700, 708))
+    def test_equivalence_classes(self, seed):
+        __, ___, k, tree = small_tree(seed)
+        for config in some_configs(tree, k):
+            check_lemma1(tree, config, k)
+
+
+class TestLemma2:
+    @pytest.mark.parametrize("seed", range(708, 716))
+    def test_configuration_cost(self, seed):
+        __, ___, k, tree = small_tree(seed)
+        for config in some_configs(tree, k):
+            check_lemma2(tree, config)
+
+
+class TestLemma3:
+    @pytest.mark.parametrize("seed", range(716, 724))
+    def test_ksummation_iff_anonymous(self, seed):
+        __, ___, k, tree = small_tree(seed)
+        # Complete k-summation configurations must check out...
+        for config in some_configs(tree, k):
+            check_lemma3(tree, config, k)
+        # ...and so must the same configurations tested against k+1
+        # (where k-summation may fail and anonymity must fail with it).
+        for config in some_configs(tree, k, limit=6):
+            check_lemma3(tree, config, k + 1)
+
+    def test_checkers_are_sensitive(self):
+        """The checkers really do raise on violating inputs: a policy
+        whose cloak holds fewer than k users trips Proposition 2's
+        check, and a breached group trips Proposition 1's premise-free
+        variant is vacuous — so test via check_proposition2."""
+        from repro.core.policy import CloakingPolicy
+
+        db = LocationDatabase([("a", 1, 1), ("b", 7, 7)])
+        lonely = CloakingPolicy(
+            {"a": Rect(0, 0, 2, 2), "b": Rect(6, 6, 8, 8)}, db
+        )
+        with pytest.raises(LemmaViolation):
+            check_proposition2(lonely, 2)
+
+
+class TestLemma5:
+    @pytest.mark.parametrize("seed", range(724, 736))
+    def test_pruning_preserves_optimum(self, seed):
+        __, ___, k, tree = small_tree(seed)
+        check_lemma5(tree, k)
+
+    def test_on_skewed_instance(self):
+        rng = np.random.default_rng(737)
+        coords = np.concatenate(
+            [rng.uniform(0, 4, (20, 2)), rng.uniform(60, 64, (5, 2))]
+        )
+        db = LocationDatabase.from_array(coords)
+        tree = BinaryTree.build(Rect(0, 0, 64, 64), db, 3, max_depth=8)
+        check_lemma5(tree, 3)
+
+
+class TestPropositions:
+    @pytest.mark.parametrize("seed", range(740, 748))
+    def test_proposition1_on_dp_output(self, seed):
+        region, db, k = random_instance(seed)
+        if len(db) < k:
+            return
+        policy = solve(BinaryTree.build(region, db, k, max_depth=6), k).policy()
+        check_proposition1(policy, k)
+
+    @pytest.mark.parametrize(
+        "maker", [policy_unaware_binary, policy_unaware_quad, casper_policy]
+    )
+    def test_proposition2_on_kinside_family(self, maker):
+        region = Rect(0, 0, 512, 512)
+        rng = np.random.default_rng(748)
+        db = LocationDatabase.from_array(rng.uniform(0, 512, (120, 2)))
+        policy = maker(region, db, 8)
+        check_proposition2(policy, 8)
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("seed", range(750, 758))
+    def test_dp_matches_exhaustive(self, seed):
+        __, ___, k, tree = small_tree(seed)
+        check_theorem2(tree, k)
+
+    def test_empty_instance(self):
+        tree = BinaryTree.build(Rect(0, 0, 8, 8), LocationDatabase(), 2)
+        check_theorem2(tree, 2)

@@ -1,0 +1,68 @@
+"""Tests for the user movement model (§VI-C)."""
+
+import pytest
+
+from repro import Rect, WorkloadError
+from repro.data import uniform_users
+from repro.lbs import movement_stream, random_moves
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 1000, 1000)
+
+
+@pytest.fixture
+def db(region):
+    return uniform_users(200, region, seed=141)
+
+
+class TestRandomMoves:
+    def test_fraction_controls_count(self, db, region):
+        assert len(random_moves(db, 0.1, region)) == 20
+        assert len(random_moves(db, 0.0, region)) == 0
+        assert len(random_moves(db, 1.0, region)) == 200
+
+    def test_distance_bound(self, db, region):
+        moves = random_moves(db, 0.5, region, max_distance=200.0, seed=1)
+        for uid, new_point in moves.items():
+            old = db.location_of(uid)
+            assert old.distance_to(new_point) <= 200.0 + 1e-9
+
+    def test_moves_stay_on_map(self, region):
+        # Users on the border get clipped rather than escaping.
+        from repro import LocationDatabase
+
+        db = LocationDatabase([(f"u{i}", 0.0, float(i)) for i in range(50)])
+        moves = random_moves(db, 1.0, region, max_distance=500.0, seed=2)
+        for p in moves.values():
+            assert region.contains(p)
+
+    def test_deterministic_given_seed(self, db, region):
+        a = random_moves(db, 0.2, region, seed=7)
+        b = random_moves(db, 0.2, region, seed=7)
+        assert a == b
+
+    def test_fraction_validated(self, db, region):
+        with pytest.raises(WorkloadError):
+            random_moves(db, 1.5, region)
+        with pytest.raises(WorkloadError):
+            random_moves(db, 0.1, region, max_distance=-1)
+
+
+class TestMovementStream:
+    def test_yields_requested_snapshots(self, db, region):
+        stream = list(movement_stream(db, 0.1, region, n_snapshots=5, seed=3))
+        assert len(stream) == 5
+        assert all(len(m) == 20 for m in stream)
+
+    def test_stream_is_a_walk(self, db, region):
+        """Each step moves from the *previous* snapshot's position."""
+        current = db
+        for moves in movement_stream(
+            db, 0.3, region, n_snapshots=4, max_distance=100, seed=4
+        ):
+            for uid, new_point in moves.items():
+                old = current.location_of(uid)
+                assert old.distance_to(new_point) <= 100 + 1e-9
+            current = current.with_moves(moves)

@@ -1,0 +1,98 @@
+"""Unit tests for the shared spatial-node machinery."""
+
+import numpy as np
+import pytest
+
+from repro import Point, Rect, TreeError
+from repro.trees.node import SpatialNode, partition_indices
+
+
+def make_chain():
+    """root → two children (west/east split)."""
+    root = SpatialNode(0, Rect(0, 0, 8, 8), 0)
+    west = SpatialNode(1, Rect(0, 0, 4, 8), 1, parent=root, is_semi=True)
+    east = SpatialNode(2, Rect(4, 0, 8, 8), 1, parent=root, is_semi=True)
+    root.children = [west, east]
+    return root, west, east
+
+
+class TestSpatialNode:
+    def test_leaf_detection(self):
+        root, west, __ = make_chain()
+        assert not root.is_leaf
+        assert west.is_leaf
+
+    def test_child_for_boundary_prefers_first(self):
+        root, west, __ = make_chain()
+        # x = 4 is on the shared edge: first child (west) wins.
+        assert root.child_for(Point(4, 2)) is west
+
+    def test_child_for_escaping_point_raises(self):
+        root, __, __ = make_chain()
+        with pytest.raises(TreeError, match="escapes"):
+            root.child_for(Point(9, 9))
+
+    def test_iter_subtree_preorder(self):
+        root, west, east = make_chain()
+        assert [n.node_id for n in root.iter_subtree()] == [0, 1, 2]
+
+    def test_iter_postorder_children_first(self):
+        root, __, __ = make_chain()
+        assert [n.node_id for n in root.iter_postorder()] == [1, 2, 0]
+
+    def test_path_to_root(self):
+        root, west, __ = make_chain()
+        assert [n.node_id for n in west.path_to_root()] == [1, 0]
+
+    def test_leaf_for_descends(self):
+        root, __, east = make_chain()
+        assert root.leaf_for(Point(6, 6)) is east
+
+    def test_repr_mentions_kind(self):
+        root, west, __ = make_chain()
+        assert "node" in repr(root)
+        assert "leaf" in repr(west)
+
+    def test_area(self):
+        root, west, __ = make_chain()
+        assert root.area == 64
+        assert west.area == 32
+
+
+class TestPartitionIndices:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        rng = np.random.default_rng(211)
+        coords = rng.uniform(0, 8, size=(50, 2))
+        indices = np.arange(50)
+        rects = list(Rect(0, 0, 8, 8).quadrants())
+        parts = partition_indices(coords, indices, rects)
+        assert len(parts) == 4
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, indices)
+
+    def test_boundary_goes_to_first_matching_rect(self):
+        coords = np.array([[4.0, 4.0]])  # the exact center: in all four
+        rects = list(Rect(0, 0, 8, 8).quadrants())
+        parts = partition_indices(coords, np.arange(1), rects)
+        assert len(parts[0]) == 1  # NW is first in quadrant order
+        assert all(len(p) == 0 for p in parts[1:])
+
+    def test_assignment_matches_child_for(self):
+        rng = np.random.default_rng(212)
+        coords = rng.uniform(0, 8, size=(40, 2))
+        rects = list(Rect(0, 0, 8, 8).quadrants())
+        parts = partition_indices(coords, np.arange(40), rects)
+        parent = SpatialNode(0, Rect(0, 0, 8, 8), 0)
+        parent.children = [
+            SpatialNode(i + 1, r, 1, parent=parent) for i, r in enumerate(rects)
+        ]
+        for rect_idx, part in enumerate(parts):
+            for row in part:
+                chosen = parent.child_for(Point(*coords[row]))
+                assert chosen.rect == rects[rect_idx]
+
+    def test_empty_input(self):
+        parts = partition_indices(
+            np.empty((0, 2)), np.arange(0), list(Rect(0, 0, 2, 2).quadrants())
+        )
+        assert all(len(p) == 0 for p in parts)

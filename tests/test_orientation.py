@@ -1,0 +1,122 @@
+"""Tests for binary-tree orientations and the best-orientation solver."""
+
+import numpy as np
+import pytest
+
+from repro import LocationDatabase, Rect, TreeError
+from repro.core.binary_dp import solve, solve_best_orientation
+from repro.data import uniform_users
+from repro.trees import BinaryTree, QuadTree
+
+from conftest import random_instance
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 64, 64)
+
+
+class TestHorizontalOrientation:
+    def test_orientation_validated(self, region):
+        with pytest.raises(TreeError, match="orientation"):
+            BinaryTree(region, LocationDatabase(), 1, orientation="diagonal")
+
+    def test_horizontal_splits_squares_horizontally(self, region):
+        db = uniform_users(200, region, seed=171)
+        tree = BinaryTree.build(region, db, 10, orientation="horizontal")
+        for node in tree.nodes.values():
+            if node.is_leaf:
+                continue
+            a, b = node.children
+            if node.is_semi:
+                assert a.rect.x2 == b.rect.x1  # wide semis cut vertically
+            else:
+                assert a.rect.y2 == b.rect.y1  # squares cut horizontally
+        tree.check_invariants()
+
+    def test_wide_semi_root_accepted(self):
+        db = LocationDatabase([("a", 1, 1)])
+        wide = Rect(0, 0, 64, 32)
+        tree = BinaryTree(wide, db, 1)
+        assert tree.root.is_semi
+
+    def test_orientations_are_mirror_symmetric(self, region):
+        """Reflecting the points across the diagonal swaps orientations,
+        so the two optima are exchanged under transposition."""
+        rng = np.random.default_rng(172)
+        coords = rng.uniform(0, 64, size=(40, 2))
+        db_v = LocationDatabase.from_array(coords)
+        db_h = LocationDatabase.from_array(coords[:, ::-1])
+        k = 4
+        cost_v = solve(
+            BinaryTree.build(region, db_v, k, max_depth=6, orientation="vertical"),
+            k,
+        ).optimal_cost
+        cost_h = solve(
+            BinaryTree.build(region, db_h, k, max_depth=6, orientation="horizontal"),
+            k,
+        ).optimal_cost
+        assert cost_v == pytest.approx(cost_h)
+
+    @pytest.mark.parametrize("seed", range(500, 506))
+    def test_horizontal_also_embeds_quad_policies(self, seed):
+        """Both orientations contain every quadrant, so either optimum
+        is at most the quad-tree optimum."""
+        region, db, k = random_instance(seed)
+        if len(db) < k:
+            return
+        quad = QuadTree.build_adaptive(region, db, split_threshold=k, max_depth=3)
+        quad_cost = solve(quad, k, prune=False).optimal_cost
+        horizontal = BinaryTree.build(
+            region, db, k, max_depth=6, orientation="horizontal"
+        )
+        assert solve(horizontal, k).optimal_cost <= quad_cost + 1e-9
+
+    @pytest.mark.parametrize("seed", range(506, 512))
+    def test_horizontal_policies_are_k_anonymous(self, seed):
+        region, db, k = random_instance(seed)
+        if len(db) < k:
+            return
+        tree = BinaryTree.build(region, db, k, max_depth=8, orientation="horizontal")
+        policy = solve(tree, k).policy()
+        assert policy.min_group_size() >= k
+
+    def test_moves_work_in_horizontal_trees(self, region):
+        from repro.lbs import random_moves
+
+        db = uniform_users(150, region, seed=173)
+        tree = BinaryTree.build(region, db, 8, orientation="horizontal")
+        moves = random_moves(db, 0.3, region, max_distance=20, seed=174)
+        tree.apply_moves(moves)
+        tree.check_invariants()
+
+
+class TestBestOrientation:
+    @pytest.mark.parametrize("seed", range(512, 520))
+    def test_best_is_min_of_both(self, seed):
+        region, db, k = random_instance(seed)
+        if len(db) < k:
+            return
+        costs = []
+        for orientation in ("vertical", "horizontal"):
+            tree = BinaryTree.build(
+                region, db, k, max_depth=6, orientation=orientation
+            )
+            costs.append(solve(tree, k).optimal_cost)
+        best = solve_best_orientation(region, db, k, max_depth=6)
+        assert best.optimal_cost == pytest.approx(min(costs))
+
+    def test_best_orientation_policy_valid(self, region):
+        db = uniform_users(100, region, seed=175)
+        solution = solve_best_orientation(region, db, 8)
+        policy = solution.policy()
+        assert policy.min_group_size() >= 8
+        assert policy.cost() == pytest.approx(solution.optimal_cost)
+
+    def test_infeasible_propagates(self, region):
+        from repro import NoFeasiblePolicyError
+
+        db = LocationDatabase([("a", 1, 1)])
+        solution = solve_best_orientation(region, db, 5)
+        with pytest.raises(NoFeasiblePolicyError):
+            __ = solution.optimal_cost

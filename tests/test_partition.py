@@ -1,0 +1,96 @@
+"""Tests for the greedy jurisdiction partitioner (§V)."""
+
+import pytest
+
+from repro import Rect, TreeError
+from repro.data import uniform_users
+from repro.trees import BinaryTree, greedy_partition, load_imbalance
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 1024, 1024)
+
+
+@pytest.fixture
+def tree(region):
+    db = uniform_users(800, region, seed=91)
+    return BinaryTree.build(region, db, 10)
+
+
+class TestGreedyPartition:
+    def test_single_server_is_root(self, tree):
+        parts = greedy_partition(tree, 1)
+        assert len(parts) == 1
+        assert parts[0].rect == tree.root.rect
+        assert parts[0].count == tree.root.count
+
+    def test_requested_count_reached(self, tree):
+        for n in (2, 4, 8, 16):
+            parts = greedy_partition(tree, n)
+            assert len(parts) == n
+
+    def test_counts_partition_population(self, tree):
+        parts = greedy_partition(tree, 8)
+        assert sum(p.count for p in parts) == tree.root.count
+
+    def test_rects_tile_the_map(self, tree, region):
+        parts = greedy_partition(tree, 16)
+        assert sum(p.rect.area for p in parts) == pytest.approx(region.area)
+        # Pairwise interiors are disjoint: overlapping area is zero.
+        for i, a in enumerate(parts):
+            for b in parts[i + 1 :]:
+                if a.rect.intersects(b.rect):
+                    overlap = a.rect.intersection(b.rect)
+                    assert overlap.area == pytest.approx(0.0)
+
+    def test_eligibility_no_stranded_small_groups(self, tree):
+        """Every jurisdiction holds 0 or ≥ k users, so each server can
+        anonymize its population locally."""
+        for n in (4, 16, 64):
+            for part in greedy_partition(tree, n, k=10):
+                assert part.count == 0 or part.count >= 10
+
+    def test_greedy_prefers_heavy_nodes(self, tree):
+        parts = greedy_partition(tree, 2)
+        # Splitting the root once: the two children, whatever their load.
+        kids = {c.node_id for c in tree.root.children}
+        assert {p.node_id for p in parts} == kids
+
+    def test_stops_when_no_eligible_split(self, region):
+        # A tiny population cannot be split into many jurisdictions.
+        db = uniform_users(12, region, seed=92)
+        tree = BinaryTree.build(region, db, 10)
+        parts = greedy_partition(tree, 64, k=10)
+        assert len(parts) < 64
+
+    def test_n_servers_validated(self, tree):
+        with pytest.raises(TreeError):
+            greedy_partition(tree, 0)
+
+    def test_deterministic(self, tree):
+        a = [p.node_id for p in greedy_partition(tree, 8)]
+        b = [p.node_id for p in greedy_partition(tree, 8)]
+        assert a == b
+
+
+class TestLoadImbalance:
+    def test_perfectly_balanced(self, tree):
+        assert load_imbalance(greedy_partition(tree, 1)) == 1.0
+
+    def test_reasonable_balance_for_uniform_data(self, tree):
+        parts = greedy_partition(tree, 16)
+        assert load_imbalance(parts) < 3.0
+
+    def test_empty_partitions_ignored(self):
+        from repro.trees.partition import Jurisdiction
+
+        parts = [
+            Jurisdiction(rect=None, is_semi=False, count=0, node_id=0),
+            Jurisdiction(rect=None, is_semi=False, count=10, node_id=1),
+            Jurisdiction(rect=None, is_semi=False, count=10, node_id=2),
+        ]
+        assert load_imbalance(parts) == 1.0
+
+    def test_all_empty(self):
+        assert load_imbalance([]) == 1.0

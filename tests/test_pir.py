@@ -1,0 +1,59 @@
+"""Tests for the PIR cost model (§VII comparison substrate)."""
+
+import pytest
+
+from repro import ReproError
+from repro.baselines import PIRCostModel
+
+
+@pytest.fixture
+def model():
+    return PIRCostModel()
+
+
+class TestPIRCostModel:
+    def test_reference_point_matches_paper(self, model):
+        """At the reference 65K POIs on one server the model reproduces
+        the 20–45 s/query range quoted from [15]."""
+        latency = model.seconds_per_query(65_000, servers=1)
+        assert 20.0 <= latency <= 45.0
+
+    def test_eight_servers_in_reported_range(self, model):
+        """[15] reports 6–12 s/query on 8 servers."""
+        latency = model.seconds_per_query(65_000, servers=8)
+        assert 3.0 <= latency <= 12.0
+
+    def test_latency_scales_with_pois(self, model):
+        assert model.seconds_per_query(130_000) == pytest.approx(
+            2 * model.seconds_per_query(65_000)
+        )
+
+    def test_parallelism_helps_sublinearly(self, model):
+        one = model.seconds_per_query(65_000, 1)
+        sixteen = model.seconds_per_query(65_000, 16)
+        assert sixteen < one
+        assert sixteen > one / 16  # imperfect efficiency
+
+    def test_throughput_is_reciprocal(self, model):
+        assert model.throughput(65_000, 4) == pytest.approx(
+            1.0 / model.seconds_per_query(65_000, 4)
+        )
+
+    def test_answer_size_is_sqrt_n(self, model):
+        assert model.answer_size(65_000) == 255
+        assert model.answer_size(100) == 10
+
+    def test_validation(self, model):
+        with pytest.raises(ReproError):
+            model.seconds_per_query(0)
+        with pytest.raises(ReproError):
+            model.seconds_per_query(100, servers=0)
+        with pytest.raises(ReproError):
+            model.answer_size(0)
+
+    def test_three_orders_of_magnitude_vs_cloaking(self, model):
+        """The paper's §VII claim: adopting cloaking + GIS evaluation is
+        ~3 orders of magnitude more throughput than PIR per snapshot."""
+        pir_qps = model.throughput(10_000, servers=1)
+        cloaking_qps = 1.0 / 0.0025  # 0.5 ms lookup + 2 ms query
+        assert cloaking_qps / pir_qps > 1_000

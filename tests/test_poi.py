@@ -1,0 +1,124 @@
+"""Tests for the POI store — grid queries cross-checked by brute force."""
+
+import numpy as np
+import pytest
+
+from repro import Point, Rect, ReproError, WorkloadError
+from repro.lbs import POI, POIDatabase, generate_pois
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 1000, 1000)
+
+
+@pytest.fixture
+def pois(region):
+    return generate_pois(region, {"rest": 120, "groc": 60}, seed=111)
+
+
+def brute_nearest(pois, point, category=None):
+    best, best_d = None, float("inf")
+    for poi in pois:
+        if category is not None and poi.category != category:
+            continue
+        d = point.distance_to(poi.location)
+        if d < best_d:
+            best, best_d = poi, d
+    return best
+
+
+class TestConstruction:
+    def test_counts_and_categories(self, pois):
+        assert len(pois) == 180
+        assert pois.categories() == ["groc", "rest"]
+        assert len(pois.in_category("rest")) == 120
+
+    def test_outside_poi_rejected(self, region):
+        with pytest.raises(ReproError, match="outside"):
+            POIDatabase(region, [POI("x", Point(-1, 0), "rest")])
+
+    def test_grid_cells_validated(self, region):
+        with pytest.raises(ReproError):
+            POIDatabase(region, [], grid_cells=0)
+
+    def test_generate_validation(self, region):
+        with pytest.raises(WorkloadError):
+            generate_pois(region, {})
+        with pytest.raises(WorkloadError):
+            generate_pois(region, {"rest": -1})
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, region, pois, seed):
+        rng = np.random.default_rng(seed)
+        x1, y1 = rng.uniform(0, 800, size=2)
+        rect = Rect(x1, y1, x1 + rng.uniform(10, 200), y1 + rng.uniform(10, 200))
+        got = {p.poi_id for p in pois.range_query(rect)}
+        expected = {
+            p.poi_id
+            for cat in pois.categories()
+            for p in pois.in_category(cat)
+            if rect.contains(p.location)
+        }
+        assert got == expected
+
+    def test_category_filter(self, region, pois):
+        rect = Rect(0, 0, 1000, 1000)
+        assert all(
+            p.category == "groc" for p in pois.range_query(rect, "groc")
+        )
+        assert len(pois.range_query(rect, "groc")) == 60
+
+
+class TestNearest:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, pois, seed):
+        rng = np.random.default_rng(100 + seed)
+        point = Point(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000)))
+        all_pois = [p for c in pois.categories() for p in pois.in_category(c)]
+        got = pois.nearest(point)
+        expected = brute_nearest(all_pois, point)
+        assert point.distance_to(got.location) == pytest.approx(
+            point.distance_to(expected.location)
+        )
+
+    def test_category_restricted(self, pois):
+        point = Point(500, 500)
+        got = pois.nearest(point, "groc")
+        expected = brute_nearest(pois.in_category("groc"), point)
+        assert got.category == "groc"
+        assert point.distance_to(got.location) == pytest.approx(
+            point.distance_to(expected.location)
+        )
+
+    def test_empty_category(self, pois):
+        assert pois.nearest(Point(1, 1), "cinema") is None
+
+    def test_empty_database(self, region):
+        empty = POIDatabase(region, [])
+        assert empty.nearest(Point(5, 5)) is None
+
+
+class TestNNCandidates:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_soundness(self, pois, seed):
+        """The true NN of every sampled point in the cloak must be in the
+        candidate set — the guarantee the client filter relies on."""
+        rng = np.random.default_rng(200 + seed)
+        x1, y1 = rng.uniform(0, 800, size=2)
+        cloak = Rect(x1, y1, x1 + 150, y1 + 100)
+        candidates = {p.poi_id for p in pois.nn_candidates(cloak, "rest")}
+        rest = pois.in_category("rest")
+        for q in cloak.sample_grid(5):
+            assert brute_nearest(rest, q).poi_id in candidates
+
+    def test_empty_when_no_pois(self, region):
+        empty = POIDatabase(region, [])
+        assert empty.nn_candidates(Rect(0, 0, 10, 10)) == []
+
+    def test_candidates_shrink_with_cloak(self, pois):
+        big = pois.nn_candidates(Rect(0, 0, 800, 800), "rest")
+        small = pois.nn_candidates(Rect(400, 400, 420, 420), "rest")
+        assert len(small) <= len(big)

@@ -1,0 +1,103 @@
+"""Unit tests for cloaking policies (Definition 4, cost of §IV)."""
+
+import pytest
+
+from repro import LocationDatabase, Point, PolicyError, Rect
+from repro.core.policy import CloakingPolicy
+from repro.core.requests import ServiceRequest
+
+
+@pytest.fixture
+def db():
+    return LocationDatabase([("a", 1, 1), ("b", 1, 2), ("c", 3, 3)])
+
+
+@pytest.fixture
+def policy(db):
+    r_left = Rect(0, 0, 2, 4)
+    r_all = Rect(0, 0, 4, 4)
+    return CloakingPolicy({"a": r_left, "b": r_left, "c": r_all}, db, name="p")
+
+
+class TestConstruction:
+    def test_masking_enforced(self, db):
+        with pytest.raises(PolicyError, match="not masking"):
+            CloakingPolicy(
+                {"a": Rect(2, 2, 4, 4), "b": Rect(0, 0, 4, 4), "c": Rect(0, 0, 4, 4)},
+                db,
+            )
+
+    def test_unknown_user_rejected(self, db):
+        cloaks = {u: Rect(0, 0, 4, 4) for u in ("a", "b", "c", "ghost")}
+        with pytest.raises(PolicyError, match="unknown user"):
+            CloakingPolicy(cloaks, db)
+
+    def test_total_coverage_required(self, db):
+        with pytest.raises(PolicyError, match="does not cover"):
+            CloakingPolicy({"a": Rect(0, 0, 4, 4)}, db)
+
+    def test_empty_policy_over_empty_db(self):
+        policy = CloakingPolicy({}, LocationDatabase())
+        assert len(policy) == 0
+        assert policy.cost() == 0.0
+        assert policy.average_cloak_area() == 0.0
+
+
+class TestLookup:
+    def test_cloak_for(self, policy):
+        assert policy.cloak_for("a") == Rect(0, 0, 2, 4)
+
+    def test_cloak_for_unknown_raises(self, policy):
+        with pytest.raises(PolicyError):
+            policy.cloak_for("ghost")
+
+
+class TestAnonymize:
+    def test_produces_masking_request(self, policy, db):
+        sr = ServiceRequest("a", Point(1, 1), (("poi", "rest"),))
+        ar = policy.anonymize(sr)
+        assert ar.cloak == Rect(0, 0, 2, 4)
+        assert ar.payload == sr.payload
+        assert ar.cloak.contains(sr.location)
+
+    def test_request_ids_increment(self, policy):
+        sr_a = ServiceRequest("a", Point(1, 1))
+        sr_b = ServiceRequest("b", Point(1, 2))
+        assert policy.anonymize(sr_a).request_id < policy.anonymize(sr_b).request_id
+
+    def test_stale_request_rejected(self, policy):
+        # Location does not match the snapshot → wrong-snapshot use.
+        sr = ServiceRequest("a", Point(2, 2))
+        with pytest.raises(PolicyError, match="not valid"):
+            policy.anonymize(sr)
+
+    def test_no_identity_in_output(self, policy):
+        sr = ServiceRequest("a", Point(1, 1))
+        ar = policy.anonymize(sr)
+        assert not hasattr(ar, "user_id")
+        assert "a" not in repr(ar.cloak)
+
+
+class TestAnalysis:
+    def test_cost_sums_cloak_areas(self, policy):
+        assert policy.cost() == 8.0 + 8.0 + 16.0
+
+    def test_average_cloak_area(self, policy):
+        assert policy.average_cloak_area() == pytest.approx(32.0 / 3)
+
+    def test_groups(self, policy):
+        groups = policy.groups()
+        assert sorted(groups[Rect(0, 0, 2, 4)]) == ["a", "b"]
+        assert groups[Rect(0, 0, 4, 4)] == ["c"]
+
+    def test_min_group_size(self, policy):
+        assert policy.min_group_size() == 1
+
+    def test_min_inside_count(self, policy):
+        # The big cloak holds all 3 users; the left cloak holds a and b.
+        assert policy.min_inside_count() == 2
+
+    def test_restricted_to(self, policy):
+        sub = policy.restricted_to(["a", "b"])
+        assert len(sub) == 2
+        assert sub.cloak_for("a") == Rect(0, 0, 2, 4)

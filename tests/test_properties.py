@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) over the core data structures and
+the paper's invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import LocationDatabase, NoFeasiblePolicyError, Point, Rect
+from repro.attacks import PolicyAwareAttacker, PolicyUnawareAttacker
+from repro.baselines import policy_unaware_binary
+from repro.core.binary_dp import solve
+from repro.core.configuration import configuration_of_policy
+from repro.core.requests import ServiceRequest
+from repro.trees import BinaryTree
+
+SIDE = 64.0
+
+coords = st.tuples(
+    st.floats(min_value=0.0, max_value=SIDE, allow_nan=False, width=32),
+    st.floats(min_value=0.0, max_value=SIDE, allow_nan=False, width=32),
+)
+
+
+def db_from(points):
+    return LocationDatabase(
+        (f"u{i}", x, y) for i, (x, y) in enumerate(points)
+    )
+
+
+point_lists = st.lists(coords, min_size=2, max_size=24)
+ks = st.integers(min_value=2, max_value=4)
+
+
+class TestGeometryProperties:
+    @given(coords, coords)
+    def test_distance_symmetry_and_triangle(self, a, b):
+        pa, pb = Point(*a), Point(*b)
+        origin = Point(0, 0)
+        assert pa.distance_to(pb) == pytest.approx(pb.distance_to(pa))
+        assert origin.distance_to(pb) <= (
+            origin.distance_to(pa) + pa.distance_to(pb) + 1e-6
+        )
+
+    @given(st.lists(coords, min_size=1, max_size=20))
+    def test_bounding_rect_contains_all(self, points):
+        from repro.core.geometry import bounding_rect
+
+        pts = [Point(*c) for c in points]
+        box = bounding_rect(pts)
+        assert all(box.contains(p) for p in pts)
+
+    @given(coords)
+    def test_quadrants_cover_parent(self, c):
+        rect = Rect(0, 0, SIDE, SIDE)
+        p = Point(*c)
+        assert any(q.contains(p) for q in rect.quadrants())
+
+    @given(coords)
+    def test_halves_cover_parent(self, c):
+        rect = Rect(0, 0, SIDE, SIDE)
+        p = Point(*c)
+        assert any(h.contains(p) for h in rect.halves_vertical())
+        assert any(h.contains(p) for h in rect.halves_horizontal())
+
+
+class TestTreeProperties:
+    @given(point_lists, ks)
+    @settings(max_examples=40, deadline=None)
+    def test_tree_partitions_points(self, points, k):
+        db = db_from(points)
+        tree = BinaryTree.build(Rect(0, 0, SIDE, SIDE), db, k, max_depth=8)
+        assert sum(leaf.count for leaf in tree.leaves()) == len(db)
+        tree.check_invariants()
+
+    @given(point_lists, ks)
+    @settings(max_examples=25, deadline=None)
+    def test_moves_preserve_invariants(self, points, k):
+        db = db_from(points)
+        tree = BinaryTree.build(Rect(0, 0, SIDE, SIDE), db, k, max_depth=8)
+        # Send the first half of the users to mirrored positions.
+        moves = {}
+        for uid, p in list(db.items())[: len(db) // 2]:
+            moves[uid] = Point(SIDE - p.x, SIDE - p.y)
+        tree.apply_moves(moves)
+        tree.check_invariants()
+        assert tree.root.count == len(db)
+
+
+class TestOptimalPolicyProperties:
+    @given(point_lists, ks)
+    @settings(max_examples=30, deadline=None)
+    def test_output_is_policy_aware_k_anonymous(self, points, k):
+        assume(len(points) >= k)
+        db = db_from(points)
+        tree = BinaryTree.build(Rect(0, 0, SIDE, SIDE), db, k, max_depth=8)
+        policy = solve(tree, k).policy()
+        assert policy.min_group_size() >= k
+        # Masking: every user inside her cloak (enforced at build, but
+        # assert the public view too).
+        for uid, p in db.items():
+            assert policy.cloak_for(uid).contains(p)
+
+    @given(point_lists, ks)
+    @settings(max_examples=30, deadline=None)
+    def test_extraction_matches_dp_cost(self, points, k):
+        assume(len(points) >= k)
+        db = db_from(points)
+        tree = BinaryTree.build(Rect(0, 0, SIDE, SIDE), db, k, max_depth=8)
+        solution = solve(tree, k)
+        policy = solution.policy()
+        assert policy.cost() == pytest.approx(solution.optimal_cost)
+        config = configuration_of_policy(tree, policy)
+        assert config.satisfies_ksummation(k)
+        assert config.is_complete
+
+    @given(point_lists, ks)
+    @settings(max_examples=25, deadline=None)
+    def test_pub_lower_bound(self, points, k):
+        """k-inside over the same vocabulary lower-bounds the policy-
+        aware optimum: privacy is never free, but never *cheaper*."""
+        assume(len(points) >= k)
+        db = db_from(points)
+        region = Rect(0, 0, SIDE, SIDE)
+        pa = solve(BinaryTree.build(region, db, k, max_depth=8), k).policy()
+        pub = policy_unaware_binary(region, db, k, max_depth=8)
+        assert pub.cost() <= pa.cost() + 1e-6
+
+    @given(point_lists, ks)
+    @settings(max_examples=25, deadline=None)
+    def test_pruning_is_lossless(self, points, k):
+        assume(len(points) >= k)
+        db = db_from(points)
+        tree = BinaryTree.build(Rect(0, 0, SIDE, SIDE), db, k, max_depth=8)
+        pruned = solve(tree, k, prune=True).optimal_cost
+        unpruned = solve(tree, k, prune=False).optimal_cost
+        assert pruned == pytest.approx(unpruned)
+
+    @given(point_lists, ks)
+    @settings(max_examples=20, deadline=None)
+    def test_infeasible_iff_too_few_users(self, points, k):
+        db = db_from(points)
+        tree = BinaryTree.build(Rect(0, 0, SIDE, SIDE), db, k, max_depth=8)
+        solution = solve(tree, k)
+        if len(db) >= k:
+            assert math.isfinite(solution.optimal_cost)
+        else:
+            with pytest.raises(NoFeasiblePolicyError):
+                __ = solution.optimal_cost
+
+
+class TestAttackerProperties:
+    @given(point_lists, ks)
+    @settings(max_examples=20, deadline=None)
+    def test_aware_candidates_subset_of_unaware(self, points, k):
+        assume(len(points) >= k)
+        db = db_from(points)
+        tree = BinaryTree.build(Rect(0, 0, SIDE, SIDE), db, k, max_depth=8)
+        policy = solve(tree, k).policy()
+        aware = PolicyAwareAttacker(policy)
+        unaware = PolicyUnawareAttacker(db)
+        for uid in db.user_ids():
+            ar = policy.anonymize(ServiceRequest(uid, db.location_of(uid)))
+            assert set(aware.attack(ar).candidates) <= set(
+                unaware.attack(ar).candidates
+            )
+            # The true sender is always among the candidates.
+            assert uid in aware.attack(ar).candidates
+
+
+class TestIncrementalProperties:
+    @given(point_lists, ks, st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_incremental_equals_bulk(self, points, k, seed):
+        assume(len(points) >= k)
+        db = db_from(points)
+        region = Rect(0, 0, SIDE, SIDE)
+        tree = BinaryTree.build(region, db, k, max_depth=8)
+        solution = solve(tree, k)
+        rng = np.random.default_rng(seed)
+        moves = {}
+        for uid in db.user_ids():
+            if rng.random() < 0.4:
+                moves[uid] = Point(
+                    float(rng.uniform(0, SIDE)), float(rng.uniform(0, SIDE))
+                )
+        from repro.core.binary_dp import resolve_dirty
+
+        dirty = tree.apply_moves(moves)
+        repaired, __ = resolve_dirty(solution, dirty)
+        fresh = solve(BinaryTree.build(region, tree.db, k, max_depth=8), k)
+        assert repaired.optimal_cost == pytest.approx(fresh.optimal_cost)

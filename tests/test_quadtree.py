@@ -1,0 +1,121 @@
+"""Unit tests for the quad tree (§IV substrate)."""
+
+import pytest
+
+from repro import LocationDatabase, Point, Rect, TreeError
+from repro.data import uniform_users
+from repro.trees import QuadTree
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 16, 16)
+
+
+@pytest.fixture
+def db():
+    return LocationDatabase(
+        [("a", 1, 1), ("b", 2, 1), ("c", 9, 9), ("d", 15, 15), ("e", 9, 1)]
+    )
+
+
+class TestConstruction:
+    def test_root_must_be_square(self, db):
+        with pytest.raises(TreeError, match="square"):
+            QuadTree(Rect(0, 0, 4, 8), db)
+
+    def test_full_tree_node_count(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=2)
+        assert len(tree) == 1 + 4 + 16
+        assert tree.height == 2
+
+    def test_counts_sum_at_every_level(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=2)
+        for node in tree.iter_postorder():
+            if not node.is_leaf:
+                assert node.count == sum(c.count for c in node.children)
+        assert tree.root.count == len(db)
+
+    def test_adaptive_stops_below_threshold(self, region):
+        db = uniform_users(500, region, seed=0)
+        tree = QuadTree.build_adaptive(region, db, split_threshold=20)
+        for leaf in tree.leaves():
+            # A leaf was not split: either too sparse or at max depth.
+            assert leaf.count < 20 or leaf.depth >= 24
+
+    def test_adaptive_threshold_validated(self, region, db):
+        with pytest.raises(TreeError):
+            QuadTree.build_adaptive(region, db, split_threshold=0)
+
+    def test_max_depth_respected(self, region):
+        db = uniform_users(2000, region, seed=1)
+        tree = QuadTree.build_adaptive(region, db, split_threshold=2, max_depth=3)
+        assert tree.height <= 3
+
+
+class TestQueries:
+    def test_leaf_for_descends_correctly(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=2)
+        leaf = tree.leaf_for(Point(1, 1))
+        assert leaf.rect.contains(Point(1, 1))
+        assert leaf.depth == 2
+
+    def test_leaf_for_outside_map_raises(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=1)
+        with pytest.raises(TreeError, match="outside"):
+            tree.leaf_for(Point(17, 0))
+
+    def test_users_of(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=1)
+        sw = tree.root.children[2]  # SW quadrant per Rect.quadrants order
+        assert sorted(tree.users_of(sw)) == ["a", "b"]
+        se = tree.root.children[3]
+        assert tree.users_of(se) == ["e"]
+
+    def test_node_by_id(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=1)
+        assert tree.node_by_id(0) is tree.root
+
+    def test_postorder_children_before_parents(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=2)
+        seen = set()
+        for node in tree.iter_postorder():
+            for child in node.children:
+                assert child.node_id in seen
+            seen.add(node.node_id)
+        assert len(seen) == len(tree)
+
+
+class TestSmallestNodeWith:
+    def test_returns_tightest_qualifying_quadrant(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=2)
+        # a and b share the deepest SW sub-quadrant region (0,0,4,4).
+        node = tree.smallest_node_with(Point(1, 1), 2)
+        assert node.rect == Rect(0, 0, 4, 4)
+
+    def test_falls_back_to_root(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=2)
+        node = tree.smallest_node_with(Point(15, 15), 4)
+        assert node is tree.root
+
+    def test_none_when_map_too_sparse(self, region, db):
+        tree = QuadTree.build_full(region, db, depth=1)
+        assert tree.smallest_node_with(Point(1, 1), 99) is None
+
+    def test_result_always_contains_query_point(self, region):
+        db = uniform_users(300, region, seed=7)
+        tree = QuadTree.build_adaptive(region, db, split_threshold=10)
+        for uid, point in list(db.items())[:50]:
+            node = tree.smallest_node_with(point, 10)
+            assert node.rect.contains(point)
+            assert node.count >= 10
+
+
+class TestStats:
+    def test_stats_fields(self, region, db):
+        stats = QuadTree.build_full(region, db, depth=1).stats()
+        assert stats["nodes"] == 5
+        assert stats["leaves"] == 4
+        assert stats["height"] == 1
+        # NW holds nobody, NE holds c and d, SW holds a and b, SE holds e.
+        assert stats["max_leaf_count"] == 2

@@ -1,0 +1,63 @@
+"""Tests for the bench-result report builder."""
+
+import pytest
+
+from repro.experiments.report import (
+    EXPECTED_RESULTS,
+    build_report,
+    collect_results,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig3.txt").write_text("== Figure 3 ==\nrows here\n")
+    (tmp_path / "table1.txt").write_text("== Table I ==\nCarol\n")
+    return tmp_path
+
+
+class TestCollect:
+    def test_reads_present_files(self, results_dir):
+        results = {r.experiment_id: r for r in collect_results(results_dir)}
+        assert results["fig3"].recorded
+        assert "rows here" in results["fig3"].table_text
+        assert not results["fig4a"].recorded
+
+    def test_every_expected_id_appears(self, results_dir):
+        results = collect_results(results_dir)
+        assert {r.experiment_id for r in results} == set(EXPECTED_RESULTS)
+
+    def test_empty_dir(self, tmp_path):
+        assert all(not r.recorded for r in collect_results(tmp_path))
+
+
+class TestBuildReport:
+    def test_includes_recorded_tables(self, results_dir):
+        report = build_report(results_dir)
+        assert "## fig3" in report
+        assert "rows here" in report
+        assert "Carol" in report
+
+    def test_lists_missing_runs(self, results_dir):
+        report = build_report(results_dir)
+        assert "Missing runs" in report
+        assert "`fig4a`" in report
+
+    def test_no_missing_section_when_complete(self, tmp_path):
+        for stem, __ in EXPECTED_RESULTS.values():
+            (tmp_path / f"{stem}.txt").write_text("== x ==\n")
+        report = build_report(tmp_path)
+        assert "Missing runs" not in report
+
+    def test_custom_title(self, results_dir):
+        assert build_report(results_dir, title="My Run").startswith("# My Run")
+
+    def test_repo_results_are_wellformed(self):
+        """The checked-in bench_results (if present) parse cleanly."""
+        import pathlib
+
+        repo_results = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+        if not repo_results.exists():
+            pytest.skip("no recorded results yet")
+        report = build_report(repo_results)
+        assert report.startswith("#")

@@ -1,0 +1,97 @@
+"""Unit tests for service / anonymized requests (Definitions 1–3)."""
+
+import pytest
+
+from repro import LocationDatabase, Point, Rect
+from repro.core.geometry import Circle
+from repro.core.requests import (
+    AnonymizedRequest,
+    ServiceRequest,
+    masks,
+    normalize_payload,
+    request_id_factory,
+)
+
+
+@pytest.fixture
+def db():
+    return LocationDatabase([("alice", 1, 1), ("bob", 3, 2)])
+
+
+class TestServiceRequest:
+    def test_make_normalizes(self):
+        sr = ServiceRequest.make("alice", 1, 1, [("poi", "rest")])
+        assert sr.user_id == "alice"
+        assert sr.location == Point(1, 1)
+        assert sr.payload == (("poi", "rest"),)
+
+    def test_validity_requires_matching_location(self, db):
+        assert ServiceRequest("alice", Point(1, 1)).is_valid_for(db)
+        assert not ServiceRequest("alice", Point(2, 2)).is_valid_for(db)
+
+    def test_validity_requires_known_user(self, db):
+        assert not ServiceRequest("mallory", Point(1, 1)).is_valid_for(db)
+
+    def test_requests_are_immutable_values(self):
+        a = ServiceRequest.make("u", 1, 2, [("poi", "rest")])
+        b = ServiceRequest.make("u", 1, 2, [("poi", "rest")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestNormalizePayload:
+    def test_coerces_to_strings(self):
+        assert normalize_payload([(1, 2)]) == (("1", "2"),)
+
+    def test_preserves_order(self):
+        payload = normalize_payload([("b", "2"), ("a", "1")])
+        assert payload == (("b", "2"), ("a", "1"))
+
+    def test_empty(self):
+        assert normalize_payload([]) == ()
+
+
+class TestAnonymizedRequest:
+    def test_cost_is_cloak_area(self):
+        ar = AnonymizedRequest(1, Rect(0, 0, 2, 3))
+        assert ar.cost == 6.0
+
+    def test_circle_cloak_supported(self):
+        ar = AnonymizedRequest(1, Circle(Point(0, 0), 1))
+        assert ar.cost == pytest.approx(3.14159, abs=1e-3)
+
+
+class TestMasks:
+    def test_masks_requires_containment_and_payload(self):
+        sr = ServiceRequest.make("u", 1, 1, [("poi", "rest")])
+        inside = AnonymizedRequest(1, Rect(0, 0, 2, 2), (("poi", "rest"),))
+        outside = AnonymizedRequest(2, Rect(5, 5, 6, 6), (("poi", "rest"),))
+        wrong_payload = AnonymizedRequest(3, Rect(0, 0, 2, 2), (("poi", "groc"),))
+        assert masks(inside, sr)
+        assert not masks(outside, sr)
+        assert not masks(wrong_payload, sr)
+
+    def test_example_masking(self, table1_db=None):
+        # Example 4 of the paper: AR_c masks SR_c.
+        sr_c = ServiceRequest.make(
+            "Carol", 1, 4, [("poi", "rest"), ("cat", "ital")]
+        )
+        ar_c = AnonymizedRequest(
+            169, Rect(0, 0, 2, 4), (("poi", "rest"), ("cat", "ital"))
+        )
+        assert masks(ar_c, sr_c)
+
+
+class TestRequestIdFactory:
+    def test_ids_are_consecutive(self):
+        nxt = request_id_factory()
+        assert [nxt(), nxt(), nxt()] == [1, 2, 3]
+
+    def test_custom_start(self):
+        nxt = request_id_factory(167)
+        assert nxt() == 167
+
+    def test_factories_are_independent(self):
+        a, b = request_id_factory(), request_id_factory()
+        a()
+        assert b() == 1

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event LBS simulation (§VII operating point)."""
+
+import pytest
+
+from repro import Rect, WorkloadError
+from repro.data import uniform_users
+from repro.lbs import LBSSimulation, ServiceTimes
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 8192, 8192)
+
+
+@pytest.fixture
+def db(region):
+    return uniform_users(400, region, seed=241)
+
+
+def make_sim(region, db, **kwargs):
+    defaults = dict(
+        k=10,
+        request_rate_per_user=0.05,
+        snapshot_period=20.0,
+        move_fraction=0.05,
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return LBSSimulation(region, db, **defaults)
+
+
+class TestValidation:
+    def test_rate_validated(self, region, db):
+        with pytest.raises(WorkloadError):
+            make_sim(region, db, request_rate_per_user=0.0)
+
+    def test_period_validated(self, region, db):
+        with pytest.raises(WorkloadError):
+            make_sim(region, db, snapshot_period=-1)
+
+    def test_duration_validated(self, region, db):
+        with pytest.raises(WorkloadError):
+            make_sim(region, db).run(0)
+
+    def test_service_times_validated(self):
+        with pytest.raises(WorkloadError):
+            ServiceTimes(cloak_lookup=-1).validate()
+
+
+class TestRun:
+    def test_request_volume_matches_poisson_rate(self, region, db):
+        sim = make_sim(region, db)
+        report = sim.run(60.0)
+        expected = len(db) * 0.05 * 60.0  # n · λ · T
+        assert 0.6 * expected < report.served < 1.4 * expected
+
+    def test_snapshot_count(self, region, db):
+        report = make_sim(region, db, snapshot_period=15.0).run(60.0)
+        assert report.snapshots == 3  # ticks at 15, 30, 45
+
+    def test_latency_fields_consistent(self, region, db):
+        report = make_sim(region, db).run(30.0)
+        assert len(report.latencies) == report.served
+        assert report.mean_latency > 0
+        assert report.latency_percentile(99) >= report.latency_percentile(50)
+
+    def test_deterministic_given_seed(self, region, db):
+        a = make_sim(region, db, seed=3).run(30.0)
+        b = make_sim(region, db, seed=3).run(30.0)
+        assert a.served == b.served
+        assert a.latencies == b.latencies
+        assert a.cache_hits == b.cache_hits
+
+    def test_cache_reduces_lbs_load(self, region, db):
+        cached = make_sim(region, db, use_cache=True).run(40.0)
+        uncached = make_sim(region, db, use_cache=False).run(40.0)
+        assert cached.lbs_queries < uncached.lbs_queries
+        assert uncached.cache_hits == 0
+        assert cached.cache_hit_rate > 0
+
+    def test_milliseconds_per_query(self, region, db):
+        """The §VII headline: requests cost milliseconds, not seconds."""
+        report = make_sim(region, db, snapshot_period=1000.0).run(60.0)
+        assert report.mean_latency < 0.01  # < 10 ms
+
+    def test_requests_wait_for_reanonymization(self, region, db):
+        slow = ServiceTimes(reanonymization=5.0)
+        report = make_sim(
+            region, db, snapshot_period=10.0, times=slow
+        ).run(40.0)
+        # Some requests arrive during the 5-second repair window and
+        # queue behind it.
+        assert max(report.queue_delays) > 0
+        assert report.latency_percentile(99) > 0.01
+
+    def test_more_servers_shrink_the_blackout(self, region, db):
+        """Parallel anonymization (§V) cuts the post-snapshot serving
+        blackout ~n×, so tail latency improves with the server count."""
+        slow = ServiceTimes(reanonymization=4.0)
+        one = make_sim(
+            region, db, snapshot_period=10.0, times=slow, n_servers=1
+        ).run(40.0)
+        sixteen = make_sim(
+            region, db, snapshot_period=10.0, times=slow, n_servers=16
+        ).run(40.0)
+        assert max(sixteen.queue_delays) < max(one.queue_delays)
+        assert sixteen.latency_percentile(99) < one.latency_percentile(99)
+
+    def test_server_count_validated(self, region, db):
+        with pytest.raises(WorkloadError):
+            make_sim(region, db, n_servers=0)
+
+    def test_zero_repair_time_means_no_queueing(self, region, db):
+        fast = ServiceTimes(reanonymization=0.0)
+        report = make_sim(region, db, times=fast).run(30.0)
+        assert max(report.queue_delays, default=0.0) == 0.0
+
+    def test_summary_renders(self, region, db):
+        report = make_sim(region, db).run(10.0)
+        text = report.summary()
+        assert "req/s" in text and "ms" in text
+
+    def test_privacy_preserved_throughout(self, region, db):
+        sim = make_sim(region, db)
+        sim.run(60.0)
+        # After all the snapshot churn the live policy still honours k.
+        assert sim.anonymizer.policy.min_group_size() >= 10

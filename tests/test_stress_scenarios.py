@@ -1,0 +1,124 @@
+"""Randomized end-to-end scenario tests at moderate scale.
+
+Each scenario wires several subsystems together and runs long enough
+for emergent interactions (moves → splits/collapses → repairs →
+serving) to surface; all library invariants must hold at every step.
+"""
+
+import numpy as np
+import pytest
+
+from repro import IncrementalAnonymizer, LocationDatabase, Point, Rect
+from repro.attacks import PolicyAwareAttacker, audit_policy
+from repro.core.binary_dp import solve
+from repro.data import bay_area_master, request_stream, sample_users
+from repro.lbs import CSP, LBSProvider, generate_pois, random_moves
+from repro.parallel import RebalancingPool, parallel_bulk_anonymize
+from repro.trees import BinaryTree
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_full_day_of_a_csp(seed):
+    """Serve Zipf traffic over several snapshots of a skewed population;
+    privacy, masking, and cache semantics hold throughout."""
+    region, master = bay_area_master(seed=seed, n_intersections=400)
+    db = sample_users(master, 1_500, seed=seed)
+    k = 12
+    pois = generate_pois(region, {"rest": 60, "groc": 30}, seed=seed)
+    csp = CSP(region, k, db, LBSProvider(pois))
+    rng = np.random.default_rng(seed)
+
+    current = db
+    for snapshot in range(3):
+        attacker = PolicyAwareAttacker(csp.policy)
+        for event in request_stream(
+            current, duration=40.0, rate_per_user=0.02,
+            categories={"rest": 2.0, "groc": 1.0}, seed=rng,
+        ):
+            served = csp.request(event.user_id, event.payload)
+            # Masking + k-anonymity per request.
+            location = current.location_of(event.user_id)
+            assert served.anonymized.cloak.contains(location)
+            assert attacker.attack(served.anonymized).anonymity >= k
+            # Client filter returns the true nearest candidate.
+            if served.result is not None:
+                category = dict(event.payload)["poi"]
+                true_nn = pois.nearest(location, category)
+                assert served.result.poi_id == true_nn.poi_id
+        moves = random_moves(current, 0.1, region, max_distance=200, seed=rng)
+        csp.advance_snapshot(moves)
+        current = current.with_moves(moves)
+        assert audit_policy(csp.policy, k).safe_policy_aware
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_population_collapse_and_regrowth(seed):
+    """Extreme migrations (everyone into one corner and back out) keep
+    the incremental DP equal to bulk and the tree invariants intact."""
+    region = Rect(0, 0, 4096, 4096)
+    rng = np.random.default_rng(seed)
+    db = LocationDatabase.from_array(rng.uniform(0, 4096, (800, 2)))
+    k = 15
+    anonymizer = IncrementalAnonymizer(region, k).fit(db)
+
+    # Phase 1: collapse into the SW corner.
+    collapse = {
+        uid: Point(float(rng.uniform(0, 200)), float(rng.uniform(0, 200)))
+        for uid in db.user_ids()
+    }
+    anonymizer.update(collapse)
+    anonymizer.tree.check_invariants()
+    bulk = solve(BinaryTree.build(region, anonymizer.current_db, k), k)
+    assert anonymizer.optimal_cost == pytest.approx(bulk.optimal_cost)
+
+    # Phase 2: scatter back out.
+    scatter = {
+        uid: Point(float(rng.uniform(0, 4096)), float(rng.uniform(0, 4096)))
+        for uid in db.user_ids()
+    }
+    anonymizer.update(scatter)
+    anonymizer.tree.check_invariants()
+    bulk = solve(BinaryTree.build(region, anonymizer.current_db, k), k)
+    assert anonymizer.optimal_cost == pytest.approx(bulk.optimal_cost)
+    assert anonymizer.policy.min_group_size() >= k
+
+
+def test_parallel_vs_pool_vs_single_agree_on_quality():
+    """Three deployment shapes of the same algorithm agree: single
+    solver, static parallel split, and the rebalancing pool all deliver
+    k-anonymity with costs within 1% of each other."""
+    region = Rect(0, 0, 8192, 8192)
+    rng = np.random.default_rng(6)
+    db = LocationDatabase.from_array(rng.uniform(0, 8192, (1_200, 2)))
+    k = 20
+
+    single_cost = solve(BinaryTree.build(region, db, k), k).optimal_cost
+    static = parallel_bulk_anonymize(region, db, k, 8)
+    pool = RebalancingPool(region, k, 8).fit(db)
+    pool_cost = pool.master_policy().cost()
+
+    assert static.master.min_group_size() >= k
+    assert pool.master_policy().min_group_size() >= k
+    assert static.cost <= single_cost * 1.01
+    assert pool_cost <= single_cost * 1.01
+    assert static.cost >= single_cost - 1e-6
+    assert pool_cost >= single_cost - 1e-6
+
+
+def test_duplicate_coordinates_at_scale():
+    """Hundreds of users stacked on identical points (an office tower)
+    must not break the tree, the DP, or extraction."""
+    region = Rect(0, 0, 1024, 1024)
+    rows = [(f"t{i}", 512.0, 512.0) for i in range(300)]
+    rows += [(f"s{i}", 100.0 + i, 100.0) for i in range(100)]
+    db = LocationDatabase(rows)
+    k = 25
+    tree = BinaryTree.build(region, db, k, max_depth=20)
+    tree.check_invariants()
+    solution = solve(tree, k)
+    policy = solution.policy()
+    assert policy.min_group_size() >= k
+    assert policy.cost() == pytest.approx(solution.optimal_cost)
+    # The tower's users share tiny cloaks (max_depth floor), the street
+    # users get street-sized ones; nobody is stuck with the whole map.
+    assert policy.cloak_for("t0").area < region.area

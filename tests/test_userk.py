@@ -1,0 +1,208 @@
+"""Tests for the user-specified-k extension (the paper's future work),
+including certification against an independent brute-force search."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import LocationDatabase, NoFeasiblePolicyError, Rect, ReproError
+from repro.core.binary_dp import solve
+from repro.data import uniform_users
+from repro.extensions import audit_user_k, min_k_slack, solve_user_k
+from repro.trees import BinaryTree
+
+
+def brute_force_user_k(tree, k_of):
+    """Independent exact solver: assign each user to an ancestor node of
+    her leaf, check every node's group, minimize total area.  Exponential
+    — tiny instances only."""
+    db = tree.db
+    options = {}
+    for uid, point in db.items():
+        leaf = tree.leaf_for(point)
+        options[uid] = [node for node in leaf.path_to_root()]
+    users = list(options)
+    best = float("inf")
+    for combo in itertools.product(*(options[u] for u in users)):
+        groups = {}
+        for uid, node in zip(users, combo):
+            groups.setdefault(node.node_id, []).append(uid)
+        ok = True
+        for node_id, members in groups.items():
+            if len(members) < max(k_of[u] for u in members):
+                ok = False
+                break
+        if ok:
+            cost = sum(node.rect.area for node in combo)
+            best = min(best, cost)
+    return best
+
+
+@pytest.fixture
+def region():
+    return Rect(0, 0, 32, 32)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_optimal_on_tiny_instances(self, region, seed):
+        rng = np.random.default_rng(400 + seed)
+        n = int(rng.integers(4, 8))
+        db = LocationDatabase.from_array(rng.uniform(0, 32, (n, 2)))
+        users = db.user_ids()
+        k_of = {u: int(rng.integers(2, 4)) for u in users}
+        tree = BinaryTree.build(region, db, min(k_of.values()), max_depth=4)
+        expected = brute_force_user_k(tree, k_of)
+        if expected == float("inf"):
+            with pytest.raises(NoFeasiblePolicyError):
+                __ = solve_user_k(tree, k_of).optimal_cost
+            return
+        got = solve_user_k(tree, k_of, prune=False).optimal_cost
+        assert got == pytest.approx(expected)
+        # The Lemma-5-style cap is lossless here too.
+        pruned = solve_user_k(tree, k_of, prune=True).optimal_cost
+        assert pruned == pytest.approx(expected)
+
+
+class TestGreedyGroup:
+    """The class-substitution dominance machinery."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_greedy_groups_are_valid(self, seed):
+        from repro.extensions.userk import _greedy_group, _group_valid
+
+        rng = np.random.default_rng(600 + seed)
+        ks = tuple(sorted(rng.choice(range(2, 9), size=3, replace=False)))
+        delta = tuple(int(x) for x in rng.integers(0, 6, size=3))
+        for t in range(sum(delta) + 1):
+            g = _greedy_group(delta, t, ks)
+            if g is None:
+                # No valid group of size t may exist at all.
+                continue
+            assert sum(g) == t
+            assert all(0 <= gj <= dj for gj, dj in zip(g, delta))
+            assert _group_valid(g, ks)
+
+    def test_greedy_prefers_strict_users(self):
+        from repro.extensions.userk import _greedy_group
+
+        # ks = (2, 5); group of 5 can include strict users: take them all.
+        assert _greedy_group((4, 3), 5, (2, 5)) == (2, 3)
+        # Group of 3 (< 5) cannot touch the strict class.
+        assert _greedy_group((4, 3), 3, (2, 5)) == (3, 0)
+        # Group of 4 needs 4 relaxed users; only 3 exist → infeasible.
+        assert _greedy_group((3, 3), 4, (2, 5)) is None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_three_class_brute_force(self, seed):
+        """The dominance pruning is exact with three privacy classes."""
+        rng = np.random.default_rng(630 + seed)
+        n = int(rng.integers(5, 8))
+        db = LocationDatabase.from_array(rng.uniform(0, 32, (n, 2)))
+        k_of = {u: int(rng.choice([2, 3, 4])) for u in db.user_ids()}
+        region = Rect(0, 0, 32, 32)
+        tree = BinaryTree.build(region, db, min(k_of.values()), max_depth=4)
+        expected = brute_force_user_k(tree, k_of)
+        if expected == float("inf"):
+            with pytest.raises(NoFeasiblePolicyError):
+                __ = solve_user_k(tree, k_of).optimal_cost
+            return
+        assert solve_user_k(tree, k_of).optimal_cost == pytest.approx(expected)
+
+
+class TestAgainstScalarSolver:
+    @pytest.mark.parametrize("seed", range(8, 16))
+    def test_uniform_k_reduces_to_base_problem(self, region, seed):
+        rng = np.random.default_rng(400 + seed)
+        n, k = int(rng.integers(6, 24)), int(rng.integers(2, 5))
+        db = LocationDatabase.from_array(rng.uniform(0, 32, (n, 2)))
+        if n < k:
+            return
+        tree = BinaryTree.build(region, db, k, max_depth=6)
+        base = solve(tree, k).optimal_cost
+        userk = solve_user_k(tree, {u: k for u in db.user_ids()}).optimal_cost
+        assert userk == pytest.approx(base)
+
+    @pytest.mark.parametrize("seed", range(16, 22))
+    def test_mixed_k_bracketed_by_uniform_extremes(self, region, seed):
+        rng = np.random.default_rng(400 + seed)
+        n = int(rng.integers(10, 22))
+        db = LocationDatabase.from_array(rng.uniform(0, 32, (n, 2)))
+        users = db.user_ids()
+        k_of = {u: (2 if i % 2 else 4) for i, u in enumerate(users)}
+        tree = BinaryTree.build(region, db, 2, max_depth=6)
+        mixed = solve_user_k(tree, k_of).optimal_cost
+        lo = solve(BinaryTree.build(region, db, 2, max_depth=6), 2).optimal_cost
+        hi = solve(BinaryTree.build(region, db, 4, max_depth=6), 4).optimal_cost
+        assert lo - 1e-6 <= mixed <= hi + 1e-6
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("seed", range(22, 28))
+    def test_policy_satisfies_every_user(self, region, seed):
+        rng = np.random.default_rng(400 + seed)
+        n = int(rng.integers(12, 30))
+        db = LocationDatabase.from_array(rng.uniform(0, 32, (n, 2)))
+        k_of = {
+            u: int(rng.choice([2, 3, 5])) for u in db.user_ids()
+        }
+        tree = BinaryTree.build(region, db, min(k_of.values()), max_depth=6)
+        solution = solve_user_k(tree, k_of)
+        policy = solution.policy()
+        assert audit_user_k(policy, k_of)
+        assert min_k_slack(policy, k_of) >= 0
+        assert policy.cost() == pytest.approx(solution.optimal_cost)
+
+    def test_monotone_in_single_user_k(self, region):
+        """Raising one user's requirement never lowers the optimum."""
+        db = uniform_users(15, region, seed=431)
+        users = db.user_ids()
+        base_k = {u: 2 for u in users}
+        tree = BinaryTree.build(region, db, 2, max_depth=6)
+        costs = []
+        for k_first in (2, 4, 6):
+            k_of = dict(base_k)
+            k_of[users[0]] = k_first
+            costs.append(solve_user_k(tree, k_of).optimal_cost)
+        assert costs == sorted(costs)
+
+
+class TestValidation:
+    def test_missing_users_rejected(self, region):
+        db = uniform_users(5, region, seed=440)
+        tree = BinaryTree.build(region, db, 2, max_depth=4)
+        with pytest.raises(ReproError, match="lacks entries"):
+            solve_user_k(tree, {db.user_ids()[0]: 2})
+
+    def test_nonpositive_k_rejected(self, region):
+        db = uniform_users(5, region, seed=441)
+        tree = BinaryTree.build(region, db, 2, max_depth=4)
+        with pytest.raises(ReproError, match="≥ 1"):
+            solve_user_k(tree, {u: 0 for u in db.user_ids()})
+
+    def test_infeasible_when_any_k_exceeds_population(self, region):
+        db = uniform_users(4, region, seed=442)
+        k_of = {u: 2 for u in db.user_ids()}
+        k_of[db.user_ids()[0]] = 10
+        tree = BinaryTree.build(region, db, 2, max_depth=4)
+        with pytest.raises(NoFeasiblePolicyError):
+            __ = solve_user_k(tree, k_of).optimal_cost
+
+    def test_state_guard(self, region):
+        db = uniform_users(200, region, seed=443)
+        k_of = {u: (2 + (i % 5)) for i, u in enumerate(db.user_ids())}
+        tree = BinaryTree.build(region, db, 2, max_depth=10)
+        with pytest.raises(ReproError, match="state space"):
+            solve_user_k(tree, k_of, max_states=100)
+
+    def test_audit_detects_violation(self, region):
+        """A policy that is fine for k=2 users fails a k=5 user."""
+        from repro.core.policy import CloakingPolicy
+
+        db = LocationDatabase([("a", 1, 1), ("b", 2, 2)])
+        shared = Rect(0, 0, 4, 4)
+        policy = CloakingPolicy({"a": shared, "b": shared}, db)
+        assert audit_user_k(policy, {"a": 2, "b": 2})
+        assert not audit_user_k(policy, {"a": 5, "b": 2})
+        assert min_k_slack(policy, {"a": 5, "b": 2}) == -3

@@ -1,0 +1,92 @@
+"""Tests for the request-workload generator."""
+
+import numpy as np
+import pytest
+
+from repro import Rect, WorkloadError
+from repro.data import request_stream, uniform_users, zipf_weights
+
+
+@pytest.fixture
+def db():
+    return uniform_users(100, Rect(0, 0, 1000, 1000), seed=271)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(50, 0.8)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights > 0).all()
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0)
+        with pytest.raises(WorkloadError):
+            zipf_weights(5, -1)
+
+
+class TestRequestStream:
+    def test_events_are_time_ordered(self, db):
+        events = list(request_stream(db, 100.0, 0.1, seed=1))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 < t < 100.0 for t in times)
+
+    def test_volume_matches_rate(self, db):
+        events = list(request_stream(db, 200.0, 0.1, seed=2))
+        expected = 100 * 0.1 * 200.0
+        assert 0.7 * expected < len(events) < 1.3 * expected
+
+    def test_users_and_payloads_valid(self, db):
+        user_ids = set(db.user_ids())
+        for event in request_stream(db, 50.0, 0.1, seed=3):
+            assert event.user_id in user_ids
+            assert dict(event.payload)["poi"] in {
+                "rest", "groc", "cinema", "hospital",
+            }
+
+    def test_user_popularity_is_skewed(self, db):
+        from collections import Counter
+
+        counts = Counter(
+            e.user_id for e in request_stream(db, 2000.0, 0.1, seed=4)
+        )
+        ranked = sorted(counts.values(), reverse=True)
+        top_decile = sum(ranked[:10])
+        assert top_decile > 0.25 * sum(ranked)  # heavy users dominate
+
+    def test_category_weights_respected(self, db):
+        from collections import Counter
+
+        counts = Counter(
+            dict(e.payload)["poi"]
+            for e in request_stream(
+                db, 2000.0, 0.1, categories={"a": 9.0, "b": 1.0}, seed=5
+            )
+        )
+        assert counts["a"] > 5 * counts["b"]
+
+    def test_deterministic(self, db):
+        a = list(request_stream(db, 50.0, 0.1, seed=6))
+        b = list(request_stream(db, 50.0, 0.1, seed=6))
+        assert a == b
+
+    def test_validation(self, db):
+        from repro import LocationDatabase
+
+        with pytest.raises(WorkloadError):
+            list(request_stream(db, 0, 0.1))
+        with pytest.raises(WorkloadError):
+            list(request_stream(db, 10, 0))
+        with pytest.raises(WorkloadError):
+            list(request_stream(LocationDatabase(), 10, 0.1))
+        with pytest.raises(WorkloadError):
+            list(request_stream(db, 10, 0.1, categories={"x": -1}))
