@@ -22,11 +22,14 @@ from .core import (
     AnonymizedRequest,
     AnonymityBreachError,
     Circle,
+    CircuitOpenError,
     CloakingPolicy,
     Configuration,
     ConfigurationError,
+    DeadlineExceededError,
     GeometryError,
     IncrementalAnonymizer,
+    JurisdictionSolveError,
     NoFeasiblePolicyError,
     Point,
     PolicyAwareAnonymizer,
@@ -34,7 +37,9 @@ from .core import (
     Rect,
     ReproError,
     ServiceRequest,
+    ServiceUnavailableError,
     TreeError,
+    UnknownUserError,
     WorkloadError,
     masks,
 )
@@ -46,11 +51,14 @@ __all__ = [
     "AnonymizedRequest",
     "AnonymityBreachError",
     "Circle",
+    "CircuitOpenError",
     "CloakingPolicy",
     "Configuration",
     "ConfigurationError",
+    "DeadlineExceededError",
     "GeometryError",
     "IncrementalAnonymizer",
+    "JurisdictionSolveError",
     "LocationDatabase",
     "NoFeasiblePolicyError",
     "Point",
@@ -59,8 +67,10 @@ __all__ = [
     "Rect",
     "ReproError",
     "ServiceRequest",
+    "ServiceUnavailableError",
     "SnapshotSequence",
     "TreeError",
+    "UnknownUserError",
     "WorkloadError",
     "masks",
     "__version__",

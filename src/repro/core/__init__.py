@@ -28,12 +28,17 @@ from .lemmas import (
 )
 from .errors import (
     AnonymityBreachError,
+    CircuitOpenError,
     ConfigurationError,
+    DeadlineExceededError,
     GeometryError,
+    JurisdictionSolveError,
     NoFeasiblePolicyError,
     PolicyError,
     ReproError,
+    ServiceUnavailableError,
     TreeError,
+    UnknownUserError,
     WorkloadError,
 )
 from .geometry import Circle, Point, Rect, bounding_rect
@@ -58,11 +63,14 @@ __all__ = [
     "AnonymizedRequest",
     "AnonymityBreachError",
     "Circle",
+    "CircuitOpenError",
     "CloakingPolicy",
     "Configuration",
     "ConfigurationError",
+    "DeadlineExceededError",
     "GeometryError",
     "IncrementalAnonymizer",
+    "JurisdictionSolveError",
     "LemmaViolation",
     "NaiveMatrix",
     "NodeSolution",
@@ -74,8 +82,10 @@ __all__ = [
     "Rect",
     "ReproError",
     "ServiceRequest",
+    "ServiceUnavailableError",
     "TreeError",
     "TreeSolution",
+    "UnknownUserError",
     "UpdateReport",
     "WorkloadError",
     "bounding_rect",

@@ -54,3 +54,60 @@ class AnonymityBreachError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload was requested with inconsistent parameters."""
+
+
+class UnknownUserError(PolicyError):
+    """A lookup named a user the current snapshot does not know.
+
+    Subclasses :class:`PolicyError` so existing callers that catch the
+    broader class (policy lookups historically raised it) keep working.
+    """
+
+
+class JurisdictionSolveError(ReproError):
+    """One server's jurisdiction solve failed (crash, error, or timeout).
+
+    Carries enough metadata for the master to reassign or degrade the
+    jurisdiction instead of aborting the whole bulk run.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node_id: int,
+        n_users: int = 0,
+        attempts: int = 1,
+        kind: str = "error",
+    ):
+        super().__init__(message)
+        #: Partition-tree node id of the failed jurisdiction.
+        self.node_id = node_id
+        #: Users whose cloaks the failed solve was responsible for.
+        self.n_users = n_users
+        #: Solve attempts made (including retry rounds) before giving up.
+        self.attempts = attempts
+        #: Failure kind: ``"crash"``, ``"error"`` or ``"timeout"``.
+        self.kind = kind
+
+
+class ServiceUnavailableError(ReproError):
+    """A request was rejected by the fail-closed degradation ladder.
+
+    Raised when serving could not complete *and* no degradation rung
+    (ancestor coarsening, bounded-age stale policy) applies — the system
+    refuses rather than emit a sub-k or policy-unaware cloak.
+    """
+
+    def __init__(self, message: str, *, reason: str = "unavailable"):
+        super().__init__(message)
+        #: Machine-readable cause: ``"provider"``, ``"stale"``, ...
+        self.reason = reason
+
+
+class DeadlineExceededError(ReproError):
+    """A retried call ran out of its per-call deadline budget."""
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open; the protected call was not attempted."""

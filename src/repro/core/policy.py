@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Tuple, Union
 
-from .errors import PolicyError
+from .errors import PolicyError, UnknownUserError
 from .geometry import Circle, Rect
 from .requests import AnonymizedRequest, ServiceRequest, request_id_factory
 
@@ -76,7 +76,7 @@ class CloakingPolicy:
         try:
             return self._cloaks[str(user_id)]
         except KeyError:
-            raise PolicyError(f"no cloak for user {user_id!r}") from None
+            raise UnknownUserError(f"no cloak for user {user_id!r}") from None
 
     def anonymize(
         self, request: ServiceRequest, next_request_id=None

@@ -14,23 +14,70 @@ Actors, wired exactly as the paper's model prescribes:
 
 ``period`` snapshots: :meth:`CSP.advance_snapshot` moves users and
 incrementally repairs the policy.
+
+Fault tolerance (all opt-in; the happy path is byte-identical):
+
+* provider calls retry with exponential backoff under a per-call
+  deadline and an optional circuit breaker
+  (:mod:`repro.robustness.retry`);
+* a :class:`~repro.robustness.faults.FaultInjector` can make provider
+  calls fail, MPC lookups go stale, and snapshot repairs crash;
+* failures degrade **fail-closed** down the ladder of
+  :mod:`repro.robustness.degrade`: coarsen to an ancestor cloak
+  (group-wide, provably ≥ k) → serve the stale policy within a bounded
+  snapshot age → reject with
+  :class:`~repro.core.errors.ServiceUnavailableError`.  The CSP never
+  emits a sub-k or policy-unaware cloak.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from ..core.anonymizer import IncrementalAnonymizer, UpdateReport
-from ..core.errors import ReproError
+from ..core.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    PolicyError,
+    ServiceUnavailableError,
+    UnknownUserError,
+)
 from ..core.geometry import Point, Rect
+from ..core.policy import CloakingPolicy
 from ..core.requests import AnonymizedRequest, ServiceRequest, normalize_payload
+from ..robustness.degrade import (
+    DegradationEvent,
+    coarsen_overrides,
+    coarsening_ancestor,
+    policy_with_overrides,
+)
+from ..robustness.faults import (
+    FaultInjectingProvider,
+    FaultInjector,
+    InjectedFault,
+)
+from ..robustness.retry import (
+    CircuitBreaker,
+    Clock,
+    RetryPolicy,
+    SystemClock,
+    retry_call,
+)
 from .cache import AnswerCache
 from .locationdb import LocationDatabase
 from .poi import POI
 from .provider import LBSProvider, QueryAnswer
 
 __all__ = ["ServedRequest", "MobilePositioningCenter", "CSP"]
+
+#: Exceptions that mark a provider call transient (worth retrying).
+TRANSIENT_PROVIDER_ERRORS = (
+    InjectedFault,
+    TimeoutError,
+    ConnectionError,
+    OSError,
+)
 
 
 @dataclass(frozen=True)
@@ -42,31 +89,83 @@ class ServedRequest:
     answer: QueryAnswer
     result: Optional[POI]
     cache_hit: bool
+    #: which degradation rung served the request ("fresh", "coarsened",
+    #: "stale") — rejected requests raise instead of returning.
+    degradation: str = "fresh"
+    #: provider call attempts (0 when the answer came from the cache).
+    provider_attempts: int = 1
+    #: how many snapshots behind the serving policy was (0 = current).
+    policy_age: int = 0
 
     @property
     def candidate_count(self) -> int:
         """Client-side filtering work — the utility cost of the cloak."""
         return self.answer.size
 
+    @property
+    def degraded(self) -> bool:
+        return self.degradation != "fresh"
+
 
 class MobilePositioningCenter:
-    """The MPC: location lookups against the current snapshot."""
+    """The MPC: location lookups against the current snapshot.
 
-    def __init__(self, db: LocationDatabase):
+    With a fault injector, ``"mpc"``-site ``"stale"`` rules make
+    :meth:`locate` answer from the *previous* snapshot — the classic
+    replica-lag failure the CSP's coarsening rung exists for.
+    """
+
+    def __init__(
+        self,
+        db: LocationDatabase,
+        injector: Optional[FaultInjector] = None,
+    ):
         self.db = db
+        self.injector = injector
+        self._previous: Optional[LocationDatabase] = None
+        self._snapshot_serial = 0
 
     def locate(self, user_id: str) -> Point:
         point = self.db.location_of(user_id)
         if point is None:
-            raise ReproError(f"MPC has no location for user {user_id!r}")
+            raise UnknownUserError(f"MPC has no location for user {user_id!r}")
+        if (
+            self.injector is not None
+            and self._previous is not None
+            and self.injector.should(
+                "mpc", "stale", user_id, self._snapshot_serial
+            )
+        ):
+            stale = self._previous.location_of(user_id)
+            if stale is not None:
+                return stale
         return point
 
     def refresh(self, db: LocationDatabase) -> None:
+        self._previous = self.db
+        self._snapshot_serial += 1
         self.db = db
 
 
 class CSP:
-    """The trusted carrier orchestrating the whole flow."""
+    """The trusted carrier orchestrating the whole flow.
+
+    Robustness knobs (keyword-only, all optional):
+
+    retry_policy / circuit_breaker / provider_deadline:
+        retry with backoff for LBS provider calls, budget per request,
+        breaker across requests.  While the breaker is open, cached
+        answers still serve — the cache is a legitimate degraded mode.
+    injector:
+        a seeded :class:`FaultInjector` (chaos testing).
+    clock:
+        time source for backoff/breaker; inject a
+        :class:`~repro.robustness.retry.ManualClock` to keep tests and
+        benches wall-clock free.
+    max_stale_snapshots:
+        the bounded age of the "stale" rung: how many consecutive failed
+        snapshot repairs may pass before requests are rejected outright.
+    """
 
     def __init__(
         self,
@@ -76,31 +175,56 @@ class CSP:
         provider: LBSProvider,
         use_cache: bool = True,
         max_depth: int = 40,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        circuit_breaker: Optional[CircuitBreaker] = None,
+        provider_deadline: Optional[float] = None,
+        injector: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
+        max_stale_snapshots: int = 1,
     ):
         self.region = region
         self.k = k
-        self.mpc = MobilePositioningCenter(db)
+        self.injector = injector
+        self.clock = clock or SystemClock()
+        self.retry_policy = retry_policy
+        self.breaker = circuit_breaker
+        self.provider_deadline = provider_deadline
+        self.max_stale_snapshots = max_stale_snapshots
+        if injector is not None:
+            provider = FaultInjectingProvider(provider, injector)
+        self.mpc = MobilePositioningCenter(db, injector=injector)
         self.provider = provider
         self.cache = AnswerCache(provider) if use_cache else None
         self.anonymizer = IncrementalAnonymizer(region, k, max_depth=max_depth)
         self.anonymizer.fit(db)
+        #: consecutive snapshot advances that failed (0 = fresh policy).
+        self.policy_age = 0
+        self._snapshot_index = 0
+        #: antichain of coarsened tree nodes: node_id → ancestor rect.
+        self._coarsened: Dict[int, Rect] = {}
+        #: degradation rung transitions, for observability/benches.
+        self.events: List[DegradationEvent] = []
 
     # -- serving ------------------------------------------------------------
 
     def request(self, user_id: str, payload) -> ServedRequest:
-        """Serve one user query end to end."""
+        """Serve one user query end to end (fail-closed under faults)."""
+        if self.policy_age > self.max_stale_snapshots:
+            raise ServiceUnavailableError(
+                f"policy is {self.policy_age} snapshots stale "
+                f"(bound {self.max_stale_snapshots}); rejecting fail-closed",
+                reason="stale",
+            )
         location = self.mpc.locate(user_id)
         service_request = ServiceRequest(
             str(user_id), location, normalize_payload(payload)
         )
-        anonymized = self.anonymizer.anonymize(service_request)
-        if self.cache is not None:
-            hits_before = self.cache.stats.hits
-            answer = self.cache.fetch(anonymized)
-            cache_hit = self.cache.stats.hits > hits_before
-        else:
-            answer = self.provider.serve(anonymized)
-            cache_hit = False
+        degradation = "stale" if self.policy_age > 0 else "fresh"
+        anonymized = self._anonymize_fail_closed(service_request)
+        if anonymized.cloak != self.anonymizer.policy.cloak_for(str(user_id)):
+            degradation = "coarsened"
+        answer, cache_hit, attempts = self._fetch(anonymized)
         result = self._client_filter(location, answer)
         return ServedRequest(
             request=service_request,
@@ -108,7 +232,156 @@ class CSP:
             answer=answer,
             result=result,
             cache_hit=cache_hit,
+            degradation=degradation,
+            provider_attempts=attempts,
+            policy_age=self.policy_age,
         )
+
+    def _anonymize_fail_closed(
+        self, service_request: ServiceRequest
+    ) -> AnonymizedRequest:
+        """Rungs 1–2: the fine cloak, else a group-wide ancestor cloak."""
+        user_id = service_request.user_id
+        rect = self._coarse_cloak_for(user_id)
+        if rect is None:
+            try:
+                return self.anonymizer.anonymize(service_request)
+            except UnknownUserError:
+                raise
+            except PolicyError:
+                # The reported location does not match the policy's
+                # snapshot (stale MPC, mid-repair read...).  Coarsen.
+                rect = self._register_coarsening(
+                    user_id, service_request.location
+                )
+        return AnonymizedRequest(
+            request_id=self.anonymizer._next_request_id(),
+            cloak=rect,
+            payload=service_request.payload,
+        )
+
+    def _register_coarsening(self, user_id: str, location: Point) -> Rect:
+        """Pick and remember a safe ancestor cloak for ``user_id``."""
+        try:
+            node = coarsening_ancestor(
+                self.anonymizer.tree,
+                self.anonymizer.policy,
+                user_id,
+                location=location,
+            )
+        except PolicyError as exc:
+            raise ServiceUnavailableError(
+                f"cannot coarsen request of user {user_id!r}: {exc}",
+                reason="coarsen",
+            ) from exc
+        fine_cloak = self.anonymizer.policy.cloak_for(user_id)
+        if node.rect == fine_cloak:
+            # The reported location still falls inside the fine cloak:
+            # the policy answer is unchanged, nothing to override.
+            return node.rect
+        # Keep the coarsened set an antichain of maximal nodes: nested
+        # coarsenings would split an ancestor group below k.
+        for node_id, rect in list(self._coarsened.items()):
+            if node.rect.contains_rect(rect) and node.node_id != node_id:
+                del self._coarsened[node_id]
+        if not any(
+            rect.contains_rect(node.rect)
+            for rect in self._coarsened.values()
+        ):
+            self._coarsened[node.node_id] = node.rect
+        self.events.append(
+            DegradationEvent(
+                level="coarsened",
+                reason="policy mismatch",
+                detail=f"user {user_id!r} → node {node.node_id}",
+            )
+        )
+        return self._coarse_cloak_for(user_id) or node.rect
+
+    def _coarse_cloak_for(self, user_id: str) -> Optional[Rect]:
+        """The registered ancestor cloak covering this user's fine
+        cloak, if any (None on the happy path)."""
+        if not self._coarsened:
+            return None
+        try:
+            cloak = self.anonymizer.policy.cloak_for(str(user_id))
+        except PolicyError:
+            return None
+        best: Optional[Rect] = None
+        for rect in self._coarsened.values():
+            if isinstance(cloak, Rect) and rect.contains_rect(cloak):
+                if best is None or best.contains_rect(rect):
+                    best = rect  # deepest (smallest) covering ancestor
+        return best
+
+    @property
+    def effective_policy(self) -> CloakingPolicy:
+        """The policy an attacker can reverse-engineer *right now*:
+        the fine policy overridden by every registered coarsening.
+
+        This is what chaos tests audit — it must stay policy-aware
+        k-anonymous through every degradation."""
+        policy = self.anonymizer.policy
+        if not self._coarsened:
+            return policy
+        overrides: Dict[str, Rect] = {}
+        # Apply bigger rects first so deeper coarsenings win, matching
+        # the serving-side "deepest covering ancestor" rule.
+        for rect in sorted(
+            self._coarsened.values(), key=lambda r: -r.area
+        ):
+            overrides.update(coarsen_overrides(policy, rect))
+        return policy_with_overrides(policy, overrides, name="effective")
+
+    def _fetch(self, anonymized: AnonymizedRequest):
+        """Provider/cache fetch with retry, deadline, and breaker."""
+        if self.cache is not None:
+            hits_before = self.cache.stats.hits
+            fetch = lambda: self.cache.fetch(anonymized)  # noqa: E731
+        else:
+            fetch = lambda: self.provider.serve(anonymized)  # noqa: E731
+        attempts = [0]
+
+        def observe(attempt: int, exc: Optional[BaseException]) -> None:
+            attempts[0] = attempt + 1
+
+        try:
+            if self.retry_policy is None and self.breaker is None:
+                answer = fetch()
+                attempts[0] = 1
+            else:
+                answer = retry_call(
+                    fetch,
+                    policy=self.retry_policy or RetryPolicy(max_attempts=1),
+                    clock=self.clock,
+                    deadline=self.provider_deadline,
+                    retryable=TRANSIENT_PROVIDER_ERRORS,
+                    breaker=self.breaker,
+                    on_attempt=observe,
+                )
+        except (
+            CircuitOpenError,
+            DeadlineExceededError,
+        ) + TRANSIENT_PROVIDER_ERRORS as exc:
+            self.events.append(
+                DegradationEvent(
+                    level="rejected",
+                    reason="provider",
+                    detail=str(exc),
+                )
+            )
+            raise ServiceUnavailableError(
+                f"LBS provider unavailable after {max(attempts[0], 1)} "
+                f"attempt(s): {exc}",
+                reason="provider",
+            ) from exc
+        if self.cache is not None:
+            cache_hit = self.cache.stats.hits > hits_before
+            if cache_hit:
+                attempts[0] = 0
+        else:
+            cache_hit = False
+        return answer, cache_hit, attempts[0]
 
     @staticmethod
     def _client_filter(location: Point, answer: QueryAnswer) -> Optional[POI]:
@@ -124,9 +397,41 @@ class CSP:
 
     def advance_snapshot(self, moves: Mapping[str, Point]) -> UpdateReport:
         """Next location snapshot: apply moves, repair the policy
-        incrementally, refresh the MPC view."""
+        incrementally, refresh the MPC view.
+
+        An injected ``"repair"`` fault leaves the previous
+        policy/snapshot pair fully intact (the stale rung): the report
+        comes back with ``applied=False`` and ``policy_age`` grows.
+        Once the age exceeds ``max_stale_snapshots``, serving rejects."""
+        self._snapshot_index += 1
+        if self.injector is not None:
+            try:
+                self.injector.fire("repair", self._snapshot_index)
+            except InjectedFault as exc:
+                self.policy_age += 1
+                level = (
+                    "stale"
+                    if self.policy_age <= self.max_stale_snapshots
+                    else "rejected"
+                )
+                self.events.append(
+                    DegradationEvent(
+                        level=level,
+                        reason="repair",
+                        detail=str(exc),
+                    )
+                )
+                return UpdateReport(
+                    moved_users=0,
+                    dirty_nodes=0,
+                    recomputed_nodes=0,
+                    total_nodes=len(self.anonymizer.tree),
+                    applied=False,
+                )
         report = self.anonymizer.update(moves)
         self.mpc.refresh(self.anonymizer.current_db)
+        self.policy_age = 0
+        self._coarsened.clear()  # a fresh policy supersedes coarsening
         return report
 
     @property

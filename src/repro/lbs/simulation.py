@@ -34,6 +34,8 @@ import numpy as np
 from ..core.errors import WorkloadError
 from ..core.geometry import Rect
 from ..core.locationdb import LocationDatabase
+from ..robustness.faults import FaultInjector, InjectedFault
+from ..robustness.retry import RetryPolicy
 from .mobility import random_moves
 
 __all__ = ["ServiceTimes", "SimulationReport", "LBSSimulation"]
@@ -72,6 +74,15 @@ class SimulationReport:
     snapshots: int
     latencies: List[float] = field(repr=False, default_factory=list)
     queue_delays: List[float] = field(repr=False, default_factory=list)
+    #: requests rejected fail-closed (stale bound exceeded, provider
+    #: retries exhausted) — never served a weaker cloak instead.
+    rejected: int = 0
+    #: requests served under a bounded-age stale policy.
+    stale_served: int = 0
+    #: extra provider attempts forced by injected faults.
+    provider_retries: int = 0
+    #: snapshot repairs that failed (policy kept, staleness grew).
+    failed_snapshots: int = 0
 
     @property
     def throughput(self) -> float:
@@ -81,6 +92,12 @@ class SimulationReport:
     @property
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.served if self.served else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of arrivals that were served (vs rejected)."""
+        arrivals = self.served + self.rejected
+        return self.served / arrivals if arrivals else 1.0
 
     def latency_percentile(self, q: float) -> float:
         if not self.latencies:
@@ -96,7 +113,7 @@ class SimulationReport:
         return float(np.mean(self.queue_delays)) if self.queue_delays else 0.0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.served} requests in {self.duration:g}s simulated "
             f"({self.throughput:,.0f} req/s), mean latency "
             f"{1e3 * self.mean_latency:.2f} ms "
@@ -104,6 +121,14 @@ class SimulationReport:
             f"cache hit rate {self.cache_hit_rate:.0%}, "
             f"{self.snapshots} snapshot refreshes"
         )
+        if self.rejected or self.failed_snapshots:
+            text += (
+                f"; availability {self.availability:.1%} "
+                f"({self.rejected} rejected, {self.stale_served} stale, "
+                f"{self.provider_retries} provider retries, "
+                f"{self.failed_snapshots} failed repairs)"
+            )
+        return text
 
 
 # Event kinds, ordered so ties at equal timestamps resolve snapshots
@@ -134,6 +159,9 @@ class LBSSimulation:
         times: Optional[ServiceTimes] = None,
         n_servers: int = 1,
         seed: int = 0,
+        injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_stale_snapshots: int = 1,
     ):
         if request_rate_per_user <= 0:
             raise WorkloadError("request_rate_per_user must be > 0")
@@ -141,6 +169,8 @@ class LBSSimulation:
             raise WorkloadError("snapshot_period must be > 0")
         if n_servers < 1:
             raise WorkloadError("n_servers must be ≥ 1")
+        if max_stale_snapshots < 0:
+            raise WorkloadError("max_stale_snapshots must be ≥ 0")
         self.region = region
         self.k = k
         self.request_rate = request_rate_per_user
@@ -155,6 +185,12 @@ class LBSSimulation:
         #: policy after a snapshot parallelizes across jurisdictions, so
         #: the serving blackout shrinks by ~n (the Figure 4(a) model).
         self.n_servers = n_servers
+        #: chaos schedule: "repair" faults stall the policy (bounded-age
+        #: stale serving, then fail-closed rejection); "provider" faults
+        #: cost retries with backoff, then rejection.
+        self.injector = injector
+        self.retry_policy = retry_policy
+        self.max_stale_snapshots = max_stale_snapshots
         self.rng = np.random.default_rng(seed)
 
         from ..core.anonymizer import IncrementalAnonymizer
@@ -199,9 +235,22 @@ class LBSSimulation:
             snapshots=0,
         )
 
+        stale_age = 0  # consecutive failed repairs (fail-closed bound)
+        arrival_serial = 0
         while events:
             now, kind, __, ___ = heapq.heappop(events)
             if kind == _SNAPSHOT:
+                report.snapshots += 1
+                if self.injector is not None:
+                    try:
+                        self.injector.fire("repair", report.snapshots)
+                    except InjectedFault:
+                        # Stale rung: keep serving the previous
+                        # policy/snapshot pair, consistently — no
+                        # blackout, but the staleness bound ticks.
+                        stale_age += 1
+                        report.failed_snapshots += 1
+                        continue
                 moves = random_moves(
                     self.anonymizer.current_db,
                     self.move_fraction,
@@ -215,10 +264,16 @@ class LBSSimulation:
                 policy_ready_at = (
                     now + self.times.reanonymization / self.n_servers
                 )
-                report.snapshots += 1
+                stale_age = 0
                 continue
 
             # Request arrival.
+            arrival_serial += 1
+            if stale_age > self.max_stale_snapshots:
+                # Reject rung: the policy aged out of its stale budget;
+                # serving it further would trade privacy for uptime.
+                report.rejected += 1
+                continue
             start = max(now, policy_ready_at)
             queue_delay = start - now
             user = users[int(self.rng.integers(len(users)))]
@@ -228,19 +283,52 @@ class LBSSimulation:
             cloak = self._policy.cloak_for(user)
             service = self.times.cloak_lookup
             key = (cloak, category)
+            needs_provider = True
             if self.use_cache:
                 service += self.times.cache_lookup
                 if cache.get(key):
                     report.cache_hits += 1
-                else:
-                    cache[key] = True
-                    service += self.times.lbs_query
-                    report.lbs_queries += 1
-            else:
-                service += self.times.lbs_query
+                    needs_provider = False
+            if needs_provider:
+                service_extra, ok = self._provider_call(
+                    arrival_serial, report
+                )
+                if not ok:
+                    report.rejected += 1
+                    continue
+                service += self.times.lbs_query + service_extra
                 report.lbs_queries += 1
+                if self.use_cache:
+                    cache[key] = True
             finish = start + service
             report.served += 1
+            if stale_age > 0:
+                report.stale_served += 1
             report.latencies.append(finish - now)
             report.queue_delays.append(queue_delay)
         return report
+
+    def _provider_call(self, serial: int, report: SimulationReport):
+        """Model one LBS provider interaction under the chaos schedule.
+
+        Returns ``(extra_seconds, ok)``: wasted attempt time plus retry
+        backoff, and whether any attempt eventually succeeded."""
+        if self.injector is None:
+            return 0.0, True
+        extra = 0.0
+        attempt = 0
+        while True:
+            try:
+                extra += self.injector.fire("provider", serial, attempt)
+                return extra, True
+            except InjectedFault:
+                # The failed attempt cost a full (timed-out) query.
+                extra += self.times.lbs_query
+                attempt += 1
+                if (
+                    self.retry_policy is None
+                    or attempt >= self.retry_policy.max_attempts
+                ):
+                    return extra, False
+                extra += self.retry_policy.delay_for(attempt - 1)
+                report.provider_retries += 1

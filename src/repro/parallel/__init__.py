@@ -2,10 +2,11 @@
 dynamic pool maintenance of the paper's declared future work."""
 
 from .dynamic import PoolReport, RebalancingPool
-from .engine import ParallelResult, parallel_bulk_anonymize
+from .engine import JurisdictionFailure, ParallelResult, parallel_bulk_anonymize
 from .master import MasterPolicy, ServerPolicy
 
 __all__ = [
+    "JurisdictionFailure",
     "MasterPolicy",
     "ParallelResult",
     "PoolReport",

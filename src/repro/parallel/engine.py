@@ -12,25 +12,51 @@ Utility caveat measured in §VI-D: a cloak that would optimally span two
 jurisdictions must be replaced by a larger intra-jurisdiction cloak, so
 the distributed cost can exceed the single-server optimum — by <1% even
 at thousands of jurisdictions, per the paper (and our bench).
+
+Fault tolerance: a crashed/straggling jurisdiction solve no longer
+aborts the bulk run.  Failures are wrapped in
+:class:`~repro.core.errors.JurisdictionSolveError` (carrying the
+jurisdiction id and user count), failed jurisdictions are *reassigned to
+retry rounds* (``retry_policy``), and — with ``on_failure='degrade'`` —
+a permanently failed jurisdiction is served fail-closed: all of its
+users share the jurisdiction rectangle as a single cloak, which the
+greedy partitioner guarantees holds ≥ k users (see
+:mod:`repro.robustness.degrade`).  Never a sub-k or policy-unaware
+fallback.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.binary_dp import solve
-from ..core.errors import ReproError
+from ..core.errors import JurisdictionSolveError, ReproError
 from ..core.geometry import Rect
 from ..core.policy import CloakingPolicy
 from ..core.locationdb import LocationDatabase
+from ..robustness.degrade import fallback_jurisdiction_policy
+from ..robustness.faults import FaultInjector, InjectedFault, InjectedTimeout
+from ..robustness.retry import RetryPolicy
 from ..trees.binarytree import BinaryTree
 from ..trees.partition import Jurisdiction, greedy_partition, load_imbalance
 from .master import MasterPolicy, ServerPolicy
 
-__all__ = ["ParallelResult", "parallel_bulk_anonymize"]
+__all__ = ["JurisdictionFailure", "ParallelResult", "parallel_bulk_anonymize"]
+
+
+@dataclass(frozen=True)
+class JurisdictionFailure:
+    """Structured record of one jurisdiction that exhausted its retries."""
+
+    node_id: int
+    n_users: int
+    attempts: int
+    kind: str  # "crash" | "error" | "timeout"
+    degraded: bool  # True: served the fail-closed fallback cloak
 
 
 @dataclass(frozen=True)
@@ -41,6 +67,12 @@ class ParallelResult:
     jurisdictions: Tuple[Jurisdiction, ...]
     server_seconds: Tuple[float, ...]
     partition_seconds: float
+    #: (node_id, attempts) per solved jurisdiction — 1 on the happy path.
+    attempts: Tuple[Tuple[int, int], ...] = ()
+    #: jurisdictions that exhausted retries (degraded or fatal).
+    failures: Tuple[JurisdictionFailure, ...] = ()
+    #: simulated seconds lost to failed attempts and retry backoff.
+    retry_seconds: float = 0.0
 
     @property
     def n_servers(self) -> int:
@@ -63,6 +95,29 @@ class ParallelResult:
     def imbalance(self) -> float:
         return load_imbalance(self.jurisdictions)
 
+    @property
+    def degraded_node_ids(self) -> Tuple[int, ...]:
+        return tuple(f.node_id for f in self.failures if f.degraded)
+
+    @property
+    def degraded_users(self) -> int:
+        return sum(f.n_users for f in self.failures if f.degraded)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of users served an *optimally solved* cloak (the
+        remainder got the coarser fail-closed jurisdiction cloak)."""
+        total = len(self.master.merged)
+        if total == 0:
+            return 1.0
+        return 1.0 - self.degraded_users / total
+
+    @property
+    def total_attempts(self) -> int:
+        solved = sum(n for __, n in self.attempts)
+        failed = sum(f.attempts for f in self.failures)
+        return solved + failed
+
 
 def _solve_jurisdiction(
     rect_tuple: Tuple[float, float, float, float],
@@ -81,6 +136,68 @@ def _solve_jurisdiction(
     return cloaks, time.perf_counter() - start
 
 
+def _policy_from_cloaks(
+    jur: Jurisdiction,
+    rows: Sequence[Tuple[str, float, float]],
+    cloaks: Dict[str, Tuple[float, float, float, float]],
+) -> CloakingPolicy:
+    local_db = LocationDatabase(rows)
+    return CloakingPolicy(
+        {uid: Rect(*tup) for uid, tup in cloaks.items()},
+        local_db,
+        name=f"server-{jur.node_id}",
+    )
+
+
+def _attempt_simulated(
+    jur: Jurisdiction,
+    rows,
+    k: int,
+    max_depth: int,
+    attempt: int,
+    injector: Optional[FaultInjector],
+    timeout: Optional[float],
+):
+    """One simulated solve attempt → ``(cloaks, elapsed)`` or raises
+    :class:`JurisdictionSolveError`."""
+    extra = 0.0
+    try:
+        if injector is not None:
+            extra = injector.fire("solve", jur.node_id, attempt)
+    except InjectedFault as exc:
+        kind = "timeout" if isinstance(exc, InjectedTimeout) else "crash"
+        raise JurisdictionSolveError(
+            f"jurisdiction {jur.node_id} ({len(rows)} users) failed: {exc}",
+            node_id=jur.node_id,
+            n_users=len(rows),
+            attempts=attempt + 1,
+            kind=kind,
+        ) from exc
+    try:
+        cloaks, elapsed = _solve_jurisdiction(
+            jur.rect.as_tuple(), rows, k, max_depth
+        )
+    except Exception as exc:  # real solver errors carry the node id too
+        raise JurisdictionSolveError(
+            f"jurisdiction {jur.node_id} ({len(rows)} users) failed: {exc}",
+            node_id=jur.node_id,
+            n_users=len(rows),
+            attempts=attempt + 1,
+            kind="error",
+        ) from exc
+    elapsed += extra
+    if timeout is not None and elapsed > timeout:
+        raise JurisdictionSolveError(
+            f"jurisdiction {jur.node_id} ({len(rows)} users) exceeded its "
+            f"{timeout:g}s solve budget ({elapsed:.3f}s)",
+            node_id=jur.node_id,
+            n_users=len(rows),
+            attempts=attempt + 1,
+            kind="timeout",
+        )
+    return cloaks, elapsed
+
+
 def parallel_bulk_anonymize(
     region: Rect,
     db: LocationDatabase,
@@ -89,6 +206,10 @@ def parallel_bulk_anonymize(
     max_depth: int = 40,
     mode: str = "simulated",
     partition_tree: Optional[BinaryTree] = None,
+    injector: Optional[FaultInjector] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    jurisdiction_timeout: Optional[float] = None,
+    on_failure: str = "raise",
 ) -> ParallelResult:
     """Distribute bulk anonymization of ``db`` over ``n_servers``.
 
@@ -99,9 +220,27 @@ def parallel_bulk_anonymize(
     ``partition_tree`` lets callers reuse a pre-built tree for the
     greedy partitioning step (it is *not* reused for solving — each
     server builds its own tree over its own territory, as in the paper).
+
+    Robustness knobs (all off by default — the happy path is unchanged):
+
+    * ``injector`` — a :class:`FaultInjector` whose ``"solve"`` site can
+      crash or straggle individual jurisdiction solves;
+    * ``retry_policy`` — failed jurisdictions are *reassigned to retry
+      rounds* (a fresh server takes the jurisdiction over), up to
+      ``retry_policy.max_attempts`` total attempts; the inter-round
+      backoff is charged to ``retry_seconds``;
+    * ``jurisdiction_timeout`` — a per-solve straggler budget in
+      seconds; an over-budget solve counts as a failure;
+    * ``on_failure`` — ``'raise'`` (default) propagates the
+      :class:`JurisdictionSolveError` of the first permanently failed
+      jurisdiction; ``'degrade'`` serves such jurisdictions the
+      fail-closed single-cloak fallback and records them in
+      ``ParallelResult.failures``.
     """
     if mode not in ("simulated", "process"):
         raise ReproError(f"unknown execution mode {mode!r}")
+    if on_failure not in ("raise", "degrade"):
+        raise ReproError(f"unknown on_failure mode {on_failure!r}")
     t0 = time.perf_counter()
     if partition_tree is None:
         partition_tree = BinaryTree.build(region, db, k, max_depth=max_depth)
@@ -124,52 +263,205 @@ def parallel_bulk_anonymize(
         ]
         tasks.append((jur, rows))
 
-    server_policies: List[ServerPolicy] = []
-    seconds: List[float] = []
-    if mode == "process":
-        with ProcessPoolExecutor() as pool:
-            futures = [
-                pool.submit(
-                    _solve_jurisdiction, jur.rect.as_tuple(), rows, k, max_depth
-                )
-                for jur, rows in tasks
-                if rows
-            ]
-            results = iter(f.result() for f in futures)
-            for jur, rows in tasks:
-                if not rows:
-                    server_policies.append(ServerPolicy(jur, None))
-                    continue
-                cloaks, elapsed = next(results)
-                local_db = LocationDatabase(rows)
-                policy = CloakingPolicy(
-                    {uid: Rect(*tup) for uid, tup in cloaks.items()},
-                    local_db,
-                    name=f"server-{jur.node_id}",
-                )
-                server_policies.append(ServerPolicy(jur, policy))
-                seconds.append(elapsed)
-    else:
-        for jur, rows in tasks:
-            if not rows:
-                server_policies.append(ServerPolicy(jur, None))
-                continue
-            cloaks, elapsed = _solve_jurisdiction(
-                jur.rect.as_tuple(), rows, k, max_depth
-            )
-            local_db = LocationDatabase(rows)
-            policy = CloakingPolicy(
-                {uid: Rect(*tup) for uid, tup in cloaks.items()},
-                local_db,
-                name=f"server-{jur.node_id}",
-            )
-            server_policies.append(ServerPolicy(jur, policy))
-            seconds.append(elapsed)
+    max_attempts = retry_policy.max_attempts if retry_policy else 1
+    policies: Dict[int, Optional[CloakingPolicy]] = {}
+    seconds: Dict[int, float] = {}
+    attempts_used: Dict[int, int] = {}
+    retry_seconds = 0.0
+    failures: List[JurisdictionFailure] = []
 
+    pending = []
+    for jur, rows in tasks:
+        if rows:
+            pending.append((jur, rows))
+        else:
+            policies[jur.node_id] = None
+
+    pool = ProcessPoolExecutor() if mode == "process" else None
+    try:
+        round_no = 0
+        while pending and round_no < max_attempts:
+            still_failing: List[Tuple[Jurisdiction, list]] = []
+            last_errors: Dict[int, JurisdictionSolveError] = {}
+            if mode == "process":
+                outcomes = _process_round(
+                    pool,
+                    pending,
+                    k,
+                    max_depth,
+                    round_no,
+                    injector,
+                    jurisdiction_timeout,
+                )
+            else:
+                outcomes = []
+                for jur, rows in pending:
+                    try:
+                        outcomes.append(
+                            _attempt_simulated(
+                                jur,
+                                rows,
+                                k,
+                                max_depth,
+                                round_no,
+                                injector,
+                                jurisdiction_timeout,
+                            )
+                        )
+                    except JurisdictionSolveError as exc:
+                        outcomes.append(exc)
+            for (jur, rows), outcome in zip(pending, outcomes):
+                attempts_used[jur.node_id] = round_no + 1
+                if isinstance(outcome, JurisdictionSolveError):
+                    last_errors[jur.node_id] = outcome
+                    # Failed attempts cost wall-clock even though they
+                    # produced nothing; charge the straggler budget.
+                    if outcome.kind == "timeout" and jurisdiction_timeout:
+                        retry_seconds += jurisdiction_timeout
+                    still_failing.append((jur, rows))
+                else:
+                    cloaks, elapsed = outcome
+                    policies[jur.node_id] = _policy_from_cloaks(
+                        jur, rows, cloaks
+                    )
+                    seconds[jur.node_id] = elapsed
+            pending = still_failing
+            round_no += 1
+            if pending and round_no < max_attempts and retry_policy:
+                retry_seconds += retry_policy.delay_for(round_no - 1)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # Whatever is still pending exhausted every retry round.
+    for jur, rows in pending:
+        error = last_errors[jur.node_id]
+        if on_failure == "raise":
+            raise error
+        # Fail-closed degrade: one jurisdiction, one ≥k cloak.
+        policies[jur.node_id] = fallback_jurisdiction_policy(
+            jur.rect, jur.node_id, rows, k
+        )
+        failures.append(
+            JurisdictionFailure(
+                node_id=jur.node_id,
+                n_users=len(rows),
+                attempts=attempts_used[jur.node_id],
+                kind=error.kind,
+                degraded=True,
+            )
+        )
+
+    server_policies = [
+        ServerPolicy(jur, policies[jur.node_id]) for jur, __ in tasks
+    ]
+    ordered_seconds = tuple(
+        seconds[jur.node_id] for jur, __ in tasks if jur.node_id in seconds
+    )
     master = MasterPolicy(server_policies, db)
     return ParallelResult(
         master=master,
         jurisdictions=tuple(jurisdictions),
-        server_seconds=tuple(seconds),
+        server_seconds=ordered_seconds,
         partition_seconds=partition_seconds,
+        attempts=tuple(
+            (node_id, n)
+            for node_id, n in sorted(attempts_used.items())
+            if node_id in seconds
+        ),
+        failures=tuple(failures),
+        retry_seconds=retry_seconds,
     )
+
+
+def _process_round(
+    pool: ProcessPoolExecutor,
+    pending: Sequence[Tuple[Jurisdiction, list]],
+    k: int,
+    max_depth: int,
+    attempt: int,
+    injector: Optional[FaultInjector],
+    timeout: Optional[float],
+) -> List[object]:
+    """One retry round in real processes.
+
+    Injection decisions are made master-side (the injector is not
+    shipped to workers): a ``crash`` skips the submission entirely — the
+    master observes exactly what it would observe of a dead worker — and
+    a ``straggle`` inflates the reported elapsed time, which the
+    straggler budget then judges.
+    """
+    outcomes: List[object] = []
+    submissions = []
+    for jur, rows in pending:
+        extra = 0.0
+        error: Optional[JurisdictionSolveError] = None
+        if injector is not None:
+            try:
+                extra = injector.fire("solve", jur.node_id, attempt)
+            except InjectedFault as exc:
+                kind = (
+                    "timeout" if isinstance(exc, InjectedTimeout) else "crash"
+                )
+                error = JurisdictionSolveError(
+                    f"jurisdiction {jur.node_id} ({len(rows)} users) "
+                    f"failed: {exc}",
+                    node_id=jur.node_id,
+                    n_users=len(rows),
+                    attempts=attempt + 1,
+                    kind=kind,
+                )
+        if error is not None:
+            submissions.append((jur, rows, None, extra, error))
+        else:
+            future = pool.submit(
+                _solve_jurisdiction, jur.rect.as_tuple(), rows, k, max_depth
+            )
+            submissions.append((jur, rows, future, extra, None))
+    for jur, rows, future, extra, error in submissions:
+        if error is not None:
+            outcomes.append(error)
+            continue
+        try:
+            cloaks, elapsed = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            outcomes.append(
+                JurisdictionSolveError(
+                    f"jurisdiction {jur.node_id} ({len(rows)} users) "
+                    f"exceeded its {timeout:g}s solve budget",
+                    node_id=jur.node_id,
+                    n_users=len(rows),
+                    attempts=attempt + 1,
+                    kind="timeout",
+                )
+            )
+            continue
+        except Exception as exc:
+            outcomes.append(
+                JurisdictionSolveError(
+                    f"jurisdiction {jur.node_id} ({len(rows)} users) "
+                    f"failed: {exc}",
+                    node_id=jur.node_id,
+                    n_users=len(rows),
+                    attempts=attempt + 1,
+                    kind="error",
+                )
+            )
+            continue
+        elapsed += extra
+        if timeout is not None and elapsed > timeout:
+            outcomes.append(
+                JurisdictionSolveError(
+                    f"jurisdiction {jur.node_id} ({len(rows)} users) "
+                    f"exceeded its {timeout:g}s solve budget "
+                    f"({elapsed:.3f}s)",
+                    node_id=jur.node_id,
+                    n_users=len(rows),
+                    attempts=attempt + 1,
+                    kind="timeout",
+                )
+            )
+        else:
+            outcomes.append((cloaks, elapsed))
+    return outcomes

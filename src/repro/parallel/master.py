@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from ..core.errors import PolicyError
+from ..core.errors import PolicyError, UnknownUserError
 from ..core.policy import CloakingPolicy
 from ..core.requests import AnonymizedRequest, ServiceRequest, request_id_factory
 from ..trees.partition import Jurisdiction
@@ -66,7 +66,9 @@ class MasterPolicy:
         try:
             return self._server_of[str(user_id)]
         except KeyError:
-            raise PolicyError(f"no jurisdiction covers user {user_id!r}") from None
+            raise UnknownUserError(
+                f"no jurisdiction covers user {user_id!r}"
+            ) from None
 
     def cloak_for(self, user_id: str):
         return self.server_for(user_id).policy.cloak_for(user_id)

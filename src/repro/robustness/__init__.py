@@ -1,0 +1,55 @@
+"""Fault tolerance for the serving layers: deterministic fault
+injection, retry/backoff with circuit breaking, and the fail-closed
+degradation ladder (coarsen → stale → reject; never below k)."""
+
+from .degrade import (
+    DEGRADATION_LEVELS,
+    DegradationEvent,
+    coarsen_overrides,
+    coarsening_ancestor,
+    fallback_jurisdiction_policy,
+    policy_with_overrides,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultInjectingProvider,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedError,
+    InjectedFault,
+    InjectedTimeout,
+)
+from .retry import (
+    CircuitBreaker,
+    Clock,
+    ManualClock,
+    RetryPolicy,
+    SystemClock,
+    retry_call,
+)
+
+__all__ = [
+    "DEGRADATION_LEVELS",
+    "DegradationEvent",
+    "FAULT_KINDS",
+    "CircuitBreaker",
+    "Clock",
+    "FaultInjectingProvider",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedError",
+    "InjectedFault",
+    "InjectedTimeout",
+    "ManualClock",
+    "RetryPolicy",
+    "SystemClock",
+    "coarsen_overrides",
+    "coarsening_ancestor",
+    "fallback_jurisdiction_policy",
+    "policy_with_overrides",
+    "retry_call",
+]

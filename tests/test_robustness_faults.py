@@ -1,0 +1,144 @@
+"""Deterministic fault-injection framework (repro.robustness.faults)."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.robustness import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedError,
+    InjectedTimeout,
+)
+
+
+def plan_of(*rules, seed=0, name="test-plan"):
+    return FaultPlan(rules=tuple(rules), seed=seed, name=name)
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultRule("solve", "meltdown")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ReproError, match="probability"):
+            FaultRule("solve", "crash", probability=1.5)
+        with pytest.raises(ReproError, match="probability"):
+            FaultRule("solve", "crash", probability=-0.1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ReproError, match="delay"):
+            FaultRule("solve", "straggle", delay=-1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcomes(self):
+        plan = plan_of(FaultRule("solve", "crash", probability=0.5))
+
+        def outcomes():
+            injector = FaultInjector(plan)
+            hits = []
+            for key in range(200):
+                try:
+                    injector.fire("solve", key)
+                    hits.append(False)
+                except InjectedCrash:
+                    hits.append(True)
+            return hits
+
+        first, second = outcomes(), outcomes()
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 strikes sometimes
+
+    def test_different_seeds_differ(self):
+        rule = FaultRule("solve", "crash", probability=0.5)
+
+        def fired_keys(seed):
+            injector = FaultInjector(plan_of(rule, seed=seed))
+            struck = set()
+            for key in range(200):
+                try:
+                    injector.fire("solve", key)
+                except InjectedCrash:
+                    struck.add(key)
+            return struck
+
+        assert fired_keys(0) != fired_keys(1)
+
+    def test_retry_gets_fresh_draw(self):
+        # p=0.5: across attempts 0..9 of one key, both outcomes occur.
+        plan = plan_of(FaultRule("provider", "error", probability=0.5))
+        injector = FaultInjector(plan)
+        results = []
+        for attempt in range(10):
+            try:
+                injector.fire("provider", "req-1", attempt)
+                results.append("ok")
+            except InjectedError:
+                results.append("err")
+        assert "ok" in results and "err" in results
+
+
+class TestFiring:
+    def test_kinds_raise_their_exception(self):
+        for kind, exc_type in (
+            ("crash", InjectedCrash),
+            ("error", InjectedError),
+            ("timeout", InjectedTimeout),
+        ):
+            injector = FaultInjector(plan_of(FaultRule("solve", kind)))
+            with pytest.raises(exc_type) as excinfo:
+                injector.fire("solve", 7)
+            assert excinfo.value.site == "solve"
+            assert excinfo.value.key == 7
+
+    def test_straggle_returns_delay(self):
+        injector = FaultInjector(
+            plan_of(FaultRule("solve", "straggle", delay=1.25))
+        )
+        assert injector.fire("solve", 3) == pytest.approx(1.25)
+
+    def test_other_sites_untouched(self):
+        injector = FaultInjector(plan_of(FaultRule("solve", "crash")))
+        assert injector.fire("provider", 3) == 0.0
+
+    def test_match_restricts_to_one_key(self):
+        injector = FaultInjector(
+            plan_of(FaultRule("solve", "crash", match="5"))
+        )
+        injector.fire("solve", 4)  # no raise
+        with pytest.raises(InjectedCrash):
+            injector.fire("solve", 5)
+
+    def test_max_attempt_guarantees_recovery(self):
+        injector = FaultInjector(
+            plan_of(FaultRule("provider", "timeout", max_attempt=2))
+        )
+        for attempt in range(2):
+            with pytest.raises(InjectedTimeout):
+                injector.fire("provider", "r", attempt)
+        assert injector.fire("provider", "r", 2) == 0.0
+
+    def test_stale_is_query_only(self):
+        injector = FaultInjector(plan_of(FaultRule("mpc", "stale")))
+        # fire() ignores stale rules; should() reports them.
+        assert injector.fire("mpc", "alice") == 0.0
+        assert injector.should("mpc", "stale", "alice")
+        assert not injector.should("mpc", "crash", "alice")
+
+    def test_fired_counters(self):
+        injector = FaultInjector(
+            plan_of(
+                FaultRule("solve", "crash"),
+                FaultRule("mpc", "stale"),
+            )
+        )
+        for key in range(3):
+            with pytest.raises(InjectedCrash):
+                injector.fire("solve", key)
+        injector.should("mpc", "stale", "u1")
+        assert injector.fired[("solve", "crash")] == 3
+        assert injector.fired[("mpc", "stale")] == 1
+        assert injector.total_fired == 4

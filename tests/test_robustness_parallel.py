@@ -1,0 +1,169 @@
+"""Fault tolerance of the parallel engine (crashed jurisdictions,
+retry rounds, fail-closed degradation) in both execution modes."""
+
+import pytest
+
+from repro import JurisdictionSolveError, Rect
+from repro.data import uniform_users
+from repro.parallel import parallel_bulk_anonymize
+from repro.robustness import FaultInjector, FaultPlan, FaultRule, RetryPolicy
+
+K = 10
+
+
+@pytest.fixture(scope="module")
+def region():
+    return Rect(0, 0, 1024, 1024)
+
+
+@pytest.fixture(scope="module")
+def db(region):
+    return uniform_users(400, region, seed=101)
+
+
+@pytest.fixture(scope="module")
+def target_node(region, db):
+    """A jurisdiction node id of the deterministic 4-way partition."""
+    result = parallel_bulk_anonymize(region, db, K, 4)
+    assert result.n_servers >= 2
+    return result.jurisdictions[0].node_id
+
+
+def crash_plan(match=None, max_attempt=None, seed=0):
+    return FaultPlan(
+        rules=(
+            FaultRule(
+                "solve", "crash", match=match, max_attempt=max_attempt
+            ),
+        ),
+        seed=seed,
+    )
+
+
+class TestSimulatedMode:
+    def test_crash_raises_with_jurisdiction_metadata(self, region, db):
+        with pytest.raises(JurisdictionSolveError) as excinfo:
+            parallel_bulk_anonymize(
+                region,
+                db,
+                K,
+                4,
+                injector=FaultInjector(crash_plan()),
+            )
+        err = excinfo.value
+        assert err.node_id is not None
+        assert err.n_users >= K
+        assert err.kind == "crash"
+        assert err.attempts == 1
+
+    def test_retry_rounds_recover_transient_crashes(self, region, db):
+        injector = FaultInjector(crash_plan(max_attempt=1))
+        result = parallel_bulk_anonymize(
+            region,
+            db,
+            K,
+            4,
+            injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.01),
+        )
+        assert result.failures == ()
+        assert result.availability == 1.0
+        # Every jurisdiction needed the second round.
+        assert all(n == 2 for __, n in result.attempts)
+        assert result.retry_seconds > 0
+        baseline = parallel_bulk_anonymize(region, db, K, 4)
+        assert result.cost == pytest.approx(baseline.cost)
+
+    def test_permanent_crash_degrades_fail_closed(
+        self, region, db, target_node
+    ):
+        injector = FaultInjector(crash_plan(match=str(target_node)))
+        result = parallel_bulk_anonymize(
+            region,
+            db,
+            K,
+            4,
+            injector=injector,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.01),
+            on_failure="degrade",
+        )
+        assert result.degraded_node_ids == (target_node,)
+        (failure,) = result.failures
+        assert failure.kind == "crash"
+        assert failure.attempts == 2
+        assert failure.degraded
+        assert 0 < result.availability < 1.0
+        # Everyone is still covered and the merged policy is still ≥ k:
+        # the degraded jurisdiction serves its own rectangle as one cloak.
+        assert len(result.master.merged) == len(db)
+        assert result.master.min_group_size() >= K
+        jur = next(
+            j for j in result.jurisdictions if j.node_id == target_node
+        )
+        degraded = [
+            uid
+            for uid, cloak in result.master.merged.items()
+            if cloak == jur.rect
+        ]
+        assert len(degraded) == result.degraded_users >= K
+        # Degradation costs utility, never privacy.
+        baseline = parallel_bulk_anonymize(region, db, K, 4)
+        assert result.cost >= baseline.cost
+
+    def test_straggler_budget_counts_as_timeout(self, region, db):
+        plan = FaultPlan(
+            rules=(FaultRule("solve", "straggle", delay=5.0),), seed=0
+        )
+        with pytest.raises(JurisdictionSolveError) as excinfo:
+            parallel_bulk_anonymize(
+                region,
+                db,
+                K,
+                4,
+                injector=FaultInjector(plan),
+                jurisdiction_timeout=1.0,
+            )
+        assert excinfo.value.kind == "timeout"
+
+    def test_happy_path_reports_single_attempts(self, region, db):
+        result = parallel_bulk_anonymize(region, db, K, 4)
+        assert result.failures == ()
+        assert result.availability == 1.0
+        assert result.retry_seconds == 0.0
+        assert all(n == 1 for __, n in result.attempts)
+        assert len(result.attempts) == result.n_servers
+
+
+class TestProcessMode:
+    def test_crash_raises_with_jurisdiction_metadata(
+        self, region, db, target_node
+    ):
+        injector = FaultInjector(crash_plan(match=str(target_node)))
+        with pytest.raises(JurisdictionSolveError) as excinfo:
+            parallel_bulk_anonymize(
+                region,
+                db,
+                K,
+                4,
+                mode="process",
+                injector=injector,
+            )
+        assert excinfo.value.node_id == target_node
+        assert excinfo.value.kind == "crash"
+
+    def test_permanent_crash_degrades_fail_closed(
+        self, region, db, target_node
+    ):
+        injector = FaultInjector(crash_plan(match=str(target_node)))
+        result = parallel_bulk_anonymize(
+            region,
+            db,
+            K,
+            4,
+            mode="process",
+            injector=injector,
+            on_failure="degrade",
+        )
+        assert result.degraded_node_ids == (target_node,)
+        assert len(result.master.merged) == len(db)
+        assert result.master.min_group_size() >= K

@@ -1,0 +1,204 @@
+"""Retry/backoff, deadlines, and the circuit breaker (repro.robustness.retry)."""
+
+import pytest
+
+from repro.core.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReproError,
+)
+from repro.robustness import (
+    CircuitBreaker,
+    ManualClock,
+    RetryPolicy,
+    retry_call,
+)
+
+
+class Flaky:
+    """Fails the first ``n_failures`` calls, then succeeds forever."""
+
+    def __init__(self, n_failures, exc=TimeoutError):
+        self.n_failures = n_failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise self.exc(f"flaky failure {self.calls}")
+        return "answer"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.0)
+
+    def test_backoff_schedule_grows_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay=0.1,
+            multiplier=2.0,
+            max_delay=0.5,
+            jitter=0.0,
+        )
+        delays = [policy.delay_for(i) for i in range(5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.2, seed=42)
+        assert policy.delay_for(0) == policy.delay_for(0)
+        for attempt in range(4):
+            raw = min(1.0 * 2.0**attempt, policy.max_delay)
+            assert raw * 0.8 <= policy.delay_for(attempt) <= raw * 1.2
+        other = RetryPolicy(base_delay=1.0, jitter=0.2, seed=43)
+        assert other.delay_for(0) != policy.delay_for(0)
+
+    def test_total_backoff_sums_interattempt_waits(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        assert policy.total_backoff() == pytest.approx(0.1 + 0.2)
+
+
+class TestRetryCall:
+    def test_retry_then_succeed(self):
+        clock = ManualClock()
+        fn = Flaky(2)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        assert retry_call(fn, policy=policy, clock=clock) == "answer"
+        assert fn.calls == 3
+        assert clock.slept == pytest.approx(0.1 + 0.2)
+
+    def test_exhaustion_reraises_last_error(self):
+        clock = ManualClock()
+        fn = Flaky(10)
+        with pytest.raises(TimeoutError, match="failure 3"):
+            retry_call(
+                fn,
+                policy=RetryPolicy(max_attempts=3, jitter=0.0),
+                clock=clock,
+            )
+        assert fn.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = Flaky(10, exc=ValueError)
+        with pytest.raises(ValueError):
+            retry_call(
+                fn,
+                policy=RetryPolicy(max_attempts=5),
+                clock=ManualClock(),
+                retryable=(TimeoutError,),
+            )
+        assert fn.calls == 1
+
+    def test_deadline_cuts_backoff_short(self):
+        clock = ManualClock()
+        fn = Flaky(10)
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, multiplier=2.0, jitter=0.0
+        )
+        # First backoff (1s) fits a 1.5s budget; the second (2s) cannot.
+        with pytest.raises(DeadlineExceededError, match="2 attempt"):
+            retry_call(fn, policy=policy, clock=clock, deadline=1.5)
+        assert fn.calls == 2
+        assert clock.slept == pytest.approx(1.0)  # never slept toward doom
+
+    def test_on_attempt_observes_every_try(self):
+        seen = []
+        fn = Flaky(1)
+        retry_call(
+            fn,
+            policy=RetryPolicy(max_attempts=3, jitter=0.0),
+            clock=ManualClock(),
+            on_attempt=lambda attempt, exc: seen.append(
+                (attempt, exc is None)
+            ),
+        )
+        assert seen == [(0, False), (1, True)]
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout=10.0, clock=clock
+        )
+        assert breaker.state == "closed"
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.rejected == 1
+        assert breaker.opened_times == 1
+
+    def test_half_open_probe_recovers(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.allow()
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_failed_probe_reopens(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.allow()
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opened_times == 2
+
+    def test_retry_call_respects_open_breaker(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=60.0, clock=clock
+        )
+        fn = Flaky(10)
+        policy = RetryPolicy(max_attempts=1)
+        with pytest.raises(TimeoutError):
+            retry_call(fn, policy=policy, clock=clock, breaker=breaker)
+        calls_so_far = fn.calls
+        with pytest.raises(CircuitOpenError):
+            retry_call(fn, policy=policy, clock=clock, breaker=breaker)
+        assert fn.calls == calls_so_far  # rejected without attempting
+
+    def test_breaker_opening_cuts_retry_loop_short(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=60.0, clock=clock
+        )
+        fn = Flaky(10)
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0)
+        # The breaker trips on the first failure; the second attempt is
+        # rejected before calling, ending the retry loop early.
+        with pytest.raises(CircuitOpenError):
+            retry_call(fn, policy=policy, clock=clock, breaker=breaker)
+        assert fn.calls == 1
+
+
+class TestManualClock:
+    def test_sleep_advances_and_accumulates(self):
+        clock = ManualClock(start=100.0)
+        clock.sleep(2.5)
+        clock.advance(1.0)
+        assert clock.monotonic() == pytest.approx(103.5)
+        assert clock.slept == pytest.approx(2.5)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ReproError):
+            ManualClock().sleep(-1.0)
