@@ -42,6 +42,10 @@ class PolicyAwareAnonymizer:
         Binary-tree depth limit; two binary levels make one quad level.
     prune:
         Apply the Lemma-5 search-space cap (keep True outside ablations).
+    engine:
+        DP evaluator — ``"flat"`` (default) for the level-batched
+        structure-of-arrays engine, ``"object"`` for the original
+        node-at-a-time oracle.  Identical costs either way.
     """
 
     def __init__(
@@ -50,6 +54,7 @@ class PolicyAwareAnonymizer:
         k: int,
         max_depth: int = 40,
         prune: bool = True,
+        engine: str = "flat",
     ):
         if k < 1:
             raise ReproError(f"k must be ≥ 1, got {k}")
@@ -57,6 +62,7 @@ class PolicyAwareAnonymizer:
         self.k = k
         self.max_depth = max_depth
         self.prune = prune
+        self.engine = engine
         self.tree: Optional[BinaryTree] = None
         self.solution: Optional[TreeSolution] = None
         self._policy: Optional[CloakingPolicy] = None
@@ -69,7 +75,9 @@ class PolicyAwareAnonymizer:
         self.tree = BinaryTree.build(
             self.region, db, self.k, max_depth=self.max_depth
         )
-        self.solution = solve(self.tree, self.k, prune=self.prune)
+        self.solution = solve(
+            self.tree, self.k, prune=self.prune, engine=self.engine
+        )
         self._policy = None  # extracted lazily
         return self
 

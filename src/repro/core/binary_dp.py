@@ -31,7 +31,7 @@ backpointers for every ``(m, u)`` pair) and produces a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -58,6 +58,9 @@ class NodeSolution:
     node_id: int
     d: int
     vec: np.ndarray  # shape (cap+1,); empty when d < k
+    _domain: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def cap(self) -> int:
@@ -72,10 +75,16 @@ class NodeSolution:
         return _INF
 
     def domain(self) -> Tuple[np.ndarray, np.ndarray]:
-        """All candidate ``u`` values with their costs (extraction helper)."""
-        js = np.concatenate([np.arange(len(self.vec)), [self.d]])
-        costs = np.concatenate([self.vec, [0.0]])
-        return js.astype(np.int64), costs
+        """All candidate ``u`` values with their costs (extraction helper).
+
+        Cached: extraction calls this once per ``_choose_split`` along
+        the descent, and a node can be consulted by every ancestor split.
+        """
+        if self._domain is None:
+            js = np.concatenate([np.arange(len(self.vec)), [self.d]])
+            costs = np.concatenate([self.vec, [0.0]])
+            self._domain = (js.astype(np.int64), costs)
+        return self._domain
 
 
 def _cap_for(node, k: int, prune: bool) -> int:
@@ -169,6 +178,61 @@ def _node_step(
     return vec
 
 
+def _split_scan(
+    u: int,
+    ja: np.ndarray,
+    ca: np.ndarray,
+    jb: np.ndarray,
+    cb: np.ndarray,
+    area: float,
+    k: int,
+    node_id: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Re-derive the ``(j_a, j_b)`` split behind a parent's ``vec[u]``.
+
+    The admissible pairs satisfy ``j_a + j_b = u`` (nothing cloaked at
+    the parent) or ``j_a + j_b ≥ u + k`` (``k``-summation cloak at the
+    parent), minimizing ``c_a + c_b + (j_a + j_b − u)·area``.  Instead
+    of the |dom_a|×|dom_b| outer product this scans dom_a once,
+    answering each row's best partner from suffix minima of
+    ``h_b = c_b + j_b·area`` — O(|dom_a| + |dom_b|) time *and* memory,
+    which matters with ``prune=False`` where domains are O(|D|).
+    """
+    nb = len(jb)
+    hb = cb + jb * area
+    # Suffix minima of h_b, with the *leftmost* achieving index: a
+    # position is an achiever when it equals its own suffix minimum, and
+    # the first achiever ≥ i realizes min(h_b[i:]).
+    suffix_val = np.minimum.accumulate(hb[::-1])[::-1]
+    achiever = np.where(hb == suffix_val, np.arange(nb), nb)
+    suffix_arg = np.minimum.accumulate(achiever[::-1])[::-1]
+    suffix_val = np.append(suffix_val, _INF)
+    suffix_arg = np.append(suffix_arg, nb)
+    # Cloak-at-parent candidate per row: the first j_b ≥ u + k − j_a.
+    ib0 = np.searchsorted(jb, u + k - ja, side="left")
+    cand = ca + (ja - u) * area + suffix_val[ib0]
+    cand_ib = suffix_arg[ib0]
+    # Equality candidate per row: j_b = u − j_a exactly (dense entries
+    # index themselves; the sentinel sits at the last domain slot).
+    target = u - ja
+    n_dense = nb - 1
+    eq_ib = np.where(
+        (target >= 0) & (target < n_dense),
+        np.clip(target, 0, nb - 1),
+        np.where(target == jb[-1], nb - 1, -1),
+    )
+    eq_val = np.where(eq_ib >= 0, ca + cb[np.clip(eq_ib, 0, nb - 1)], _INF)
+    use_eq = eq_val < cand
+    best = np.where(use_eq, eq_val, cand)
+    best_ib = np.where(use_eq, eq_ib, cand_ib)
+    ia = int(np.argmin(best))
+    if not best[ia] < _INF:
+        raise ReproError(
+            f"extraction failed at node {node_id} (u = {u})"
+        )
+    return int(ja[ia]), int(jb[int(best_ib[ia])])
+
+
 def _solve_node(node, child_solutions: Sequence[NodeSolution], k: int, prune: bool) -> NodeSolution:
     """DP step for a single node (leaf or internal)."""
     cap = _cap_for(node, k, prune)
@@ -257,19 +321,9 @@ class TreeSolution:
         a, b = kids
         ja, ca = a.domain()
         jb, cb = b.domain()
-        total_j = ja[:, None] + jb[None, :]
-        total_c = ca[:, None] + cb[None, :]
-        area = node.rect.area
-        value = total_c + (total_j - u) * area
-        invalid = (total_j != u) & (total_j < u + self.k)
-        value = np.where(invalid, _INF, value)
-        flat = int(np.argmin(value))
-        ia, ib = divmod(flat, value.shape[1])
-        if value[ia, ib] == _INF:
-            raise ReproError(
-                f"extraction failed at node {node.node_id} (u = {u})"
-            )
-        return int(ja[ia]), int(jb[ib])
+        return _split_scan(
+            u, ja, ca, jb, cb, node.rect.area, self.k, node_id=node.node_id
+        )
 
     def _choose_split_nary(
         self, node, u: int, kids: Sequence[NodeSolution]
@@ -313,16 +367,8 @@ class TreeSolution:
         return best
 
 
-def solve(tree, k: int, prune: bool = True) -> TreeSolution:
-    """Run the optimized DP over ``tree`` for anonymity degree ``k``.
-
-    ``prune=True`` applies the Lemma-5 cap — proven for the binary tree,
-    and the default production configuration.  Pass ``prune=False`` to
-    get the unpruned reference behaviour (used by tests and the ablation
-    benchmark).
-    """
-    if k < 1:
-        raise ReproError(f"k must be ≥ 1, got {k}")
+def _solve_object(tree, k: int, prune: bool) -> TreeSolution:
+    """The node-at-a-time object-graph DP (cross-check oracle)."""
     solutions: Dict[int, NodeSolution] = {}
     for node in tree.iter_postorder():
         child_solutions = [solutions[c.node_id] for c in node.children]
@@ -330,8 +376,41 @@ def solve(tree, k: int, prune: bool = True) -> TreeSolution:
     return TreeSolution(tree, k, prune, solutions)
 
 
+def solve(tree, k: int, prune: bool = True, engine: str = "flat") -> TreeSolution:
+    """Run the optimized DP over ``tree`` for anonymity degree ``k``.
+
+    ``prune=True`` applies the Lemma-5 cap — proven for the binary tree,
+    and the default production configuration.  Pass ``prune=False`` to
+    get the unpruned reference behaviour (used by tests and the ablation
+    benchmark).
+
+    ``engine`` selects the evaluator: ``"flat"`` (default) compiles the
+    tree to structure-of-arrays form and runs the level-batched kernels
+    of :mod:`repro.core.flat_dp` — bit-identical costs, much faster;
+    ``"object"`` forces the original node-at-a-time walk (the oracle the
+    property tests compare against).  Non-binary trees (the quad-tree
+    reference instances) always take the object path.
+    """
+    if k < 1:
+        raise ReproError(f"k must be ≥ 1, got {k}")
+    if engine not in ("flat", "object"):
+        raise ReproError(f"unknown solver engine {engine!r}")
+    if engine == "flat":
+        from .flat_dp import is_binary_tree, solve_flat
+
+        if is_binary_tree(tree):
+            return solve_flat(tree, k, prune=prune)
+    return _solve_object(tree, k, prune)
+
+
 def solve_best_orientation(
-    region, db, k: int, max_depth: int = 40, prune: bool = True
+    region,
+    db,
+    k: int,
+    max_depth: int = 40,
+    prune: bool = True,
+    pool=None,
+    engine: str = "flat",
 ) -> TreeSolution:
     """Solve both static binary-tree orientations and keep the cheaper.
 
@@ -341,16 +420,47 @@ def solve_best_orientation(
     orientations embed every quad-tree policy, so either is a valid
     (optimal for its vocabulary) policy-aware anonymization; picking the
     cheaper of the two is a free utility win at 2× solve cost.
+
+    The two builds share one row index (user ids / row map / coords) —
+    the leaf partition itself differs per orientation, but the point
+    data does not.  With ``pool`` (any ``concurrent.futures`` executor,
+    e.g. the parallel engine's process pool) the two DP runs execute
+    concurrently: each orientation is compiled to flat arrays, shipped
+    to a worker, and only the cost vectors come back.
     """
     from ..trees.binarytree import BinaryTree
 
-    best: Optional[TreeSolution] = None
-    best_cost = float("inf")
+    trees = []
+    shared_index = None
     for orientation in ("vertical", "horizontal"):
         tree = BinaryTree.build(
-            region, db, k, max_depth=max_depth, orientation=orientation
+            region,
+            db,
+            k,
+            max_depth=max_depth,
+            orientation=orientation,
+            shared_index=shared_index,
         )
-        solution = solve(tree, k, prune=prune)
+        if shared_index is None:
+            shared_index = (tree.user_ids, tree.user_row, tree.coords)
+        trees.append(tree)
+
+    if pool is not None and engine == "flat":
+        from ..trees.flat import FlatTree
+        from .flat_dp import solution_from_vecs, solve_arrays
+
+        flats = [FlatTree.compile(t) for t in trees]
+        futures = [pool.submit(solve_arrays, f, k, prune) for f in flats]
+        candidates = [
+            solution_from_vecs(tree, flat, fut.result(), k, prune)
+            for tree, flat, fut in zip(trees, flats, futures)
+        ]
+    else:
+        candidates = [solve(t, k, prune=prune, engine=engine) for t in trees]
+
+    best: Optional[TreeSolution] = None
+    best_cost = float("inf")
+    for solution in candidates:
         try:
             cost = solution.optimal_cost
         except NoFeasiblePolicyError:
@@ -373,7 +483,15 @@ def resolve_dirty(
     under "ancestor of a change", so recomputing exactly those nodes in
     post-order restores a globally optimal DP.  Returns the repaired
     solution and the number of node recomputations performed.
+
+    Flat-engine solutions are repaired by the level-batched, memoized
+    path of :mod:`repro.core.flat_dp`; it recomputes exactly the same
+    node set this object walk would.
     """
+    from .flat_dp import FlatTreeSolution, resolve_dirty_flat
+
+    if isinstance(solution, FlatTreeSolution):
+        return resolve_dirty_flat(solution, dirty)
     tree, k, prune = solution.tree, solution.k, solution.prune
     live = {nid: sol for nid, sol in solution.solutions.items() if nid in tree.nodes}
     recomputed = 0

@@ -165,6 +165,9 @@ class CSP:
     max_stale_snapshots:
         the bounded age of the "stale" rung: how many consecutive failed
         snapshot repairs may pass before requests are rejected outright.
+    engine:
+        DP evaluator for bulk solves and snapshot repairs — ``"flat"``
+        (default) or ``"object"`` (see :func:`repro.core.binary_dp.solve`).
     """
 
     def __init__(
@@ -182,6 +185,7 @@ class CSP:
         injector: Optional[FaultInjector] = None,
         clock: Optional[Clock] = None,
         max_stale_snapshots: int = 1,
+        engine: str = "flat",
     ):
         self.region = region
         self.k = k
@@ -196,7 +200,9 @@ class CSP:
         self.mpc = MobilePositioningCenter(db, injector=injector)
         self.provider = provider
         self.cache = AnswerCache(provider) if use_cache else None
-        self.anonymizer = IncrementalAnonymizer(region, k, max_depth=max_depth)
+        self.anonymizer = IncrementalAnonymizer(
+            region, k, max_depth=max_depth, engine=engine
+        )
         self.anonymizer.fit(db)
         #: consecutive snapshot advances that failed (0 = fresh policy).
         self.policy_age = 0

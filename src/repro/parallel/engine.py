@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.binary_dp import solve
 from ..core.errors import JurisdictionSolveError, ReproError
+from ..core.flat_dp import extract_cloaks, solve_arrays
 from ..core.geometry import Rect
 from ..core.policy import CloakingPolicy
 from ..core.locationdb import LocationDatabase
@@ -42,6 +43,7 @@ from ..robustness.degrade import fallback_jurisdiction_policy
 from ..robustness.faults import FaultInjector, InjectedFault, InjectedTimeout
 from ..robustness.retry import RetryPolicy
 from ..trees.binarytree import BinaryTree
+from ..trees.flat import FlatTree
 from ..trees.partition import Jurisdiction, greedy_partition, load_imbalance
 from .master import MasterPolicy, ServerPolicy
 
@@ -136,6 +138,23 @@ def _solve_jurisdiction(
     return cloaks, time.perf_counter() - start
 
 
+def _solve_jurisdiction_flat(
+    flat: FlatTree, k: int
+) -> Tuple[Dict[str, Tuple[float, float, float, float]], float]:
+    """One server's work over a pre-compiled flat subtree.
+
+    The master already owns the spatial structure (the partition tree),
+    so instead of re-deriving it from raw point rows the worker receives
+    the jurisdiction's structure-of-arrays slice — a handful of numpy
+    buffers that pickle in microseconds — and goes straight to the
+    level-batched DP plus standalone extraction.
+    """
+    start = time.perf_counter()
+    vecs = solve_arrays(flat, k)
+    cloaks = extract_cloaks(flat, vecs, k)
+    return cloaks, time.perf_counter() - start
+
+
 def _policy_from_cloaks(
     jur: Jurisdiction,
     rows: Sequence[Tuple[str, float, float]],
@@ -152,6 +171,7 @@ def _policy_from_cloaks(
 def _attempt_simulated(
     jur: Jurisdiction,
     rows,
+    payload: Optional[FlatTree],
     k: int,
     max_depth: int,
     attempt: int,
@@ -174,9 +194,12 @@ def _attempt_simulated(
             kind=kind,
         ) from exc
     try:
-        cloaks, elapsed = _solve_jurisdiction(
-            jur.rect.as_tuple(), rows, k, max_depth
-        )
+        if payload is not None:
+            cloaks, elapsed = _solve_jurisdiction_flat(payload, k)
+        else:
+            cloaks, elapsed = _solve_jurisdiction(
+                jur.rect.as_tuple(), rows, k, max_depth
+            )
     except Exception as exc:  # real solver errors carry the node id too
         raise JurisdictionSolveError(
             f"jurisdiction {jur.node_id} ({len(rows)} users) failed: {exc}",
@@ -210,6 +233,7 @@ def parallel_bulk_anonymize(
     retry_policy: Optional[RetryPolicy] = None,
     jurisdiction_timeout: Optional[float] = None,
     on_failure: str = "raise",
+    transport: str = "flat",
 ) -> ParallelResult:
     """Distribute bulk anonymization of ``db`` over ``n_servers``.
 
@@ -218,8 +242,20 @@ def parallel_bulk_anonymize(
     ``mode='process'`` runs them in a real process pool.
 
     ``partition_tree`` lets callers reuse a pre-built tree for the
-    greedy partitioning step (it is *not* reused for solving — each
-    server builds its own tree over its own territory, as in the paper).
+    greedy partitioning step.
+
+    ``transport`` selects what a server receives.  With ``'flat'`` (the
+    default) the master compiles each jurisdiction's subtree of the
+    partition tree into :class:`~repro.trees.flat.FlatTree` arrays
+    (depths rebased to the jurisdiction root, leaf→point index and
+    geometry attached) and ships those; workers run the level-batched DP
+    and standalone extraction directly on the arrays.  Compilation is
+    master-side prep and is charged to ``partition_seconds``, like the
+    partitioning itself.  With ``'rows'`` each server receives raw
+    ``(uid, x, y)`` rows and rebuilds its own tree over its territory,
+    as in the paper — the reference behaviour, and the fallback for
+    callers that hand in a ``partition_tree`` from a *different*
+    snapshot than ``db``.
 
     Robustness knobs (all off by default — the happy path is unchanged):
 
@@ -241,6 +277,8 @@ def parallel_bulk_anonymize(
         raise ReproError(f"unknown execution mode {mode!r}")
     if on_failure not in ("raise", "degrade"):
         raise ReproError(f"unknown on_failure mode {on_failure!r}")
+    if transport not in ("flat", "rows"):
+        raise ReproError(f"unknown transport {transport!r}")
     t0 = time.perf_counter()
     if partition_tree is None:
         partition_tree = BinaryTree.build(region, db, k, max_depth=max_depth)
@@ -252,16 +290,25 @@ def parallel_bulk_anonymize(
         j.node_id: partition_tree.users_of(partition_tree.nodes[j.node_id])
         for j in jurisdictions
     }
-    partition_seconds = time.perf_counter() - t0
 
     tasks = []
     for jur in jurisdictions:
         users = member_rows[jur.node_id]
+        # Raw rows back every task regardless of transport: the degrade
+        # fallback and the master-side policy assembly need them.
         rows = [
             (uid, db.location_of(uid).x, db.location_of(uid).y)
             for uid in users
         ]
-        tasks.append((jur, rows))
+        payload = None
+        if transport == "flat" and rows:
+            payload = FlatTree.compile(
+                partition_tree,
+                root=partition_tree.nodes[jur.node_id],
+                with_payload=True,
+            )
+        tasks.append((jur, rows, payload))
+    partition_seconds = time.perf_counter() - t0
 
     max_attempts = retry_policy.max_attempts if retry_policy else 1
     policies: Dict[int, Optional[CloakingPolicy]] = {}
@@ -271,9 +318,9 @@ def parallel_bulk_anonymize(
     failures: List[JurisdictionFailure] = []
 
     pending = []
-    for jur, rows in tasks:
+    for jur, rows, payload in tasks:
         if rows:
-            pending.append((jur, rows))
+            pending.append((jur, rows, payload))
         else:
             policies[jur.node_id] = None
 
@@ -281,7 +328,7 @@ def parallel_bulk_anonymize(
     try:
         round_no = 0
         while pending and round_no < max_attempts:
-            still_failing: List[Tuple[Jurisdiction, list]] = []
+            still_failing: List[Tuple[Jurisdiction, list, Optional[FlatTree]]] = []
             last_errors: Dict[int, JurisdictionSolveError] = {}
             if mode == "process":
                 outcomes = _process_round(
@@ -295,12 +342,13 @@ def parallel_bulk_anonymize(
                 )
             else:
                 outcomes = []
-                for jur, rows in pending:
+                for jur, rows, payload in pending:
                     try:
                         outcomes.append(
                             _attempt_simulated(
                                 jur,
                                 rows,
+                                payload,
                                 k,
                                 max_depth,
                                 round_no,
@@ -310,7 +358,7 @@ def parallel_bulk_anonymize(
                         )
                     except JurisdictionSolveError as exc:
                         outcomes.append(exc)
-            for (jur, rows), outcome in zip(pending, outcomes):
+            for (jur, rows, payload), outcome in zip(pending, outcomes):
                 attempts_used[jur.node_id] = round_no + 1
                 if isinstance(outcome, JurisdictionSolveError):
                     last_errors[jur.node_id] = outcome
@@ -318,7 +366,7 @@ def parallel_bulk_anonymize(
                     # produced nothing; charge the straggler budget.
                     if outcome.kind == "timeout" and jurisdiction_timeout:
                         retry_seconds += jurisdiction_timeout
-                    still_failing.append((jur, rows))
+                    still_failing.append((jur, rows, payload))
                 else:
                     cloaks, elapsed = outcome
                     policies[jur.node_id] = _policy_from_cloaks(
@@ -334,7 +382,7 @@ def parallel_bulk_anonymize(
             pool.shutdown(wait=False, cancel_futures=True)
 
     # Whatever is still pending exhausted every retry round.
-    for jur, rows in pending:
+    for jur, rows, __ in pending:
         error = last_errors[jur.node_id]
         if on_failure == "raise":
             raise error
@@ -353,10 +401,10 @@ def parallel_bulk_anonymize(
         )
 
     server_policies = [
-        ServerPolicy(jur, policies[jur.node_id]) for jur, __ in tasks
+        ServerPolicy(jur, policies[jur.node_id]) for jur, __, __ in tasks
     ]
     ordered_seconds = tuple(
-        seconds[jur.node_id] for jur, __ in tasks if jur.node_id in seconds
+        seconds[jur.node_id] for jur, __, __ in tasks if jur.node_id in seconds
     )
     master = MasterPolicy(server_policies, db)
     return ParallelResult(
@@ -376,7 +424,7 @@ def parallel_bulk_anonymize(
 
 def _process_round(
     pool: ProcessPoolExecutor,
-    pending: Sequence[Tuple[Jurisdiction, list]],
+    pending: Sequence[Tuple[Jurisdiction, list, Optional[FlatTree]]],
     k: int,
     max_depth: int,
     attempt: int,
@@ -393,7 +441,7 @@ def _process_round(
     """
     outcomes: List[object] = []
     submissions = []
-    for jur, rows in pending:
+    for jur, rows, payload in pending:
         extra = 0.0
         error: Optional[JurisdictionSolveError] = None
         if injector is not None:
@@ -413,6 +461,9 @@ def _process_round(
                 )
         if error is not None:
             submissions.append((jur, rows, None, extra, error))
+        elif payload is not None:
+            future = pool.submit(_solve_jurisdiction_flat, payload, k)
+            submissions.append((jur, rows, future, extra, None))
         else:
             future = pool.submit(
                 _solve_jurisdiction, jur.rect.as_tuple(), rows, k, max_depth

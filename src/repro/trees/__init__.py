@@ -3,12 +3,14 @@ quadrants/semi-quadrants (§V), and the greedy jurisdiction partitioner
 for parallel anonymization."""
 
 from .binarytree import BinaryTree
+from .flat import FlatTree
 from .node import SpatialNode
 from .partition import Jurisdiction, greedy_partition, load_imbalance
 from .quadtree import QuadTree
 
 __all__ = [
     "BinaryTree",
+    "FlatTree",
     "Jurisdiction",
     "QuadTree",
     "SpatialNode",

@@ -78,6 +78,9 @@ class BinaryTree:
         split_threshold: int,
         max_depth: int = 40,
         orientation: str = "vertical",
+        shared_index: Optional[
+            Tuple[List[str], Dict[str, int], np.ndarray]
+        ] = None,
     ):
         root_is_semi = _classify_root(region)
         if split_threshold < 1:
@@ -92,11 +95,19 @@ class BinaryTree:
         self.split_threshold = split_threshold
         self.max_depth = max_depth
         self.orientation = orientation
-        self.user_ids = db.user_ids()
-        self.user_row: Dict[str, int] = {
-            uid: i for i, uid in enumerate(self.user_ids)
-        }
-        self.coords = db.coords_array()
+        if shared_index is not None:
+            # Row index precomputed by a sibling tree over the *same*
+            # snapshot (solve_best_orientation builds two).  The id list
+            # and row map are immutable here; coords are copied because
+            # apply_moves mutates them per tree.
+            user_ids, user_row, coords = shared_index
+            self.user_ids = user_ids
+            self.user_row = user_row
+            self.coords = coords.copy()
+        else:
+            self.user_ids = db.user_ids()
+            self.user_row = {uid: i for i, uid in enumerate(self.user_ids)}
+            self.coords = db.coords_array()
         self._next_id = 0
         self.nodes: Dict[int, SpatialNode] = {}
         self.root = self._new_node(region, depth=0, parent=None, is_semi=root_is_semi)
@@ -116,6 +127,9 @@ class BinaryTree:
         k: int,
         max_depth: int = 40,
         orientation: str = "vertical",
+        shared_index: Optional[
+            Tuple[List[str], Dict[str, int], np.ndarray]
+        ] = None,
     ) -> "BinaryTree":
         """Build the tree for anonymity degree ``k`` (threshold = k)."""
         return cls(
@@ -124,6 +138,7 @@ class BinaryTree:
             split_threshold=k,
             max_depth=max_depth,
             orientation=orientation,
+            shared_index=shared_index,
         )
 
     def _new_node(
@@ -154,17 +169,27 @@ class BinaryTree:
             return node.rect.halves_vertical()
         return node.rect.halves_horizontal()
 
-    def _split(self, node: SpatialNode) -> None:
-        """Turn leaf ``node`` into an internal node with two children."""
+    def _split(
+        self, node: SpatialNode, rows: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Turn leaf ``node`` into an internal node with two children.
+
+        Children receive counts only; their ``point_index`` sets and the
+        ``_leaf_of`` entries are finalized by :meth:`_materialize` once a
+        leaf *settles* — a split cascade then costs one vectorized mask
+        per node instead of per-row Python set/dict churn.  Returns the
+        two child row arrays.
+        """
         if not node.is_leaf:
             raise TreeError(f"node {node.node_id} is already split")
         rect_a, rect_b = self._child_rects(node)
         child_semi = not node.is_semi
         child_a = self._new_node(rect_a, node.depth + 1, node, child_semi)
         child_b = self._new_node(rect_b, node.depth + 1, node, child_semi)
-        rows = np.fromiter(
-            node.point_index, dtype=np.int64, count=len(node.point_index)
-        )
+        if rows is None:
+            rows = np.fromiter(
+                node.point_index, dtype=np.int64, count=len(node.point_index)
+            )
         node.point_index = None
         # Points exactly on the split line go to the first child (West /
         # South), matching SpatialNode.child_for's first-match descent.
@@ -174,32 +199,35 @@ class BinaryTree:
             mask = self.coords[rows, 0] <= rect_a.x2
         else:  # horizontal cut: South | North
             mask = self.coords[rows, 1] <= rect_a.y2
-        set_a: Set[int] = set(rows[mask].tolist())
-        set_b: Set[int] = set(rows[~mask].tolist())
-        child_a.point_index = set_a
-        child_a.count = len(set_a)
-        child_b.point_index = set_b
-        child_b.count = len(set_b)
+        rows_a, rows_b = rows[mask], rows[~mask]
+        child_a.count = len(rows_a)
+        child_b.count = len(rows_b)
         node.children = [child_a, child_b]
-        for row in set_a:
-            self._leaf_of[row] = child_a
-        for row in set_b:
-            self._leaf_of[row] = child_b
+        return rows_a, rows_b
 
     def _materialize(self, start: SpatialNode) -> List[SpatialNode]:
         """Split ``start`` and descendants while the lazy rule demands it.
 
-        Returns every node created (used for dirty tracking).
+        Returns every node created (used for dirty tracking).  Row
+        bookkeeping is deferred: rows travel down the cascade as numpy
+        arrays and each settled leaf converts to its point set (and
+        claims its ``_leaf_of`` entries) exactly once.
         """
         created: List[SpatialNode] = []
-        frontier = [start]
+        if not start.is_leaf or not self._should_split(start):
+            return created
+        frontier: List[Tuple[SpatialNode, Optional[np.ndarray]]] = [(start, None)]
         while frontier:
-            node = frontier.pop()
-            if not node.is_leaf or not self._should_split(node):
+            node, rows = frontier.pop()
+            if not self._should_split(node):
+                node.point_index = set(rows.tolist())
+                for row in node.point_index:
+                    self._leaf_of[row] = node
                 continue
-            self._split(node)
+            rows_a, rows_b = self._split(node, rows)
             created.extend(node.children)
-            frontier.extend(node.children)
+            frontier.append((node.children[0], rows_a))
+            frontier.append((node.children[1], rows_b))
         return created
 
     def _collapse(self, node: SpatialNode) -> List[int]:

@@ -1,0 +1,188 @@
+"""Structure-of-arrays compilation of the binary tree (§V engine).
+
+The object tree of :mod:`repro.trees.binarytree` is the *mutable* data
+structure — lazy splits, point moves, collapses.  The DP, by contrast,
+only ever reads four per-node facts: count, area, depth and the two
+child links.  :class:`FlatTree` compiles those facts into contiguous
+numpy arrays, **level-major** (all nodes of depth ``h`` are contiguous),
+so the solver of :mod:`repro.core.flat_dp` can process a whole level
+with a handful of fused numpy kernels instead of one Python call per
+node.
+
+Three use sites:
+
+* bulk solve — compile once, solve level-synchronously;
+* incremental repair — :meth:`FlatTree.refresh` re-uses the compiled
+  arrays across snapshots: when :meth:`BinaryTree.apply_moves` changed
+  only counts (no splits/collapses) the arrays are patched in place,
+  otherwise the tree is recompiled (O(|B|), no point data touched);
+* parallel sharding — :meth:`FlatTree.compile` of a jurisdiction
+  *subtree* (``root=``, with depths rebased and the leaf→point index
+  attached) is a small bundle of arrays that pickles in microseconds,
+  so workers receive the already-built spatial structure instead of
+  rebuilding a tree from raw point rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import TreeError
+
+__all__ = ["FlatTree"]
+
+
+@dataclass
+class FlatTree:
+    """A binary spatial tree as parallel arrays, level-major order.
+
+    ``ids[i]`` is the object tree's node id for flat index ``i``; nodes
+    are sorted by ``(depth, node_id)`` so ``level_offsets[h] ..
+    level_offsets[h+1]`` spans exactly the nodes of depth ``h`` (the
+    root is always flat index 0).  ``left``/``right`` hold child flat
+    indices, −1 at leaves.
+
+    The payload block (``rects``/``leaf_ptr``/``leaf_rows``/
+    ``user_ids``) is attached only when the flat tree must stand alone
+    — i.e. when it is shipped to a worker process that has no object
+    tree to fall back on for policy extraction.
+    """
+
+    ids: np.ndarray            # (n,) int64
+    left: np.ndarray           # (n,) int64, -1 for leaves
+    right: np.ndarray          # (n,) int64, -1 for leaves
+    count: np.ndarray          # (n,) int64 — d(m)
+    area: np.ndarray           # (n,) float64 — cloak cost unit
+    depth: np.ndarray          # (n,) int64 — h(m), rebased when sliced
+    level_offsets: np.ndarray  # (height+2,) int64 prefix offsets
+    index_of: Dict[int, int] = field(default_factory=dict)
+    # -- standalone payload (worker transport) ----------------------------
+    rects: Optional[np.ndarray] = None      # (n, 4) float64 x1,y1,x2,y2
+    leaf_ptr: Optional[np.ndarray] = None   # (n+1,) int64 CSR offsets
+    leaf_rows: Optional[np.ndarray] = None  # (#points,) int64 local rows
+    user_ids: Optional[List[str]] = None    # local row -> user id
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.ids)
+
+    @property
+    def height(self) -> int:
+        return len(self.level_offsets) - 2
+
+    def level(self, h: int) -> Tuple[int, int]:
+        """The ``[lo, hi)`` flat-index span of depth ``h``."""
+        return int(self.level_offsets[h]), int(self.level_offsets[h + 1])
+
+    def rows_of(self, idx: int) -> np.ndarray:
+        """Local point rows of leaf ``idx`` (payload trees only)."""
+        return self.leaf_rows[self.leaf_ptr[idx] : self.leaf_ptr[idx + 1]]
+
+    # -- compilation -----------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        tree,
+        root=None,
+        with_payload: bool = False,
+    ) -> "FlatTree":
+        """Compile ``tree`` (or the subtree under ``root``) to arrays.
+
+        With ``root`` given, depths are rebased so the subtree root sits
+        at depth 0 — exactly what a jurisdiction server solving the
+        subtree as *its* map would see (the Lemma-5 cap is relative to
+        the solved root).  ``with_payload`` additionally attaches the
+        geometry and the leaf→point CSR index needed for standalone
+        policy extraction; point rows are renumbered to a local, sorted
+        0..n−1 range whose order matches ``BinaryTree.users_of``.
+        """
+        start = tree.root if root is None else root
+        base_depth = start.depth
+        nodes = sorted(
+            start.iter_subtree(), key=lambda m: (m.depth - base_depth, m.node_id)
+        )
+        n = len(nodes)
+        index_of = {m.node_id: i for i, m in enumerate(nodes)}
+        ids = np.fromiter((m.node_id for m in nodes), dtype=np.int64, count=n)
+        count = np.fromiter((m.count for m in nodes), dtype=np.int64, count=n)
+        area = np.fromiter((m.rect.area for m in nodes), dtype=np.float64, count=n)
+        depth = np.fromiter(
+            (m.depth - base_depth for m in nodes), dtype=np.int64, count=n
+        )
+        left = np.full(n, -1, dtype=np.int64)
+        right = np.full(n, -1, dtype=np.int64)
+        for i, m in enumerate(nodes):
+            if m.children:
+                if len(m.children) != 2:
+                    raise TreeError(
+                        f"flat compilation requires a binary tree; node "
+                        f"{m.node_id} has {len(m.children)} children"
+                    )
+                left[i] = index_of[m.children[0].node_id]
+                right[i] = index_of[m.children[1].node_id]
+        height = int(depth[-1]) if n else 0
+        level_offsets = np.searchsorted(
+            depth, np.arange(height + 2), side="left"
+        ).astype(np.int64)
+        flat = cls(
+            ids=ids,
+            left=left,
+            right=right,
+            count=count,
+            area=area,
+            depth=depth,
+            level_offsets=level_offsets,
+            index_of=index_of,
+        )
+        if with_payload:
+            flat.rects = np.array(
+                [m.rect.as_tuple() for m in nodes], dtype=np.float64
+            ).reshape(n, 4)
+            ptr = np.zeros(n + 1, dtype=np.int64)
+            chunks: List[np.ndarray] = []
+            for i, m in enumerate(nodes):
+                if m.is_leaf and m.point_index:
+                    rows = np.fromiter(
+                        m.point_index, dtype=np.int64, count=len(m.point_index)
+                    )
+                    rows.sort()
+                    chunks.append(rows)
+                    ptr[i + 1] = ptr[i] + len(rows)
+                else:
+                    ptr[i + 1] = ptr[i]
+            all_rows = (
+                np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+            )
+            # Renumber global tree rows to a local dense range ordered by
+            # global row — the same deterministic order users_of() uses.
+            order = np.sort(all_rows)
+            local = np.searchsorted(order, all_rows)
+            flat.leaf_ptr = ptr
+            flat.leaf_rows = local
+            flat.user_ids = [tree.user_ids[r] for r in order]
+        return flat
+
+    # -- incremental maintenance ----------------------------------------------
+
+    def refresh(self, tree, dirty) -> Tuple["FlatTree", bool]:
+        """Bring the arrays up to date after ``tree.apply_moves``.
+
+        Returns ``(flat, structure_changed)``.  When the move batch
+        neither split nor collapsed any node (every dirty id is a node
+        we already know and the node census is unchanged) only the
+        ``count`` column needs patching — done in place, O(|dirty|).
+        Any structural change falls back to a full recompile, which is
+        still O(|B|) and touches no point data.
+        """
+        same_structure = len(tree.nodes) == self.n_nodes and all(
+            nid in self.index_of for nid in dirty
+        )
+        if same_structure:
+            for nid in dirty:
+                self.count[self.index_of[nid]] = tree.nodes[nid].count
+            return self, False
+        return FlatTree.compile(tree), True
