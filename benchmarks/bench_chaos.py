@@ -1,11 +1,14 @@
-"""Chaos benchmark: availability and latency with vs without faults.
+"""Chaos benchmark: availability, latency, and MTTR under faults.
 
 Runs the §VII deterministic DES and the §V parallel engine twice each —
 once clean, once under a seeded chaos schedule — and reports
-availability, p50/p99 latency, and the degradation counters.  The
-hard gate is the fail-closed invariant: no schedule may ever produce a
-policy-aware breach, so degraded operation trades *utility and
-availability* for faults, never anonymity.
+availability, p50/p99 latency, and the degradation counters.  A third
+parallel scenario SIGKILLs a real worker process mid-solve and reports
+**MTTR** (mean time to recovery: pool rebuild + re-solve of the lost
+jurisdictions, per recovery event).  The hard gate is the fail-closed
+invariant: no schedule may ever produce a policy-aware breach, so
+degraded operation trades *utility and availability* for faults, never
+anonymity.
 """
 
 import numpy as np
@@ -22,6 +25,7 @@ from repro.robustness import (
     FaultRule,
     RetryPolicy,
 )
+from repro.robustness.chaos import KillPlan
 
 from conftest import run_once
 
@@ -74,6 +78,8 @@ def _run_chaos(scale):
             "rejected",
             "stale",
             "retries",
+            "recoveries",
+            "mttr_ms",
             "breaches",
         ],
     )
@@ -96,6 +102,8 @@ def _run_chaos(scale):
             rejected=report.rejected,
             stale=report.stale_served,
             retries=report.provider_retries,
+            recoveries=0,
+            mttr_ms=0.0,
             # The DES serves real policy cloaks; its breach count is the
             # policy audit's, checked on the bulk rows below.
             breaches=0,
@@ -131,8 +139,38 @@ def _run_chaos(scale):
             rejected=0,
             stale=0,
             retries=result.total_attempts - result.n_servers,
+            recoveries=result.recoveries,
+            mttr_ms=1e3 * result.mttr,
             breaches=len(audit.breached_users),
         )
+
+    # -- real process-kill recovery -------------------------------------------
+    kill_db = uniform_users(240, region, seed=102)
+    clean = parallel_bulk_anonymize(region, kill_db, K, 4, mode="simulated")
+    victim = max(clean.jurisdictions, key=lambda j: j.count).node_id
+    result = parallel_bulk_anonymize(
+        region,
+        kill_db,
+        K,
+        4,
+        mode="process",
+        kill_plan=KillPlan.first_attempt(victim),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+    )
+    per_server = np.array(result.server_seconds)
+    audit = audit_policy(result.master.merged, K)
+    table.add(
+        scenario="bulk/kill",
+        availability=result.availability,
+        p50_ms=1e3 * float(np.percentile(per_server, 50)),
+        p99_ms=1e3 * float(np.percentile(per_server, 99)),
+        rejected=0,
+        stale=0,
+        retries=result.total_attempts - result.n_servers,
+        recoveries=result.recoveries,
+        mttr_ms=1e3 * result.mttr,
+        breaches=len(audit.breached_users),
+    )
     return table
 
 
@@ -159,3 +197,7 @@ def test_chaos_availability_and_latency(benchmark, record_table, profile):
         + rows["des/chaos"]["retries"]
         > 0
     )
+    # The SIGKILL'd run recovered (pool rebuilt) and lost no users.
+    assert rows["bulk/kill"]["availability"] == 1.0
+    assert rows["bulk/kill"]["recoveries"] >= 1
+    assert rows["bulk/kill"]["mttr_ms"] > 0.0

@@ -31,6 +31,7 @@ from .core import (
     IncrementalAnonymizer,
     JurisdictionSolveError,
     NoFeasiblePolicyError,
+    RecoveryError,
     Point,
     PolicyAwareAnonymizer,
     PolicyError,
@@ -64,6 +65,7 @@ __all__ = [
     "Point",
     "PolicyAwareAnonymizer",
     "PolicyError",
+    "RecoveryError",
     "Rect",
     "ReproError",
     "ServiceRequest",

@@ -94,9 +94,12 @@ class PolicyAwareAnonymizer:
     @property
     def policy(self) -> CloakingPolicy:
         """The optimal policy-aware sender k-anonymous policy."""
+        if self._policy is not None:
+            # Either lazily extracted below, or adopted by a journal
+            # restore (which may not carry DP state at all).
+            return self._policy
         self._require_fit()
-        if self._policy is None:
-            self._policy = self.solution.policy()
+        self._policy = self.solution.policy()
         return self._policy
 
     # -- serving phase ----------------------------------------------------------
@@ -137,11 +140,43 @@ class IncrementalAnonymizer(PolicyAwareAnonymizer):
     re-computation — Figure 5(b) measures when it is also *faster*.
     """
 
+    def restore(
+        self,
+        db: LocationDatabase,
+        policy: CloakingPolicy,
+        solution: Optional[TreeSolution] = None,
+    ) -> "IncrementalAnonymizer":
+        """Adopt journalled state instead of re-running bulk anonymization.
+
+        The recovery path of a restarted CSP: rebuild the (deterministic)
+        tree for snapshot ``db`` — cheap relative to the DP — and serve
+        the recovered ``policy`` directly.  With ``solution`` (rehydrated
+        DP state, see :func:`repro.core.flat_dp.rehydrate_solution`) the
+        next :meth:`update` repairs incrementally; without it the first
+        :meth:`update` falls back to one bulk solve, but serving works
+        immediately either way.
+        """
+        self.tree = BinaryTree.build(
+            self.region, db, self.k, max_depth=self.max_depth
+        )
+        self.solution = solution
+        self._policy = policy
+        return self
+
     def update(self, moves: Mapping[str, Point]) -> UpdateReport:
         """Advance to the next snapshot where ``moves`` users relocated."""
-        solution = self._require_fit()
+        if self.tree is None:
+            raise ReproError("call fit(db) or restore(...) before update()")
         dirty = self.tree.apply_moves(moves)
-        self.solution, recomputed = resolve_dirty(solution, dirty)
+        if self.solution is None:
+            # Cold-restored (no journalled DP state): the first repair
+            # is a full re-solve of the already-updated tree.
+            self.solution = solve(
+                self.tree, self.k, prune=self.prune, engine=self.engine
+            )
+            recomputed = len(self.tree)
+        else:
+            self.solution, recomputed = resolve_dirty(self.solution, dirty)
         self._policy = None
         return UpdateReport(
             moved_users=len(moves),
@@ -153,5 +188,6 @@ class IncrementalAnonymizer(PolicyAwareAnonymizer):
     @property
     def current_db(self) -> LocationDatabase:
         """The snapshot the current policy is valid for."""
-        self._require_fit()
+        if self.tree is None:
+            raise ReproError("call fit(db) or restore(...) first")
         return self.tree.db

@@ -105,6 +105,24 @@ class ServiceUnavailableError(ReproError):
         self.reason = reason
 
 
+class RecoveryError(ReproError):
+    """Durable anonymization state could not be recovered safely.
+
+    Raised by the crash-consistent snapshot store when the journal or a
+    committed snapshot fails validation (truncation, checksum mismatch,
+    engine-fingerprint mismatch, stale db-serial).  The store fails
+    closed: a CSP that cannot prove its recovered policy is the one it
+    journalled refuses to serve rather than risk a non-masking or
+    wrong-snapshot policy.
+    """
+
+    def __init__(self, message: str, *, reason: str = "corrupt"):
+        super().__init__(message)
+        #: Machine-readable cause: ``"corrupt"``, ``"torn"``, ``"empty"``,
+        #: ``"fingerprint"``, ``"stale"``.
+        self.reason = reason
+
+
 class DeadlineExceededError(ReproError):
     """A retried call ran out of its per-call deadline budget."""
 

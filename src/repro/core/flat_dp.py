@@ -47,6 +47,7 @@ __all__ = [
     "resolve_dirty_flat",
     "solve_arrays",
     "solution_from_vecs",
+    "rehydrate_solution",
     "extract_cloaks",
     "is_binary_tree",
 ]
@@ -378,6 +379,58 @@ def solution_from_vecs(
     return FlatTreeSolution(
         tree, k, prune, solutions, flat, SubtreeMemo(k, prune), {}
     )
+
+
+def rehydrate_solution(
+    tree, flat: FlatTree, vecs: Sequence[np.ndarray], k: int, prune: bool
+) -> FlatTreeSolution:
+    """Rebuild a full :class:`FlatTreeSolution` from persisted vectors.
+
+    The warm-restart path of the recovery subsystem: a restarted process
+    has the cost vectors (journalled to disk) but neither the subtree
+    memo nor the fingerprint tokens, which only ever lived in memory.
+    Unlike :func:`solution_from_vecs` (whose empty memo is fine for a
+    throwaway extraction but would let distinct clean subtrees alias
+    under a shared ``None`` token during repair), this recomputes every
+    node's fingerprint bottom-up exactly as ``_solve_levels`` would and
+    seeds the memo with the persisted vectors — so a subsequent
+    :func:`resolve_dirty_flat` batches and shares exactly as if the
+    process had never died.
+    """
+    memo = SubtreeMemo(k, prune)
+    caps = _caps_for(flat, k, prune)
+    n = flat.n_nodes
+    tokens: List[Optional[int]] = [None] * n
+    left_l = flat.left.tolist()
+    right_l = flat.right.tolist()
+    for h in range(flat.height, -1, -1):
+        lo, hi = flat.level(h)
+        for i in range(lo, hi):
+            li = left_l[i]
+            if li < 0:
+                key = (flat.count[i], caps[i], flat.area[i])
+            else:
+                key = (
+                    flat.count[i],
+                    caps[i],
+                    flat.area[i],
+                    tokens[li],
+                    tokens[right_l[i]],
+                )
+            token = memo.token_for(key)
+            tokens[i] = token
+            if memo._vecs.get(token) is None:
+                memo.store(token, np.asarray(vecs[i], dtype=float))
+    solutions = {
+        int(flat.ids[i]): NodeSolution(
+            int(flat.ids[i]),
+            int(flat.count[i]),
+            np.asarray(vecs[i], dtype=float),
+        )
+        for i in range(n)
+    }
+    token_map = {int(flat.ids[i]): tokens[i] for i in range(n)}
+    return FlatTreeSolution(tree, k, prune, solutions, flat, memo, token_map)
 
 
 def solve_flat(

@@ -13,8 +13,11 @@ cannot smuggle in a non-masking policy.
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import json
+import os
+import tempfile
 from typing import Dict, TextIO, Union
 
 from .errors import ReproError
@@ -29,6 +32,11 @@ __all__ = [
     "load_policy",
     "write_locations_csv",
     "read_locations_csv",
+    "canonical_dumps",
+    "checksum_of",
+    "file_checksum",
+    "atomic_write_json",
+    "atomic_write_bytes",
 ]
 
 _FORMAT = "repro-policy"
@@ -117,6 +125,75 @@ def load_policy(path: str) -> CloakingPolicy:
     """Read a policy back; masking is re-validated on load."""
     with open(path, "r", encoding="utf-8") as handle:
         return policy_from_dict(json.load(handle))
+
+
+# -- durable, checksummed writes (the recovery substrate) ----------------------
+
+
+def canonical_dumps(data) -> str:
+    """Deterministic JSON encoding: sorted keys, fixed separators.
+
+    Checksums are computed over this form, so two processes serializing
+    the same logical document always agree on the digest.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def checksum_of(data) -> str:
+    """Content checksum of a JSON-ready document (hex blake2b-128)."""
+    return hashlib.blake2b(
+        canonical_dumps(data).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def file_checksum(path: str) -> str:
+    """Checksum of a file's raw bytes (hex blake2b-128)."""
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` crash-consistently.
+
+    The bytes land in a temporary file in the same directory, are
+    fsync'd, and only then renamed over ``path`` — a reader (or a
+    restarted process) sees either the complete old file or the complete
+    new one, never a torn intermediate.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    # Make the rename itself durable (directory entry).
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass  # not all filesystems support directory fsync
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_json(path: str, data) -> str:
+    """Atomically persist a JSON document; returns its content checksum."""
+    digest = checksum_of(data)
+    atomic_write_bytes(path, canonical_dumps(data).encode("utf-8"))
+    return digest
 
 
 def write_locations_csv(db: LocationDatabase, target: Union[str, TextIO]) -> None:

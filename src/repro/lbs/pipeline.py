@@ -57,6 +57,11 @@ from ..robustness.faults import (
     FaultInjector,
     InjectedFault,
 )
+from ..robustness.recovery import (
+    PolicyJournal,
+    RecoveredSnapshot,
+    rehydrate_flat_solution,
+)
 from ..robustness.retry import (
     CircuitBreaker,
     Clock,
@@ -168,6 +173,12 @@ class CSP:
     engine:
         DP evaluator for bulk solves and snapshot repairs — ``"flat"``
         (default) or ``"object"`` (see :func:`repro.core.binary_dp.solve`).
+    journal:
+        a :class:`~repro.robustness.recovery.PolicyJournal`: every
+        successful (policy, db-serial) pair is committed
+        crash-consistently, and :meth:`CSP.restore` resurrects a serving
+        CSP from it after a restart without re-running bulk
+        anonymization.
     """
 
     def __init__(
@@ -186,6 +197,8 @@ class CSP:
         clock: Optional[Clock] = None,
         max_stale_snapshots: int = 1,
         engine: str = "flat",
+        journal: Optional[PolicyJournal] = None,
+        _recovered: Optional[RecoveredSnapshot] = None,
     ):
         self.region = region
         self.k = k
@@ -195,6 +208,7 @@ class CSP:
         self.breaker = circuit_breaker
         self.provider_deadline = provider_deadline
         self.max_stale_snapshots = max_stale_snapshots
+        self.journal = journal
         if injector is not None:
             provider = FaultInjectingProvider(provider, injector)
         self.mpc = MobilePositioningCenter(db, injector=injector)
@@ -203,14 +217,130 @@ class CSP:
         self.anonymizer = IncrementalAnonymizer(
             region, k, max_depth=max_depth, engine=engine
         )
-        self.anonymizer.fit(db)
         #: consecutive snapshot advances that failed (0 = fresh policy).
         self.policy_age = 0
-        self._snapshot_index = 0
+        #: True between a journal restore and the first successful
+        #: repair — requests are labelled with the "recovered" rung.
+        self.restored = False
         #: antichain of coarsened tree nodes: node_id → ancestor rect.
         self._coarsened: Dict[int, Rect] = {}
         #: degradation rung transitions, for observability/benches.
         self.events: List[DegradationEvent] = []
+        if _recovered is not None:
+            # Journal restart: adopt the committed policy (serving works
+            # immediately), then try to warm the DP so the next repair
+            # goes through resolve_dirty instead of a bulk re-solve.
+            self.anonymizer.restore(
+                _recovered.policy.db, _recovered.policy, solution=None
+            )
+            self.anonymizer.solution = rehydrate_flat_solution(
+                self.anonymizer.tree, _recovered, k, prune=True
+            )
+            self._snapshot_index = _recovered.serial
+            self.restored = True
+            self.events.append(
+                DegradationEvent(
+                    level="recovered",
+                    reason="restart",
+                    detail=(
+                        f"serial {_recovered.serial}, "
+                        f"dp={'warm' if self.anonymizer.solution else 'cold'}"
+                    ),
+                )
+            )
+        else:
+            self.anonymizer.fit(db)
+            self._snapshot_index = 0
+            self._journal_commit()
+
+    # -- durability ----------------------------------------------------------
+
+    def _fingerprint(self) -> Dict[str, object]:
+        """What must match for journalled state to be adoptable here."""
+        return {
+            "engine": self.anonymizer.engine,
+            "k": self.k,
+            "max_depth": self.anonymizer.max_depth,
+            "prune": self.anonymizer.prune,
+            "region": list(self.region.as_tuple()),
+        }
+
+    def _journal_commit(self) -> None:
+        """Commit the current (policy, db-serial) pair, fail-visible.
+
+        A journal write failure must not take serving down (durability
+        degraded ≠ privacy degraded), but it is recorded as an event so
+        operators see the exposure window.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.commit(
+                self.anonymizer.policy,
+                self._snapshot_index,
+                self._fingerprint(),
+                solution=self.anonymizer.solution,
+            )
+        except OSError as exc:
+            self.events.append(
+                DegradationEvent(
+                    level="journal",
+                    reason="commit-failed",
+                    detail=str(exc),
+                )
+            )
+
+    @classmethod
+    def restore(
+        cls,
+        provider: LBSProvider,
+        journal: PolicyJournal,
+        *,
+        use_cache: bool = True,
+        current_serial: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        circuit_breaker: Optional[CircuitBreaker] = None,
+        provider_deadline: Optional[float] = None,
+        injector: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
+        max_stale_snapshots: int = 1,
+    ) -> "CSP":
+        """Resurrect a CSP from its journal after a crash or restart.
+
+        The recovered policy serves immediately on the "recovered" rung
+        (bit-identical cloaks to the pre-crash CSP); the next
+        :meth:`advance_snapshot` repairs forward incrementally when the
+        DP sidecar validated, or re-solves once when it did not.
+        ``current_serial`` (the world's present snapshot serial, e.g.
+        from the MPC) enforces the stale bound at restore time —
+        journalled state too far behind is rejected fail-closed.
+        """
+        snapshot = journal.recover(
+            current_serial=current_serial,
+            max_stale_snapshots=max_stale_snapshots,
+        )
+        fp = snapshot.fingerprint
+        region = Rect(*fp["region"])
+        csp = cls(
+            region,
+            int(fp["k"]),
+            snapshot.policy.db,
+            provider,
+            use_cache,
+            int(fp.get("max_depth", 40)),
+            retry_policy=retry_policy,
+            circuit_breaker=circuit_breaker,
+            provider_deadline=provider_deadline,
+            injector=injector,
+            clock=clock,
+            max_stale_snapshots=max_stale_snapshots,
+            engine=str(fp.get("engine", "flat")),
+            journal=journal,
+            _recovered=snapshot,
+        )
+        if current_serial is not None:
+            csp.policy_age = max(0, current_serial - snapshot.serial)
+        return csp
 
     # -- serving ------------------------------------------------------------
 
@@ -226,7 +356,12 @@ class CSP:
         service_request = ServiceRequest(
             str(user_id), location, normalize_payload(payload)
         )
-        degradation = "stale" if self.policy_age > 0 else "fresh"
+        if self.policy_age > 0:
+            degradation = "stale"
+        elif self.restored:
+            degradation = "recovered"
+        else:
+            degradation = "fresh"
         anonymized = self._anonymize_fail_closed(service_request)
         if anonymized.cloak != self.anonymizer.policy.cloak_for(str(user_id)):
             degradation = "coarsened"
@@ -437,7 +572,9 @@ class CSP:
         report = self.anonymizer.update(moves)
         self.mpc.refresh(self.anonymizer.current_db)
         self.policy_age = 0
+        self.restored = False  # first successful repair ends recovery
         self._coarsened.clear()  # a fresh policy supersedes coarsening
+        self._journal_commit()
         return report
 
     @property

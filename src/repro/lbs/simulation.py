@@ -83,6 +83,13 @@ class SimulationReport:
     provider_retries: int = 0
     #: snapshot repairs that failed (policy kept, staleness grew).
     failed_snapshots: int = 0
+    #: per-rung SLO accounting: latencies of served requests keyed by
+    #: degradation level ("fresh" | "coarsened" | "stale" | "recovered")
+    #: — :data:`repro.robustness.degrade.DEGRADATION_LEVELS` minus
+    #: "rejected", which never produces a latency.
+    latencies_by_rung: Dict[str, List[float]] = field(
+        repr=False, default_factory=dict
+    )
 
     @property
     def throughput(self) -> float:
@@ -111,6 +118,41 @@ class SimulationReport:
     @property
     def mean_queue_delay(self) -> float:
         return float(np.mean(self.queue_delays)) if self.queue_delays else 0.0
+
+    # -- per-rung SLOs -------------------------------------------------------
+
+    @property
+    def served_by_rung(self) -> Dict[str, int]:
+        """How many requests each degradation rung served."""
+        return {
+            rung: len(lats) for rung, lats in self.latencies_by_rung.items()
+        }
+
+    def rung_latency_percentile(self, rung: str, q: float) -> float:
+        lats = self.latencies_by_rung.get(rung)
+        if not lats:
+            return 0.0
+        return float(np.percentile(lats, q))
+
+    def rung_mean_latency(self, rung: str) -> float:
+        lats = self.latencies_by_rung.get(rung)
+        return float(np.mean(lats)) if lats else 0.0
+
+    def slo_summary(self) -> str:
+        """One line per active rung: count, mean and p99 latency."""
+        lines = []
+        for rung in ("fresh", "coarsened", "stale", "recovered"):
+            lats = self.latencies_by_rung.get(rung)
+            if not lats:
+                continue
+            lines.append(
+                f"{rung}: {len(lats)} served, mean "
+                f"{1e3 * self.rung_mean_latency(rung):.2f} ms, p99 "
+                f"{1e3 * self.rung_latency_percentile(rung, 99):.2f} ms"
+            )
+        if self.rejected:
+            lines.append(f"rejected: {self.rejected}")
+        return "\n".join(lines)
 
     def summary(self) -> str:
         text = (
@@ -187,7 +229,8 @@ class LBSSimulation:
         self.n_servers = n_servers
         #: chaos schedule: "repair" faults stall the policy (bounded-age
         #: stale serving, then fail-closed rejection); "provider" faults
-        #: cost retries with backoff, then rejection.
+        #: cost retries with backoff, then rejection; "coarsen" faults
+        #: serve the arrival one rung down (ancestor cloak).
         self.injector = injector
         self.retry_policy = retry_policy
         self.max_stale_snapshots = max_stale_snapshots
@@ -225,7 +268,7 @@ class LBSSimulation:
             push(tick, _SNAPSHOT)
             tick += self.snapshot_period
 
-        cache: Dict[Tuple[object, str], bool] = {}
+        cache: Dict[Tuple[object, str, bool], bool] = {}
         policy_ready_at = 0.0  # requests wait for an in-flight repair
         report = SimulationReport(
             duration=duration,
@@ -236,6 +279,10 @@ class LBSSimulation:
         )
 
         stale_age = 0  # consecutive failed repairs (fail-closed bound)
+        # True for the snapshot window right after a repair that ended a
+        # stale streak: requests there ride the "recovered" rung (served
+        # from a freshly repaired policy, not a continuously fresh one).
+        recovered_window = False
         arrival_serial = 0
         while events:
             now, kind, __, ___ = heapq.heappop(events)
@@ -264,6 +311,7 @@ class LBSSimulation:
                 policy_ready_at = (
                     now + self.times.reanonymization / self.n_servers
                 )
+                recovered_window = stale_age > 0
                 stale_age = 0
                 continue
 
@@ -282,7 +330,18 @@ class LBSSimulation:
             ]
             cloak = self._policy.cloak_for(user)
             service = self.times.cloak_lookup
-            key = (cloak, category)
+            coarsened = False
+            if self.injector is not None:
+                try:
+                    self.injector.fire("coarsen", arrival_serial)
+                except InjectedFault:
+                    # Coarsened rung: the requester's reported position
+                    # is too uncertain for its fine cloak, so serving
+                    # walks up to a safe ancestor — one extra cloak
+                    # lookup and a coarser, cache-distinct region.
+                    coarsened = True
+                    service += self.times.cloak_lookup
+            key = (cloak, category, coarsened)
             needs_provider = True
             if self.use_cache:
                 service += self.times.cache_lookup
@@ -304,7 +363,15 @@ class LBSSimulation:
             report.served += 1
             if stale_age > 0:
                 report.stale_served += 1
+                rung = "stale"
+            elif coarsened:
+                rung = "coarsened"
+            elif recovered_window:
+                rung = "recovered"
+            else:
+                rung = "fresh"
             report.latencies.append(finish - now)
+            report.latencies_by_rung.setdefault(rung, []).append(finish - now)
             report.queue_delays.append(queue_delay)
         return report
 

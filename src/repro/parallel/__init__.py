@@ -1,16 +1,27 @@
 """Parallel anonymization across server jurisdictions (§V), plus the
 dynamic pool maintenance of the paper's declared future work."""
 
-from .dynamic import PoolReport, RebalancingPool
+from .dynamic import (
+    HandoffReport,
+    PoolReport,
+    RebalancingPool,
+    adjacent_rects,
+    assign_adopters,
+    handoff_shards,
+)
 from .engine import JurisdictionFailure, ParallelResult, parallel_bulk_anonymize
 from .master import MasterPolicy, ServerPolicy
 
 __all__ = [
+    "HandoffReport",
     "JurisdictionFailure",
     "MasterPolicy",
     "ParallelResult",
     "PoolReport",
     "RebalancingPool",
     "ServerPolicy",
+    "adjacent_rects",
+    "assign_adopters",
+    "handoff_shards",
     "parallel_bulk_anonymize",
 ]

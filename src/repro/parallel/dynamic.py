@@ -13,20 +13,31 @@ This module implements that future work at the algorithmic level:
 * when the load imbalance (max/mean users per non-empty jurisdiction)
   drifts past a threshold, the map is re-partitioned from a fresh tree
   and every server re-solves — the paper's "static partition per
-  representative snapshot" generalized to an online trigger.
+  representative snapshot" generalized to an online trigger;
+* when a server is lost for good (:meth:`RebalancingPool.server_failed`,
+  or the engine's ``on_failure='handoff'``), its territory is
+  re-partitioned into shards that are re-solved online and adopted by
+  rectangle-adjacent neighbours (:func:`handoff_shards`,
+  :func:`assign_adopters`) — so the dead jurisdiction's users get
+  *fine* per-shard optimal cloaks back instead of living with the
+  coarse single-rectangle degrade fallback.
 
 The privacy guarantee is unconditional: after every advance, each
 jurisdiction's policy is the policy-aware optimal one for its current
 population, so the master policy is policy-aware k-anonymous throughout.
+Shard solves are share-nothing like jurisdiction solves, so the §VI-D
+utility caveat applies verbatim: hand-off cost can exceed the dead
+territory's single-server optimum, by <1% in the paper's measurements.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.binary_dp import solve
-from ..core.errors import ReproError
+from ..core.errors import ReproError, ServiceUnavailableError
 from ..core.geometry import Point, Rect
 from ..core.locationdb import LocationDatabase
 from ..core.policy import CloakingPolicy
@@ -34,7 +45,131 @@ from ..trees.binarytree import BinaryTree
 from ..trees.partition import Jurisdiction, greedy_partition
 from .master import MasterPolicy, ServerPolicy
 
-__all__ = ["PoolReport", "RebalancingPool"]
+__all__ = [
+    "HandoffReport",
+    "PoolReport",
+    "RebalancingPool",
+    "adjacent_rects",
+    "assign_adopters",
+    "handoff_shards",
+]
+
+
+def adjacent_rects(a: Rect, b: Rect, tol: float = 1e-9) -> bool:
+    """Do two rectangles share a boundary segment of positive length?"""
+    x_touch = abs(a.x2 - b.x1) <= tol or abs(b.x2 - a.x1) <= tol
+    y_overlap = min(a.y2, b.y2) - max(a.y1, b.y1) > tol
+    y_touch = abs(a.y2 - b.y1) <= tol or abs(b.y2 - a.y1) <= tol
+    x_overlap = min(a.x2, b.x2) - max(a.x1, b.x1) > tol
+    return (x_touch and y_overlap) or (y_touch and x_overlap)
+
+
+def handoff_shards(
+    rect: Rect,
+    rows: Sequence[Tuple[str, float, float]],
+    k: int,
+    *,
+    max_depth: int = 40,
+    n_shards: int = 2,
+    base_node_id: int = 0,
+) -> List[Tuple[Jurisdiction, Optional[CloakingPolicy], float]]:
+    """Re-partition a dead jurisdiction's territory and re-solve it.
+
+    ``rows`` are the lost territory's ``(user_id, x, y)`` tuples.  The
+    territory is split by the paper's greedy partitioner into at most
+    ``n_shards`` shards, and each populated shard is solved
+    independently — exactly a jurisdiction solve, just over a smaller
+    map — so its users regain policy-aware *optimal* cloaks rather than
+    the coarse territory rectangle.  Returns
+    ``(shard jurisdiction, shard policy or None, solve seconds)``
+    triples; shard jurisdictions get synthetic node ids starting at
+    ``base_node_id`` (callers pick a range that cannot collide with live
+    tree node ids).  Empty shards are kept (policy ``None``) so the
+    returned shards still tile the whole territory.
+
+    Fails closed: a territory with fewer than ``k`` users cannot be
+    anonymized by any shard, so no hand-off exists.
+    """
+    rows = list(rows)
+    if not rows:
+        return []
+    if len(rows) < k:
+        raise ServiceUnavailableError(
+            f"dead territory holds only {len(rows)} users (< k={k}); "
+            "no hand-off can anonymize them, refusing to serve",
+            reason="handoff",
+        )
+    local_db = LocationDatabase(rows)
+    tree = BinaryTree.build(rect, local_db, k, max_depth=max_depth)
+    shards = greedy_partition(tree, max(1, n_shards), k)
+    out: List[Tuple[Jurisdiction, Optional[CloakingPolicy], float]] = []
+    for offset, shard in enumerate(shards):
+        shard_id = base_node_id + offset
+        members = tree.users_of(tree.nodes[shard.node_id])
+        jur = Jurisdiction(
+            rect=shard.rect,
+            is_semi=shard.is_semi,
+            count=len(members),
+            node_id=shard_id,
+        )
+        if not members:
+            out.append((jur, None, 0.0))
+            continue
+        start = time.perf_counter()
+        shard_db = local_db.subset(members)
+        shard_tree = BinaryTree.build(
+            shard.rect, shard_db, k, max_depth=max_depth
+        )
+        policy = solve(shard_tree, k).policy(name=f"handoff-{shard_id}")
+        out.append((jur, policy, time.perf_counter() - start))
+    return out
+
+
+def assign_adopters(
+    shards: Sequence[Jurisdiction],
+    survivors: Sequence[Jurisdiction],
+    load: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """Pick which surviving server adopts each hand-off shard.
+
+    Preference order per shard: the least-loaded survivor whose
+    rectangle is *adjacent* to the shard (locality keeps re-routing
+    cheap), then the least-loaded survivor overall.  ``load`` (user
+    count per survivor) is updated in place as shards are assigned, so
+    one overloaded neighbour does not absorb every shard.  Returns
+    ``{shard node_id: adopter node_id}`` — empty when no survivor
+    exists (the master then owns the shards directly).
+    """
+    if not survivors:
+        return {}
+    if load is None:
+        load = {j.node_id: j.count for j in survivors}
+    assignment: Dict[int, int] = {}
+    for shard in shards:
+        neighbours = [
+            j for j in survivors if adjacent_rects(shard.rect, j.rect)
+        ]
+        pool = neighbours or list(survivors)
+        adopter = min(
+            pool, key=lambda j: (load.get(j.node_id, 0), j.node_id)
+        )
+        assignment[shard.node_id] = adopter.node_id
+        load[adopter.node_id] = load.get(adopter.node_id, 0) + shard.count
+    return assignment
+
+
+@dataclass(frozen=True)
+class HandoffReport:
+    """Outcome of one permanent server loss handled by hand-off."""
+
+    dead_node_id: int
+    shard_ids: Tuple[int, ...]
+    #: shard node_id → adopting survivor node_id (may be empty).
+    adopters: Dict[int, int]
+    #: users whose fine cloaks were restored by the hand-off.
+    resolved_users: int
+    #: wall-clock spent re-partitioning and re-solving the territory.
+    recovery_seconds: float
 
 
 @dataclass(frozen=True)
@@ -73,9 +208,13 @@ class RebalancingPool:
         self._members: Dict[int, Set[str]] = {}
         self._policies: Dict[int, Optional[CloakingPolicy]] = {}
         self._jurisdiction_of: Dict[str, int] = {}
+        #: shard node_id → adopting survivor node_id, for live hand-offs.
+        self._adopted_by: Dict[int, int] = {}
+        self._next_shard_id: Optional[int] = None
         #: lifetime counters
         self.repartition_count = 0
         self.resolve_count = 0
+        self.lost_servers = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -109,6 +248,8 @@ class RebalancingPool:
             for uid in members
         }
         self._policies = {}
+        # A repartition dissolves any live hand-off shards.
+        self._adopted_by = {}
         for jur in self._jurisdictions:
             self._solve_jurisdiction(jur.node_id)
         self.repartition_count += 1
@@ -190,6 +331,84 @@ class RebalancingPool:
             resolved_jurisdictions=len(dirty),
             repartitioned=False,
             imbalance=imbalance,
+        )
+
+    # -- permanent server loss -----------------------------------------------------
+
+    def server_failed(self, node_id: int) -> HandoffReport:
+        """Hand a dead server's territory off to the surviving pool.
+
+        The lost jurisdiction is removed, its territory re-partitioned
+        into shards, each populated shard re-solved online (restoring
+        fine policy-aware optimal cloaks — not the coarse territory
+        rectangle), and each shard assigned to a rectangle-adjacent
+        least-loaded survivor.  Shards then live as first-class
+        jurisdictions: later :meth:`advance` calls route moves into them
+        and re-solve them like any other server, and the next
+        repartition dissolves them back into a balanced pool.
+        """
+        start = time.perf_counter()
+        db = self._require_fit()
+        dead = self._by_id(node_id)
+        members = sorted(self._members.get(node_id, set()))
+        self._jurisdictions = [
+            j for j in self._jurisdictions if j.node_id != node_id
+        ]
+        self._members.pop(node_id, None)
+        self._policies.pop(node_id, None)
+        self.lost_servers += 1
+        if not members:
+            return HandoffReport(
+                dead_node_id=node_id,
+                shard_ids=(),
+                adopters={},
+                resolved_users=0,
+                recovery_seconds=time.perf_counter() - start,
+            )
+        rows = [
+            (uid, db.location_of(uid).x, db.location_of(uid).y)
+            for uid in members
+        ]
+        base = max(
+            [j.node_id for j in self._jurisdictions] + [node_id]
+        ) + 1
+        if self._next_shard_id is not None:
+            base = max(base, self._next_shard_id)
+        shards = handoff_shards(
+            dead.rect,
+            rows,
+            self.k,
+            max_depth=self.max_depth,
+            base_node_id=base,
+        )
+        self._next_shard_id = base + len(shards)
+        load = {
+            j.node_id: len(self._members[j.node_id])
+            for j in self._jurisdictions
+        }
+        adopters = assign_adopters(
+            [jur for jur, __, ___ in shards], self._jurisdictions, load
+        )
+        for jur, policy, __ in shards:
+            self._jurisdictions.append(jur)
+            shard_members = (
+                {uid for uid, ___ in policy.items()} if policy else set()
+            )
+            self._members[jur.node_id] = shard_members
+            for uid in shard_members:
+                self._jurisdiction_of[uid] = jur.node_id
+            self._policies[jur.node_id] = policy
+            if policy is not None:
+                self.resolve_count += 1
+            if jur.node_id in adopters:
+                self._adopted_by[jur.node_id] = adopters[jur.node_id]
+        self._jurisdictions.sort(key=lambda j: j.node_id)
+        return HandoffReport(
+            dead_node_id=node_id,
+            shard_ids=tuple(jur.node_id for jur, __, ___ in shards),
+            adopters=adopters,
+            resolved_users=len(members),
+            recovery_seconds=time.perf_counter() - start,
         )
 
     # -- views --------------------------------------------------------------------

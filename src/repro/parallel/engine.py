@@ -21,8 +21,20 @@ retry rounds* (``retry_policy``), and — with ``on_failure='degrade'`` —
 a permanently failed jurisdiction is served fail-closed: all of its
 users share the jurisdiction rectangle as a single cloak, which the
 greedy partitioner guarantees holds ≥ k users (see
-:mod:`repro.robustness.degrade`).  Never a sub-k or policy-unaware
-fallback.
+:mod:`repro.robustness.degrade`).  With ``on_failure='handoff'`` a
+permanently failed jurisdiction's territory is instead re-partitioned
+into shards re-solved by the surviving pool
+(:func:`~repro.parallel.dynamic.handoff_shards`), restoring fine
+optimal cloaks.  Never a sub-k or policy-unaware fallback.
+
+Real-kill chaos: ``mode='process'`` additionally accepts a
+:class:`~repro.robustness.chaos.KillPlan` — the scheduled worker
+SIGKILLs its own process mid-solve, the master observes the resulting
+:class:`~concurrent.futures.process.BrokenProcessPool` on every
+in-flight future, rebuilds the pool, and re-dispatches only the lost
+jurisdictions under the existing retry budgets.  Pool rebuilds and
+re-solves of lost work are charged to ``ParallelResult.recovery_seconds``
+(``mttr`` = mean time to recovery per event).
 """
 
 from __future__ import annotations
@@ -30,8 +42,9 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.binary_dp import solve
 from ..core.errors import JurisdictionSolveError, ReproError
@@ -39,12 +52,14 @@ from ..core.flat_dp import extract_cloaks, solve_arrays
 from ..core.geometry import Rect
 from ..core.policy import CloakingPolicy
 from ..core.locationdb import LocationDatabase
+from ..robustness.chaos import KillPlan, kill_current_process
 from ..robustness.degrade import fallback_jurisdiction_policy
 from ..robustness.faults import FaultInjector, InjectedFault, InjectedTimeout
 from ..robustness.retry import RetryPolicy
 from ..trees.binarytree import BinaryTree
 from ..trees.flat import FlatTree
 from ..trees.partition import Jurisdiction, greedy_partition, load_imbalance
+from .dynamic import assign_adopters, handoff_shards
 from .master import MasterPolicy, ServerPolicy
 
 __all__ = ["JurisdictionFailure", "ParallelResult", "parallel_bulk_anonymize"]
@@ -59,6 +74,9 @@ class JurisdictionFailure:
     attempts: int
     kind: str  # "crash" | "error" | "timeout"
     degraded: bool  # True: served the fail-closed fallback cloak
+    #: True: territory re-partitioned and re-solved by the surviving
+    #: pool (fine cloaks restored) instead of the coarse fallback.
+    handed_off: bool = False
 
 
 @dataclass(frozen=True)
@@ -75,6 +93,15 @@ class ParallelResult:
     failures: Tuple[JurisdictionFailure, ...] = ()
     #: simulated seconds lost to failed attempts and retry backoff.
     retry_seconds: float = 0.0
+    #: recovery events: process-pool rebuilds after a worker death,
+    #: plus territory hand-offs of permanently lost jurisdictions.
+    recoveries: int = 0
+    #: wall-clock spent recovering: rebuilding the pool, re-solving
+    #: crashed jurisdictions, re-partitioning + re-solving hand-offs.
+    recovery_seconds: float = 0.0
+    #: (dead jurisdiction, shard, adopter) per hand-off shard; the
+    #: adopter is ``-1`` when no survivor could take the shard.
+    handoffs: Tuple[Tuple[int, int, int], ...] = ()
 
     @property
     def n_servers(self) -> int:
@@ -120,26 +147,42 @@ class ParallelResult:
         failed = sum(f.attempts for f in self.failures)
         return solved + failed
 
+    @property
+    def mttr(self) -> float:
+        """Mean time to recovery per recovery event (0 when none)."""
+        if self.recoveries == 0:
+            return 0.0
+        return self.recovery_seconds / self.recoveries
+
 
 def _solve_jurisdiction(
     rect_tuple: Tuple[float, float, float, float],
     rows: Sequence[Tuple[str, float, float]],
     k: int,
     max_depth: int,
+    kill: bool = False,
 ) -> Tuple[Dict[str, Tuple[float, float, float, float]], float]:
     """One server's work, in picklable terms (also the process-mode
-    worker): returns ``{user_id: cloak rect tuple}`` and elapsed time."""
+    worker): returns ``{user_id: cloak rect tuple}`` and elapsed time.
+
+    ``kill`` is the real-kill chaos hook: the worker SIGKILLs its own
+    process after the DP and before extraction — an uncatchable death
+    mid-solve, exactly what an OOM kill looks like to the master.
+    """
     start = time.perf_counter()
     rect = Rect(*rect_tuple)
     db = LocationDatabase(rows)
     tree = BinaryTree.build(rect, db, k, max_depth=max_depth)
-    policy = solve(tree, k).policy(name="server")
+    solution = solve(tree, k)
+    if kill:
+        kill_current_process()
+    policy = solution.policy(name="server")
     cloaks = {uid: region.as_tuple() for uid, region in policy.items()}
     return cloaks, time.perf_counter() - start
 
 
 def _solve_jurisdiction_flat(
-    flat: FlatTree, k: int
+    flat: FlatTree, k: int, kill: bool = False
 ) -> Tuple[Dict[str, Tuple[float, float, float, float]], float]:
     """One server's work over a pre-compiled flat subtree.
 
@@ -147,10 +190,13 @@ def _solve_jurisdiction_flat(
     so instead of re-deriving it from raw point rows the worker receives
     the jurisdiction's structure-of-arrays slice — a handful of numpy
     buffers that pickle in microseconds — and goes straight to the
-    level-batched DP plus standalone extraction.
+    level-batched DP plus standalone extraction.  ``kill`` as in
+    :func:`_solve_jurisdiction`.
     """
     start = time.perf_counter()
     vecs = solve_arrays(flat, k)
+    if kill:
+        kill_current_process()
     cloaks = extract_cloaks(flat, vecs, k)
     return cloaks, time.perf_counter() - start
 
@@ -221,6 +267,42 @@ def _attempt_simulated(
     return cloaks, elapsed
 
 
+class _ProcessPool:
+    """Context-managed, rebuildable process pool.
+
+    ``with`` semantics guarantee the live pool is shut down on *every*
+    exit path — including errors raised before the first round and a
+    pool swapped in mid-run by :meth:`rebuild` (a plain
+    ``with ProcessPoolExecutor()`` would keep shutting down the original
+    object after a rebuild, leaking the replacement).
+    """
+
+    def __init__(self, enabled: bool):
+        self.pool: Optional[ProcessPoolExecutor] = (
+            ProcessPoolExecutor() if enabled else None
+        )
+
+    def __enter__(self) -> "_ProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def rebuild(self) -> float:
+        """Replace a broken pool with a fresh one; returns seconds spent."""
+        start = time.perf_counter()
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+        self.pool = ProcessPoolExecutor()
+        return time.perf_counter() - start
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+
+
 def parallel_bulk_anonymize(
     region: Rect,
     db: LocationDatabase,
@@ -234,6 +316,7 @@ def parallel_bulk_anonymize(
     jurisdiction_timeout: Optional[float] = None,
     on_failure: str = "raise",
     transport: str = "flat",
+    kill_plan: Optional[KillPlan] = None,
 ) -> ParallelResult:
     """Distribute bulk anonymization of ``db`` over ``n_servers``.
 
@@ -271,14 +354,30 @@ def parallel_bulk_anonymize(
       :class:`JurisdictionSolveError` of the first permanently failed
       jurisdiction; ``'degrade'`` serves such jurisdictions the
       fail-closed single-cloak fallback and records them in
-      ``ParallelResult.failures``.
+      ``ParallelResult.failures``; ``'handoff'`` re-partitions a
+      permanently failed jurisdiction's territory into shards re-solved
+      by the surviving pool (fine cloaks restored — see
+      :func:`~repro.parallel.dynamic.handoff_shards`);
+    * ``kill_plan`` — real-kill chaos (``mode='process'`` only): the
+      scheduled (jurisdiction, attempt) solves SIGKILL their own worker
+      process mid-solve; the master detects the broken pool, rebuilds
+      it, and re-dispatches only the lost jurisdictions.
+
+    Every argument is validated *before* any process pool is
+    constructed, and the pool is context-managed so early error paths
+    cannot leak worker processes.
     """
     if mode not in ("simulated", "process"):
         raise ReproError(f"unknown execution mode {mode!r}")
-    if on_failure not in ("raise", "degrade"):
+    if on_failure not in ("raise", "degrade", "handoff"):
         raise ReproError(f"unknown on_failure mode {on_failure!r}")
     if transport not in ("flat", "rows"):
         raise ReproError(f"unknown transport {transport!r}")
+    if kill_plan is not None and mode != "process":
+        raise ReproError(
+            "kill_plan schedules real worker kills and requires "
+            "mode='process'; use a FaultInjector for simulated crashes"
+        )
     t0 = time.perf_counter()
     if partition_tree is None:
         partition_tree = BinaryTree.build(region, db, k, max_depth=max_depth)
@@ -315,7 +414,12 @@ def parallel_bulk_anonymize(
     seconds: Dict[int, float] = {}
     attempts_used: Dict[int, int] = {}
     retry_seconds = 0.0
+    recoveries = 0
+    recovery_seconds = 0.0
     failures: List[JurisdictionFailure] = []
+    #: jurisdictions lost to a (real or injected) crash at least once —
+    #: their eventual re-solve time is recovery work, not solve work.
+    crashed_ids: Set[int] = set()
 
     pending = []
     for jur, rows, payload in tasks:
@@ -324,14 +428,14 @@ def parallel_bulk_anonymize(
         else:
             policies[jur.node_id] = None
 
-    pool = ProcessPoolExecutor() if mode == "process" else None
-    try:
+    with _ProcessPool(mode == "process") as pool:
         round_no = 0
+        isolate_round = False
         while pending and round_no < max_attempts:
             still_failing: List[Tuple[Jurisdiction, list, Optional[FlatTree]]] = []
             last_errors: Dict[int, JurisdictionSolveError] = {}
             if mode == "process":
-                outcomes = _process_round(
+                outcomes, breaks, rebuild_seconds = _process_round(
                     pool,
                     pending,
                     k,
@@ -339,7 +443,16 @@ def parallel_bulk_anonymize(
                     round_no,
                     injector,
                     jurisdiction_timeout,
+                    kill_plan,
+                    isolate=isolate_round,
                 )
+                # A worker death breaks the whole pool, so a batch round
+                # takes collateral casualties.  Quarantine the next
+                # round: dispatch one jurisdiction at a time, so a
+                # repeat killer only burns its own retry budget.
+                isolate_round = breaks > 0
+                recoveries += breaks
+                recovery_seconds += rebuild_seconds
             else:
                 outcomes = []
                 for jur, rows, payload in pending:
@@ -362,6 +475,8 @@ def parallel_bulk_anonymize(
                 attempts_used[jur.node_id] = round_no + 1
                 if isinstance(outcome, JurisdictionSolveError):
                     last_errors[jur.node_id] = outcome
+                    if outcome.kind == "crash":
+                        crashed_ids.add(jur.node_id)
                     # Failed attempts cost wall-clock even though they
                     # produced nothing; charge the straggler budget.
                     if outcome.kind == "timeout" and jurisdiction_timeout:
@@ -373,19 +488,66 @@ def parallel_bulk_anonymize(
                         jur, rows, cloaks
                     )
                     seconds[jur.node_id] = elapsed
+                    if jur.node_id in crashed_ids:
+                        recovery_seconds += elapsed
             pending = still_failing
             round_no += 1
             if pending and round_no < max_attempts and retry_policy:
                 retry_seconds += retry_policy.delay_for(round_no - 1)
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
 
     # Whatever is still pending exhausted every retry round.
+    handoffs: List[Tuple[int, int, int]] = []
+    extra_servers: List[ServerPolicy] = []
+    next_shard_id = (
+        max((j.node_id for j in jurisdictions), default=0) + 1
+    )
     for jur, rows, __ in pending:
         error = last_errors[jur.node_id]
         if on_failure == "raise":
             raise error
+        if on_failure == "handoff":
+            # Online hand-off: re-partition the dead territory, re-solve
+            # the shards, and hand them to adjacent surviving servers —
+            # users get fine optimal cloaks back, not the coarse rect.
+            handoff_start = time.perf_counter()
+            shards = handoff_shards(
+                jur.rect,
+                rows,
+                k,
+                max_depth=max_depth,
+                base_node_id=next_shard_id,
+            )
+            next_shard_id += len(shards)
+            survivors = [
+                j
+                for j in jurisdictions
+                if j.node_id != jur.node_id and j.node_id in policies
+            ]
+            adopters = assign_adopters(
+                [shard for shard, __, ___ in shards], survivors
+            )
+            for shard, policy, ___ in shards:
+                extra_servers.append(ServerPolicy(shard, policy))
+                handoffs.append(
+                    (
+                        jur.node_id,
+                        shard.node_id,
+                        adopters.get(shard.node_id, -1),
+                    )
+                )
+            recoveries += 1
+            recovery_seconds += time.perf_counter() - handoff_start
+            failures.append(
+                JurisdictionFailure(
+                    node_id=jur.node_id,
+                    n_users=len(rows),
+                    attempts=attempts_used[jur.node_id],
+                    kind=error.kind,
+                    degraded=False,
+                    handed_off=True,
+                )
+            )
+            continue
         # Fail-closed degrade: one jurisdiction, one ≥k cloak.
         policies[jur.node_id] = fallback_jurisdiction_policy(
             jur.rect, jur.node_id, rows, k
@@ -401,8 +563,11 @@ def parallel_bulk_anonymize(
         )
 
     server_policies = [
-        ServerPolicy(jur, policies[jur.node_id]) for jur, __, __ in tasks
+        ServerPolicy(jur, policies[jur.node_id])
+        for jur, __, __ in tasks
+        if jur.node_id in policies
     ]
+    server_policies.extend(extra_servers)
     ordered_seconds = tuple(
         seconds[jur.node_id] for jur, __, __ in tasks if jur.node_id in seconds
     )
@@ -419,65 +584,93 @@ def parallel_bulk_anonymize(
         ),
         failures=tuple(failures),
         retry_seconds=retry_seconds,
+        recoveries=recoveries,
+        recovery_seconds=recovery_seconds,
+        handoffs=tuple(handoffs),
+    )
+
+
+def _crash_error(
+    jur: Jurisdiction, rows: list, attempt: int, exc: BaseException
+) -> JurisdictionSolveError:
+    return JurisdictionSolveError(
+        f"jurisdiction {jur.node_id} ({len(rows)} users) lost to a dead "
+        f"worker process: {exc}",
+        node_id=jur.node_id,
+        n_users=len(rows),
+        attempts=attempt + 1,
+        kind="crash",
     )
 
 
 def _process_round(
-    pool: ProcessPoolExecutor,
+    pool: _ProcessPool,
     pending: Sequence[Tuple[Jurisdiction, list, Optional[FlatTree]]],
     k: int,
     max_depth: int,
     attempt: int,
     injector: Optional[FaultInjector],
     timeout: Optional[float],
-) -> List[object]:
+    kill_plan: Optional[KillPlan] = None,
+    isolate: bool = False,
+) -> Tuple[List[object], int, float]:
     """One retry round in real processes.
+
+    Returns ``(outcomes, pool breaks observed, seconds spent rebuilding
+    the pool)``.
 
     Injection decisions are made master-side (the injector is not
     shipped to workers): a ``crash`` skips the submission entirely — the
     master observes exactly what it would observe of a dead worker — and
     a ``straggle`` inflates the reported elapsed time, which the
     straggler budget then judges.
+
+    ``kill_plan`` kills are *worker-side*: the scheduled worker SIGKILLs
+    its own process mid-solve.  The pool then surfaces
+    :class:`BrokenProcessPool` on every in-flight future — its own and
+    collateral ones — and submissions to the now-broken pool fail the
+    same way.  All such casualties come back as ``kind='crash'``
+    failures (retried next round), and the pool is rebuilt in place.
+
+    ``isolate=True`` is the post-breakage quarantine: jurisdictions are
+    dispatched and awaited one at a time, so a solve that kills its
+    worker again takes down only itself (the pool is rebuilt between
+    casualties), and its round-mates complete untouched.
     """
-    outcomes: List[object] = []
-    submissions = []
-    for jur, rows, payload in pending:
-        extra = 0.0
-        error: Optional[JurisdictionSolveError] = None
-        if injector is not None:
-            try:
-                extra = injector.fire("solve", jur.node_id, attempt)
-            except InjectedFault as exc:
-                kind = (
-                    "timeout" if isinstance(exc, InjectedTimeout) else "crash"
-                )
-                error = JurisdictionSolveError(
-                    f"jurisdiction {jur.node_id} ({len(rows)} users) "
-                    f"failed: {exc}",
-                    node_id=jur.node_id,
-                    n_users=len(rows),
-                    attempts=attempt + 1,
-                    kind=kind,
-                )
-        if error is not None:
-            submissions.append((jur, rows, None, extra, error))
-        elif payload is not None:
-            future = pool.submit(_solve_jurisdiction_flat, payload, k)
-            submissions.append((jur, rows, future, extra, None))
-        else:
-            future = pool.submit(
-                _solve_jurisdiction, jur.rect.as_tuple(), rows, k, max_depth
+    breaks = 0
+    rebuild_seconds = 0.0
+
+    def submit(jur, rows, payload, kill):
+        if payload is not None:
+            return pool.pool.submit(_solve_jurisdiction_flat, payload, k, kill)
+        return pool.pool.submit(
+            _solve_jurisdiction, jur.rect.as_tuple(), rows, k, max_depth, kill
+        )
+
+    def injected_error(jur, rows):
+        if injector is None:
+            return 0.0, None
+        try:
+            return injector.fire("solve", jur.node_id, attempt), None
+        except InjectedFault as exc:
+            kind = "timeout" if isinstance(exc, InjectedTimeout) else "crash"
+            return 0.0, JurisdictionSolveError(
+                f"jurisdiction {jur.node_id} ({len(rows)} users) "
+                f"failed: {exc}",
+                node_id=jur.node_id,
+                n_users=len(rows),
+                attempts=attempt + 1,
+                kind=kind,
             )
-            submissions.append((jur, rows, future, extra, None))
-    for jur, rows, future, extra, error in submissions:
-        if error is not None:
-            outcomes.append(error)
-            continue
+
+    def collect(jur, rows, future, extra):
+        """Await one future → (outcome, pool_broke)."""
+        nonlocal breaks, rebuild_seconds
         try:
             cloaks, elapsed = future.result(timeout=timeout)
         except FutureTimeoutError:
             future.cancel()
-            outcomes.append(
+            return (
                 JurisdictionSolveError(
                     f"jurisdiction {jur.node_id} ({len(rows)} users) "
                     f"exceeded its {timeout:g}s solve budget",
@@ -485,11 +678,15 @@ def _process_round(
                     n_users=len(rows),
                     attempts=attempt + 1,
                     kind="timeout",
-                )
+                ),
+                False,
             )
-            continue
+        except BrokenProcessPool as exc:
+            # The worker running this solve (or a pool-mate) was killed;
+            # the result is gone for every in-flight future.
+            return _crash_error(jur, rows, attempt, exc), True
         except Exception as exc:
-            outcomes.append(
+            return (
                 JurisdictionSolveError(
                     f"jurisdiction {jur.node_id} ({len(rows)} users) "
                     f"failed: {exc}",
@@ -497,12 +694,12 @@ def _process_round(
                     n_users=len(rows),
                     attempts=attempt + 1,
                     kind="error",
-                )
+                ),
+                False,
             )
-            continue
         elapsed += extra
         if timeout is not None and elapsed > timeout:
-            outcomes.append(
+            return (
                 JurisdictionSolveError(
                     f"jurisdiction {jur.node_id} ({len(rows)} users) "
                     f"exceeded its {timeout:g}s solve budget "
@@ -511,8 +708,68 @@ def _process_round(
                     n_users=len(rows),
                     attempts=attempt + 1,
                     kind="timeout",
-                )
+                ),
+                False,
             )
-        else:
-            outcomes.append((cloaks, elapsed))
-    return outcomes
+        return (cloaks, elapsed), False
+
+    if isolate:
+        # Quarantine round: one jurisdiction in flight at a time.
+        outcomes: List[object] = []
+        for jur, rows, payload in pending:
+            extra, error = injected_error(jur, rows)
+            if error is not None:
+                outcomes.append(error)
+                continue
+            kill = bool(
+                kill_plan is not None
+                and kill_plan.should_kill(jur.node_id, attempt)
+            )
+            try:
+                future = submit(jur, rows, payload, kill)
+            except BrokenProcessPool as exc:
+                breaks += 1
+                rebuild_seconds += pool.rebuild()
+                outcomes.append(_crash_error(jur, rows, attempt, exc))
+                continue
+            outcome, broke = collect(jur, rows, future, extra)
+            outcomes.append(outcome)
+            if broke:
+                breaks += 1
+                rebuild_seconds += pool.rebuild()
+        return outcomes, breaks, rebuild_seconds
+
+    outcomes = []
+    submissions = []
+    round_broke = False
+    for jur, rows, payload in pending:
+        extra, error = injected_error(jur, rows)
+        kill = bool(
+            kill_plan is not None
+            and kill_plan.should_kill(jur.node_id, attempt)
+        )
+        if error is not None:
+            submissions.append((jur, rows, None, extra, error))
+            continue
+        try:
+            future = submit(jur, rows, payload, kill)
+        except BrokenProcessPool as exc:
+            # An earlier kill already broke the pool; this jurisdiction
+            # never ran — a crash casualty, retried next round.
+            round_broke = True
+            submissions.append(
+                (jur, rows, None, extra, _crash_error(jur, rows, attempt, exc))
+            )
+            continue
+        submissions.append((jur, rows, future, extra, None))
+    for jur, rows, future, extra, error in submissions:
+        if error is not None:
+            outcomes.append(error)
+            continue
+        outcome, broke = collect(jur, rows, future, extra)
+        round_broke = round_broke or broke
+        outcomes.append(outcome)
+    if round_broke:
+        breaks += 1
+        rebuild_seconds += pool.rebuild()
+    return outcomes, breaks, rebuild_seconds

@@ -1,7 +1,9 @@
 """Fault tolerance for the serving layers: deterministic fault
-injection, retry/backoff with circuit breaking, and the fail-closed
-degradation ladder (coarsen → stale → reject; never below k)."""
+injection, retry/backoff with circuit breaking, the fail-closed
+degradation ladder (coarsen → stale → reject; never below k),
+crash-consistent snapshot recovery, and real process-kill chaos."""
 
+from .chaos import KillPlan, kill_current_process
 from .degrade import (
     DEGRADATION_LEVELS,
     DegradationEvent,
@@ -20,6 +22,12 @@ from .faults import (
     InjectedError,
     InjectedFault,
     InjectedTimeout,
+)
+from .recovery import (
+    PolicyJournal,
+    RecoveredSnapshot,
+    flat_structure_digest,
+    rehydrate_flat_solution,
 )
 from .retry import (
     CircuitBreaker,
@@ -44,9 +52,15 @@ __all__ = [
     "InjectedError",
     "InjectedFault",
     "InjectedTimeout",
+    "KillPlan",
     "ManualClock",
+    "PolicyJournal",
+    "RecoveredSnapshot",
     "RetryPolicy",
     "SystemClock",
+    "flat_structure_digest",
+    "kill_current_process",
+    "rehydrate_flat_solution",
     "coarsen_overrides",
     "coarsening_ancestor",
     "fallback_jurisdiction_policy",

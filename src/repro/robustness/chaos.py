@@ -1,0 +1,76 @@
+"""Real process-kill chaos for the parallel engine.
+
+PR 1's :mod:`repro.robustness.faults` injects failures *master-side*:
+the master pretends a worker died and observes what it would observe.
+That exercises the retry/degrade ladder but not the one failure mode a
+process pool actually has in production — a worker OS process dying
+mid-solve (OOM-killed, segfaulted, machine rebooted), which surfaces to
+the master as :class:`concurrent.futures.process.BrokenProcessPool` on
+*every* in-flight future, not just the dead worker's.
+
+A :class:`KillPlan` is a deterministic schedule of real ``SIGKILL``\\ s:
+it names (jurisdiction, attempt) pairs, and the worker assigned such a
+pair kills its **own process** with an uncatchable ``SIGKILL`` midway
+through the solve (after the DP, before extraction).  Worker-side
+self-kill is the standard trick for deterministic kill chaos — the
+master cannot know which pool process picked up which job, but the
+outcome is exactly a real kill: the process vanishes, the pool breaks,
+and the master must detect the breakage, rebuild the pool, and
+re-dispatch only the lost jurisdictions under its existing retry
+budgets (see :func:`repro.parallel.engine.parallel_bulk_anonymize`).
+
+Determinism invariant: because jurisdiction solves share nothing, a run
+that loses workers mid-solve must still produce cloaks bit-identical to
+a fault-free run — ``tests/test_chaos_process_kill.py`` enforces this
+against the ``mode="simulated"`` reference.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["KillPlan", "kill_current_process"]
+
+
+def kill_current_process() -> None:
+    """SIGKILL the calling process — uncatchable, like the real thing."""
+    os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
+
+
+@dataclass(frozen=True)
+class KillPlan:
+    """A deterministic schedule of worker kills.
+
+    ``kills`` holds ``(jurisdiction node_id, attempt)`` pairs; the
+    worker solving that jurisdiction on that (0-based) attempt dies.
+    The plan is plain data — it crosses the process boundary by pickle,
+    and the same plan against the same workload kills the same solves on
+    every run.
+    """
+
+    kills: Tuple[Tuple[int, int], ...] = ()
+    name: str = "kill-plan"
+
+    def should_kill(self, node_id: int, attempt: int) -> bool:
+        return (int(node_id), int(attempt)) in self.kills
+
+    @classmethod
+    def first_attempt(cls, *node_ids: int) -> "KillPlan":
+        """Kill each named jurisdiction's worker once (attempt 0 only),
+        so the retry rounds recover it."""
+        return cls(
+            kills=tuple((int(nid), 0) for nid in node_ids),
+            name="kill-first-attempt",
+        )
+
+    @classmethod
+    def permanent(cls, node_id: int, max_attempts: int) -> "KillPlan":
+        """Kill the jurisdiction's worker on every attempt — the
+        permanent-loss scenario that exhausts the retry budget."""
+        return cls(
+            kills=tuple((int(node_id), a) for a in range(max_attempts)),
+            name="kill-permanent",
+        )

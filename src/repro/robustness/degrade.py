@@ -19,7 +19,11 @@ Serving ladder (applied by :class:`repro.lbs.pipeline.CSP`):
    form a singleton group — itself a breach);
 3. **stale** — the whole policy repair failed: keep serving the previous
    snapshot's policy/location pair, up to a bounded snapshot age;
-4. **rejected** — nothing above applies: raise
+4. **recovered** — a restarted CSP serving the journalled policy of the
+   crash-consistent snapshot store (:mod:`repro.robustness.recovery`)
+   until its first successful snapshot repair — operationally the stale
+   rung, labelled separately for SLO accounting;
+5. **rejected** — nothing above applies: raise
    :class:`~repro.core.errors.ServiceUnavailableError`.
 
 The bulk analogue (applied by the parallel engine): a jurisdiction whose
@@ -47,7 +51,7 @@ __all__ = [
     "fallback_jurisdiction_policy",
 ]
 
-DEGRADATION_LEVELS = ("fresh", "coarsened", "stale", "rejected")
+DEGRADATION_LEVELS = ("fresh", "coarsened", "stale", "recovered", "rejected")
 
 
 @dataclass(frozen=True)

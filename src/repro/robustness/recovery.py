@@ -1,0 +1,487 @@
+"""Crash-consistent persistence of CSP anonymization state.
+
+The paper's CSP computes one policy per location-database snapshot and
+serves from it for the snapshot's lifetime (§II-A, §VII).  Operationally
+that policy *is* the CSP's state: losing it on a restart forces a full
+``Bulk_dp`` re-run while requests queue.  This module makes the
+(policy, db-serial) pair durable with the classic write-ahead recipe:
+
+1. an **intent** record is appended (and fsync'd) to an append-only
+   journal, naming the snapshot file and its content checksum;
+2. the snapshot document is written to a temporary file and atomically
+   renamed into place (:func:`repro.core.serialization.atomic_write_json`);
+3. a **commit** record is appended and fsync'd.
+
+A reader therefore never observes a torn snapshot: a crash between (1)
+and (3) leaves an intent without a commit, which recovery skips, falling
+back to the previous committed serial.  Anything *else* that fails
+validation — a journal line corrupted in the middle of the history, a
+committed snapshot whose checksum no longer matches, an embedded serial
+disagreeing with the journal, an engine fingerprint from a different
+deployment — is storage corruption, not a crash, and recovery **fails
+closed** with :class:`~repro.core.errors.RecoveryError` rather than
+serve state it cannot prove it journalled.  The policy payload itself is
+re-validated for masking on load (:func:`policy_from_dict`), so even a
+checksum-colliding forgery cannot smuggle in a non-masking policy.
+
+Alongside the policy, a committed snapshot may carry a **DP sidecar**:
+the flat engine's per-node cost vectors (``.npz``).  On restore the
+(deterministic) tree is rebuilt from the journalled locations, compiled
+to flat arrays, and — if the structural digest matches — the vectors are
+rehydrated into a full :class:`~repro.core.flat_dp.FlatTreeSolution`, so
+the next snapshot repairs forward through ``resolve_dirty_flat`` instead
+of re-running bulk anonymization.  The sidecar is a pure performance
+artifact: if it is missing or fails validation the restore proceeds
+*cold* (the recovered policy still serves; the first repair is one bulk
+solve) — privacy never depends on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import RecoveryError
+from ..core.policy import CloakingPolicy
+from ..core.serialization import (
+    atomic_write_bytes,
+    atomic_write_json,
+    canonical_dumps,
+    checksum_of,
+    file_checksum,
+    policy_from_dict,
+    policy_to_dict,
+)
+
+__all__ = [
+    "PolicyJournal",
+    "RecoveredSnapshot",
+    "flat_structure_digest",
+    "rehydrate_flat_solution",
+]
+
+_FORMAT = "repro-snapshot"
+_VERSION = 1
+_JOURNAL_FILE = "journal.log"
+
+
+def flat_structure_digest(flat, k: int, prune: bool) -> str:
+    """Digest of a flat tree's *structure* (shape, counts, areas).
+
+    Binds a DP sidecar to the exact tree it was computed for: a restored
+    process recompiles the tree from the journalled locations and only
+    adopts the persisted vectors when this digest matches, since vectors
+    indexed against a different level-major layout would be garbage.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{k}|{int(prune)}|{flat.n_nodes}".encode())
+    for arr in (flat.ids, flat.left, flat.right, flat.count, flat.depth):
+        digest.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(flat.area, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RecoveredSnapshot:
+    """Everything recovery could prove about the last committed state."""
+
+    policy: CloakingPolicy
+    serial: int
+    fingerprint: Dict[str, object]
+    #: flat-engine cost vectors (level-major), when the DP sidecar
+    #: validated — ``None`` means cold restore (serving still works).
+    dp_vecs: Optional[List[np.ndarray]] = field(default=None, repr=False)
+    #: structural digest the sidecar was computed against.
+    dp_structure: Optional[str] = None
+    #: the journalled flat layout ``(ids, left, right)`` — lets restore
+    #: relabel the rebuilt tree's node ids to the pre-crash ids, since
+    #: incremental maintenance assigns ids in a history-dependent order.
+    dp_layout: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False
+    )
+    #: the journal ended in a partial line (crash mid-append) that was
+    #: safely discarded.
+    torn_tail: bool = False
+
+
+def _relabel_tree(tree, ids, left, right) -> bool:
+    """Relabel ``tree``'s node ids to the journalled flat layout.
+
+    The rebuilt tree's *geometry* is a pure function of the journalled
+    locations (the lazy split invariant), but its node *ids* are fresh
+    construction-order labels, while the pre-crash tree carried
+    history-dependent ids from incremental re-splits — and
+    ``FlatTree.compile`` breaks level ties by id, so the persisted
+    vectors are ordered by the old labels.  Walking the journalled
+    ``(left, right)`` topology and the rebuilt tree in lockstep from the
+    root re-assigns the journalled id to each geometric position.
+    Returns ``False`` (tree untouched) when the shapes disagree.
+    """
+    n = len(ids)
+    if len(tree.nodes) != n:
+        return False
+    mapping = {}
+    stack = [(0, tree.root)]
+    while stack:
+        pos, node = stack.pop()
+        if pos in mapping or not 0 <= pos < n:
+            return False
+        mapping[pos] = node
+        child_l, child_r = int(left[pos]), int(right[pos])
+        if (child_l == -1) != node.is_leaf or (child_r == -1) != node.is_leaf:
+            return False
+        if child_l != -1:
+            if len(node.children) != 2:
+                return False
+            stack.append((child_l, node.children[0]))
+            stack.append((child_r, node.children[1]))
+    if len(mapping) != n or len({int(i) for i in ids}) != n:
+        return False
+    new_nodes = {}
+    for pos, node in mapping.items():
+        node.node_id = int(ids[pos])
+        new_nodes[node.node_id] = node
+    tree.nodes = new_nodes
+    tree._next_id = max(new_nodes) + 1
+    return True
+
+
+def rehydrate_flat_solution(tree, snapshot: RecoveredSnapshot, k: int, prune: bool = True):
+    """Warm-start the DP from a recovered sidecar, or ``None`` to go cold.
+
+    ``tree`` is the object tree rebuilt from the recovered snapshot's
+    locations; when the sidecar carries the journalled layout the tree's
+    node ids are relabelled in place to the pre-crash ids (see
+    :func:`_relabel_tree`).  Returns a full
+    :class:`~repro.core.flat_dp.FlatTreeSolution` (memo and fingerprints
+    re-derived, so incremental repair behaves exactly as before the
+    crash) when the sidecar matches the rebuilt structure; ``None``
+    otherwise — a correctness-neutral fallback.
+    """
+    if snapshot.dp_vecs is None or snapshot.dp_structure is None:
+        return None
+    from ..core.flat_dp import is_binary_tree, rehydrate_solution
+    from ..trees.flat import FlatTree
+
+    if not is_binary_tree(tree):
+        return None
+    if snapshot.dp_layout is not None:
+        ids, left, right = snapshot.dp_layout
+        if not _relabel_tree(tree, ids, left, right):
+            return None
+    flat = FlatTree.compile(tree)
+    if flat_structure_digest(flat, k, prune) != snapshot.dp_structure:
+        return None
+    if len(snapshot.dp_vecs) != flat.n_nodes:
+        return None
+    return rehydrate_solution(tree, flat, snapshot.dp_vecs, k, prune)
+
+
+class PolicyJournal:
+    """A write-ahead journal of committed (policy, db-serial) snapshots.
+
+    One journal directory serves one CSP deployment.  ``commit`` is
+    crash-consistent (see the module docstring); ``recover`` returns the
+    newest snapshot whose commit record and content checksum both
+    validate, failing closed on any sign of corruption.
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._journal_path = os.path.join(self.root, _JOURNAL_FILE)
+
+    # -- writing -------------------------------------------------------------
+
+    def _append(self, record: Mapping[str, object]) -> None:
+        with open(self._journal_path, "a", encoding="utf-8") as handle:
+            handle.write(canonical_dumps(dict(record)) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _snapshot_file(self, serial: int) -> str:
+        return f"snapshot-{serial:06d}.json"
+
+    def _sidecar_file(self, serial: int) -> str:
+        return f"snapshot-{serial:06d}.npz"
+
+    def commit(
+        self,
+        policy: CloakingPolicy,
+        serial: int,
+        fingerprint: Mapping[str, object],
+        solution=None,
+    ) -> str:
+        """Durably commit one (policy, db-serial) pair; returns its checksum.
+
+        ``solution`` may be a flat-engine
+        :class:`~repro.core.flat_dp.FlatTreeSolution`, in which case its
+        cost vectors are persisted as the DP sidecar enabling warm
+        restarts; any other value (or ``None``) commits the policy alone.
+        """
+        document: Dict[str, object] = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "serial": int(serial),
+            "fingerprint": dict(fingerprint),
+            "policy": policy_to_dict(policy),
+        }
+        sidecar = self._dp_payload(solution)
+        if sidecar is not None:
+            payload, structure = sidecar
+            sidecar_name = self._sidecar_file(serial)
+            atomic_write_bytes(os.path.join(self.root, sidecar_name), payload)
+            document["dp"] = {
+                "file": sidecar_name,
+                "checksum": hashlib.blake2b(
+                    payload, digest_size=16
+                ).hexdigest(),
+                "structure": structure,
+            }
+        checksum = checksum_of(document)
+        snapshot_name = self._snapshot_file(serial)
+        self._append(
+            {
+                "op": "intent",
+                "serial": int(serial),
+                "file": snapshot_name,
+                "checksum": checksum,
+            }
+        )
+        atomic_write_json(os.path.join(self.root, snapshot_name), document)
+        self._append({"op": "commit", "serial": int(serial)})
+        return checksum
+
+    @staticmethod
+    def _dp_payload(solution) -> Optional[Tuple[bytes, str]]:
+        """Serialize a flat solution's vectors to npz bytes + digest."""
+        if solution is None:
+            return None
+        from ..core.flat_dp import FlatTreeSolution
+
+        if not isinstance(solution, FlatTreeSolution):
+            return None
+        flat = solution.flat
+        vecs = [
+            solution.solutions[int(flat.ids[i])].vec
+            for i in range(flat.n_nodes)
+        ]
+        lengths = np.fromiter(
+            (len(v) for v in vecs), dtype=np.int64, count=len(vecs)
+        )
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        data = (
+            np.concatenate([np.asarray(v, dtype=np.float64) for v in vecs])
+            if vecs and offsets[-1] > 0
+            else np.empty(0, dtype=np.float64)
+        )
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            offsets=offsets,
+            data=data,
+            ids=np.ascontiguousarray(flat.ids, dtype=np.int64),
+            left=np.ascontiguousarray(flat.left, dtype=np.int64),
+            right=np.ascontiguousarray(flat.right, dtype=np.int64),
+        )
+        structure = flat_structure_digest(flat, solution.k, solution.prune)
+        return buffer.getvalue(), structure
+
+    # -- reading -------------------------------------------------------------
+
+    def _read_journal(self) -> Tuple[List[Dict[str, object]], bool]:
+        """Parse the journal; returns (records, torn_tail).
+
+        A partial **final** line is the expected residue of a crash
+        mid-append and is discarded; a malformed line anywhere else means
+        the history itself is damaged → fail closed.
+        """
+        if not os.path.exists(self._journal_path):
+            raise RecoveryError(
+                f"no journal at {self._journal_path}", reason="empty"
+            )
+        with open(self._journal_path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        records: List[Dict[str, object]] = []
+        torn_tail = False
+        for index, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "op" not in record:
+                    raise ValueError("not a journal record")
+            except ValueError:
+                if index == len(lines) - 1:
+                    torn_tail = True
+                    break
+                raise RecoveryError(
+                    f"journal corrupted at line {index + 1}: {line[:80]!r}",
+                    reason="corrupt",
+                ) from None
+            records.append(record)
+        return records, torn_tail
+
+    def committed_serials(self) -> List[int]:
+        """Serials with both an intent and a commit record, ascending."""
+        records, __ = self._read_journal()
+        intents = {
+            r["serial"] for r in records if r.get("op") == "intent"
+        }
+        committed = []
+        for record in records:
+            if record.get("op") != "commit":
+                continue
+            serial = record.get("serial")
+            if serial not in intents:
+                raise RecoveryError(
+                    f"commit for serial {serial} has no intent record",
+                    reason="corrupt",
+                )
+            committed.append(int(serial))
+        return sorted(set(committed))
+
+    def latest_serial(self) -> Optional[int]:
+        """Newest committed serial, or ``None`` for an empty journal."""
+        try:
+            serials = self.committed_serials()
+        except RecoveryError as exc:
+            if exc.reason == "empty":
+                return None
+            raise
+        return serials[-1] if serials else None
+
+    def recover(
+        self,
+        *,
+        fingerprint: Optional[Mapping[str, object]] = None,
+        current_serial: Optional[int] = None,
+        max_stale_snapshots: int = 1,
+    ) -> RecoveredSnapshot:
+        """Load the newest committed snapshot, failing closed on doubt.
+
+        ``fingerprint`` (when given) must match the committed engine
+        fingerprint key-for-key — a policy solved under a different
+        ``k``/region/engine is not valid state for this deployment.
+        ``current_serial`` is the world's present db serial (e.g. the
+        MPC's); recovery refuses when the journalled policy is more than
+        ``max_stale_snapshots`` behind it, exactly like the serving-side
+        stale rung.
+        """
+        records, torn_tail = self._read_journal()
+        intents = {
+            r["serial"]: r for r in records if r.get("op") == "intent"
+        }
+        serials = self.committed_serials()
+        if not serials:
+            raise RecoveryError(
+                "journal holds no committed snapshot", reason="empty"
+            )
+        serial = serials[-1]
+        intent = intents[serial]
+        path = os.path.join(self.root, str(intent["file"]))
+        if not os.path.exists(path):
+            raise RecoveryError(
+                f"committed snapshot file {intent['file']!r} is missing",
+                reason="corrupt",
+            )
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except ValueError as exc:
+            raise RecoveryError(
+                f"committed snapshot {intent['file']!r} is unreadable: {exc}",
+                reason="corrupt",
+            ) from exc
+        if checksum_of(document) != intent["checksum"]:
+            raise RecoveryError(
+                f"snapshot {intent['file']!r} fails its journalled checksum "
+                "(torn write or bit flip); refusing to serve it",
+                reason="corrupt",
+            )
+        if document.get("format") != _FORMAT or int(
+            document.get("version", -1)
+        ) != _VERSION:
+            raise RecoveryError(
+                f"snapshot {intent['file']!r} has unknown format/version",
+                reason="corrupt",
+            )
+        if int(document.get("serial", -1)) != serial:
+            raise RecoveryError(
+                f"snapshot {intent['file']!r} embeds db-serial "
+                f"{document.get('serial')!r} but the journal committed "
+                f"{serial}; refusing stale/mismatched state",
+                reason="stale",
+            )
+        committed_fp = dict(document.get("fingerprint", {}))
+        if fingerprint is not None:
+            for key, value in dict(fingerprint).items():
+                if committed_fp.get(key) != value:
+                    raise RecoveryError(
+                        f"engine fingerprint mismatch on {key!r}: "
+                        f"journal has {committed_fp.get(key)!r}, "
+                        f"deployment expects {value!r}",
+                        reason="fingerprint",
+                    )
+        if current_serial is not None and (
+            current_serial - serial > max_stale_snapshots
+        ):
+            raise RecoveryError(
+                f"recovered policy is {current_serial - serial} snapshots "
+                f"behind the current db (bound {max_stale_snapshots}); "
+                "rejecting fail-closed",
+                reason="stale",
+            )
+        # Masking re-validates here — a corrupted-but-checksum-colliding
+        # payload still cannot smuggle in a non-masking policy.
+        policy = policy_from_dict(document["policy"])
+        dp_vecs, dp_structure, dp_layout = self._load_sidecar(document)
+        return RecoveredSnapshot(
+            policy=policy,
+            serial=serial,
+            fingerprint=committed_fp,
+            dp_vecs=dp_vecs,
+            dp_structure=dp_structure,
+            dp_layout=dp_layout,
+            torn_tail=torn_tail,
+        )
+
+    def _load_sidecar(
+        self, document: Mapping[str, object]
+    ) -> Tuple[
+        Optional[List[np.ndarray]],
+        Optional[str],
+        Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ]:
+        """Best-effort DP sidecar load — cold restore on any doubt."""
+        meta = document.get("dp")
+        if not isinstance(meta, dict):
+            return None, None, None
+        path = os.path.join(self.root, str(meta.get("file", "")))
+        try:
+            if file_checksum(path) != meta.get("checksum"):
+                return None, None, None
+            with np.load(path, allow_pickle=False) as archive:
+                offsets = archive["offsets"].astype(np.int64)
+                data = archive["data"].astype(np.float64)
+                ids = archive["ids"].astype(np.int64)
+                left = archive["left"].astype(np.int64)
+                right = archive["right"].astype(np.int64)
+        except (OSError, KeyError, ValueError):
+            return None, None, None
+        if len(offsets) < 1 or offsets[-1] != len(data):
+            return None, None, None
+        if not (len(ids) == len(left) == len(right) == len(offsets) - 1):
+            return None, None, None
+        vecs = [
+            data[offsets[i] : offsets[i + 1]]
+            for i in range(len(offsets) - 1)
+        ]
+        return vecs, str(meta.get("structure")), (ids, left, right)

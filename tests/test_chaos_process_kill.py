@@ -1,0 +1,117 @@
+"""Real process-kill chaos: SIGKILL'd workers must not change cloaks.
+
+``mode="process"`` runs each jurisdiction solve in a real worker
+process; the :class:`~repro.robustness.chaos.KillPlan` makes chosen
+workers SIGKILL themselves mid-solve.  The master must detect the broken
+pool, rebuild it, re-dispatch only the lost jurisdictions, and end with
+exactly the cloaks a fault-free run produces.
+"""
+
+import pytest
+
+from repro import Rect, ReproError
+from repro.data import uniform_users
+from repro.parallel import parallel_bulk_anonymize
+from repro.robustness.chaos import KillPlan
+from repro.robustness.retry import RetryPolicy
+
+REGION = Rect(0, 0, 2048, 2048)
+K = 4
+N_SERVERS = 4
+
+
+@pytest.fixture(scope="module")
+def db():
+    return uniform_users(120, REGION, seed=29)
+
+
+@pytest.fixture(scope="module")
+def reference(db):
+    """Fault-free cloaks, computed in-process."""
+    return parallel_bulk_anonymize(REGION, db, K, N_SERVERS, mode="simulated")
+
+
+def pick_victim(reference):
+    return max(reference.jurisdictions, key=lambda j: j.count).node_id
+
+
+def members_of(reference, node_id):
+    return {
+        uid
+        for uid in [uid for uid, __ in reference.master.merged.items()]
+        if reference.master.server_for(uid).jurisdiction.node_id == node_id
+    }
+
+
+def test_kill_plan_requires_process_mode(db):
+    with pytest.raises(ReproError, match="process"):
+        parallel_bulk_anonymize(
+            REGION,
+            db,
+            K,
+            N_SERVERS,
+            mode="simulated",
+            kill_plan=KillPlan.first_attempt(0),
+        )
+
+
+def test_transient_sigkill_recovers_identical_cloaks(db, reference):
+    victim = pick_victim(reference)
+    result = parallel_bulk_anonymize(
+        REGION,
+        db,
+        K,
+        N_SERVERS,
+        mode="process",
+        kill_plan=KillPlan.first_attempt(victim),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+    )
+    assert result.failures == ()
+    assert result.recoveries >= 1  # the pool was rebuilt at least once
+    assert result.recovery_seconds > 0.0
+    assert result.mttr > 0.0
+    assert len(result.master.merged) == len(db)
+    for uid in [uid for uid, __ in reference.master.merged.items()]:
+        assert result.master.cloak_for(uid) == reference.master.cloak_for(uid)
+
+
+def test_permanent_sigkill_hands_territory_off(db, reference):
+    victim = pick_victim(reference)
+    victims = members_of(reference, victim)
+    result = parallel_bulk_anonymize(
+        REGION,
+        db,
+        K,
+        N_SERVERS,
+        mode="process",
+        kill_plan=KillPlan.permanent(victim, 3),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+        on_failure="handoff",
+    )
+    # Only the victim exhausts retries; round-mates killed as collateral
+    # damage of the broken pool recover on their own budgets.
+    assert [f.node_id for f in result.failures] == [victim]
+    failure = result.failures[0]
+    assert failure.kind == "crash"
+    assert failure.handed_off and not failure.degraded
+    assert result.handoffs and all(
+        dead == victim for dead, __, ___ in result.handoffs
+    )
+    # Every user is still served, and the survivors' cloaks are
+    # bit-identical to the fault-free run.
+    assert len(result.master.merged) == len(db)
+    for uid in [uid for uid, __ in reference.master.merged.items()]:
+        if uid not in victims:
+            assert result.master.cloak_for(uid) == reference.master.cloak_for(
+                uid
+            )
+    assert result.master.merged.min_group_size() >= K
+    # Hand-off restores *fine* cloaks: the victims' mean area must match
+    # the fault-free optimum, not the coarse territory rectangle.
+    fault_free = sum(
+        reference.master.cloak_for(uid).area for uid in victims
+    ) / len(victims)
+    recovered = sum(
+        result.master.cloak_for(uid).area for uid in victims
+    ) / len(victims)
+    assert recovered <= fault_free * 1.05

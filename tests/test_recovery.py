@@ -1,0 +1,257 @@
+"""Crash-consistent snapshot store and CSP kill-and-restart recovery."""
+
+import os
+
+import pytest
+
+from repro import Rect
+from repro.attacks.audit import audit_policy
+from repro.core.binary_dp import solve
+from repro.core.errors import RecoveryError
+from repro.data import uniform_users
+from repro.lbs.mobility import random_moves
+from repro.lbs.pipeline import CSP
+from repro.lbs.poi import generate_pois
+from repro.lbs.provider import LBSProvider
+from repro.robustness.recovery import PolicyJournal
+from repro.trees import BinaryTree
+
+REGION = Rect(0, 0, 1024, 1024)
+K = 5
+FINGERPRINT = {"engine": "object", "k": K}
+
+
+@pytest.fixture
+def provider():
+    return LBSProvider(generate_pois(REGION, {"rest": 25}, seed=3))
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return PolicyJournal(str(tmp_path / "journal"))
+
+
+def build_policy(seed=42, n=60):
+    db = uniform_users(n, REGION, seed=seed)
+    return solve(BinaryTree.build(REGION, db, K), K).policy()
+
+
+def churn(csp, rounds=2, fraction=0.15, seed=100):
+    """Advance the CSP through ``rounds`` snapshots of real movement."""
+    for index in range(rounds):
+        moves = random_moves(
+            csp.anonymizer.current_db,
+            fraction,
+            REGION,
+            max_distance=120.0,
+            seed=seed + index,
+        )
+        csp.advance_snapshot(moves)
+
+
+def assert_bit_identical(a, b):
+    assert len(a) == len(b)
+    for uid, cloak in a.items():
+        assert b.cloak_for(uid) == cloak
+
+
+class TestPolicyJournal:
+    def test_commit_recover_round_trip(self, journal):
+        policy = build_policy()
+        journal.commit(policy, 0, FINGERPRINT)
+        snapshot = journal.recover()
+        assert snapshot.serial == 0
+        assert snapshot.fingerprint == FINGERPRINT
+        assert not snapshot.torn_tail
+        assert_bit_identical(policy, snapshot.policy)
+
+    def test_latest_committed_serial_wins(self, journal):
+        journal.commit(build_policy(seed=1), 0, FINGERPRINT)
+        journal.commit(build_policy(seed=2), 1, FINGERPRINT)
+        assert journal.committed_serials() == [0, 1]
+        assert journal.latest_serial() == 1
+        assert journal.recover().serial == 1
+
+    def test_no_journal_is_empty(self, journal):
+        with pytest.raises(RecoveryError) as err:
+            journal.recover()
+        assert err.value.reason == "empty"
+
+    def test_fingerprint_mismatch_fails_closed(self, journal):
+        journal.commit(build_policy(), 0, FINGERPRINT)
+        with pytest.raises(RecoveryError) as err:
+            journal.recover(fingerprint={"engine": "object", "k": K + 1})
+        assert err.value.reason == "fingerprint"
+
+    def test_stale_db_serial_fails_closed(self, journal):
+        journal.commit(build_policy(), 3, FINGERPRINT)
+        with pytest.raises(RecoveryError) as err:
+            journal.recover(current_serial=6, max_stale_snapshots=1)
+        assert err.value.reason == "stale"
+        # Within the bound the same snapshot is admissible.
+        assert journal.recover(
+            current_serial=4, max_stale_snapshots=1
+        ).serial == 3
+
+    def test_torn_tail_recovers_previous_commit(self, journal):
+        journal.commit(build_policy(seed=1), 0, FINGERPRINT)
+        journal.commit(build_policy(seed=2), 1, FINGERPRINT)
+        # Crash mid-append: an intent with no commit, then a torn line.
+        journal._append({"op": "intent", "serial": 2, "file": "x", "checksum": "y"})
+        with open(journal._journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "comm')  # no newline — torn
+        snapshot = journal.recover()
+        assert snapshot.serial == 1
+        assert snapshot.torn_tail
+
+    def test_mid_history_corruption_fails_closed(self, journal):
+        journal.commit(build_policy(seed=1), 0, FINGERPRINT)
+        journal.commit(build_policy(seed=2), 1, FINGERPRINT)
+        with open(journal._journal_path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # truncated mid-history
+        with open(journal._journal_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(RecoveryError) as err:
+            journal.recover()
+        assert err.value.reason == "corrupt"
+
+    def test_commit_without_intent_fails_closed(self, journal):
+        journal.commit(build_policy(), 0, FINGERPRINT)
+        journal._append({"op": "commit", "serial": 99})
+        with pytest.raises(RecoveryError) as err:
+            journal.recover()
+        assert err.value.reason == "corrupt"
+
+    def test_bit_flipped_snapshot_fails_closed(self, journal):
+        journal.commit(build_policy(), 0, FINGERPRINT)
+        path = os.path.join(journal.root, journal._snapshot_file(0))
+        raw = bytearray(open(path, "rb").read())
+        raw[len(raw) // 2] ^= 0x01
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        with pytest.raises(RecoveryError) as err:
+            journal.recover()
+        assert err.value.reason == "corrupt"
+
+    def test_truncated_snapshot_fails_closed(self, journal):
+        journal.commit(build_policy(), 0, FINGERPRINT)
+        path = os.path.join(journal.root, journal._snapshot_file(0))
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) // 2])
+        with pytest.raises(RecoveryError) as err:
+            journal.recover()
+        assert err.value.reason == "corrupt"
+
+    def test_missing_snapshot_file_fails_closed(self, journal):
+        journal.commit(build_policy(), 0, FINGERPRINT)
+        os.remove(os.path.join(journal.root, journal._snapshot_file(0)))
+        with pytest.raises(RecoveryError) as err:
+            journal.recover()
+        assert err.value.reason == "corrupt"
+
+
+class TestCSPRestart:
+    def make_csp(self, provider, journal, n_users=90, seed=11):
+        db = uniform_users(n_users, REGION, seed=seed)
+        return CSP(REGION, K, db, provider, journal=journal)
+
+    def test_kill_and_restart_bit_identical(self, provider, journal):
+        csp = self.make_csp(provider, journal)
+        churn(csp, rounds=2)
+        expected = {uid: cloak for uid, cloak in csp.policy.items()}
+        user = sorted(expected)[0]
+        del csp  # the "kill": only the journal survives
+
+        restored = CSP.restore(provider, journal)
+        assert restored.restored
+        assert len(restored.policy) == len(expected)
+        for uid, cloak in expected.items():
+            assert restored.policy.cloak_for(uid) == cloak
+        served = restored.request(user, [("poi", "rest")])
+        assert served.degradation == "recovered"
+        assert served.anonymized.cloak == expected[user]
+
+    def test_restart_is_warm_and_repairs_forward(self, provider, journal):
+        csp = self.make_csp(provider, journal)
+        churn(csp, rounds=2)
+        del csp
+
+        restored = CSP.restore(provider, journal)
+        # The DP sidecar validated: repairs go through resolve_dirty
+        # instead of a bulk re-solve.
+        assert restored.anonymizer.solution is not None
+        moves = random_moves(
+            restored.anonymizer.current_db,
+            0.05,
+            REGION,
+            max_distance=80.0,
+            seed=7,
+        )
+        report = restored.advance_snapshot(moves)
+        assert report.applied
+        assert 0 < report.recomputed_nodes < report.total_nodes
+        assert not restored.restored
+        user = restored.anonymizer.current_db.user_ids()[0]
+        assert restored.request(user, [("poi", "rest")]).degradation == "fresh"
+        audit = audit_policy(restored.effective_policy, K)
+        assert audit.policy_aware_level >= K
+
+    def test_cold_restore_still_serves(self, provider, journal):
+        csp = self.make_csp(provider, journal)
+        churn(csp, rounds=1)
+        expected = {uid: cloak for uid, cloak in csp.policy.items()}
+        serial = csp._snapshot_index
+        del csp
+        # Corrupt the DP sidecar: restore must fall back cold, never fail.
+        sidecar = os.path.join(journal.root, journal._sidecar_file(serial))
+        raw = bytearray(open(sidecar, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        with open(sidecar, "wb") as handle:
+            handle.write(bytes(raw))
+
+        restored = CSP.restore(provider, journal)
+        assert restored.anonymizer.solution is None  # cold
+        for uid, cloak in expected.items():
+            assert restored.policy.cloak_for(uid) == cloak
+        moves = random_moves(
+            restored.anonymizer.current_db,
+            0.05,
+            REGION,
+            max_distance=80.0,
+            seed=9,
+        )
+        assert restored.advance_snapshot(moves).applied
+        assert audit_policy(
+            restored.effective_policy, K
+        ).policy_aware_level >= K
+
+    def test_restore_too_stale_rejected(self, provider, journal):
+        csp = self.make_csp(provider, journal)
+        churn(csp, rounds=1)
+        serial = csp._snapshot_index
+        del csp
+        with pytest.raises(RecoveryError) as err:
+            CSP.restore(
+                provider,
+                journal,
+                current_serial=serial + 3,
+                max_stale_snapshots=1,
+            )
+        assert err.value.reason == "stale"
+
+    def test_restore_within_stale_bound_serves_stale(self, provider, journal):
+        csp = self.make_csp(provider, journal)
+        churn(csp, rounds=1)
+        serial = csp._snapshot_index
+        user = csp.anonymizer.current_db.user_ids()[0]
+        del csp
+        restored = CSP.restore(
+            provider,
+            journal,
+            current_serial=serial + 1,
+            max_stale_snapshots=1,
+        )
+        assert restored.policy_age == 1
+        assert restored.request(user, [("poi", "rest")]).degradation == "stale"

@@ -10,6 +10,11 @@ from repro.core.binary_dp import solve
 from repro.core.geometry import Circle, Point
 from repro.core.policy import CloakingPolicy
 from repro.core.serialization import (
+    atomic_write_bytes,
+    atomic_write_json,
+    canonical_dumps,
+    checksum_of,
+    file_checksum,
     load_policy,
     policy_from_dict,
     policy_to_dict,
@@ -86,6 +91,44 @@ class TestPolicyRoundTrip:
         save_policy(policy, str(a))
         save_policy(policy, str(b))
         assert a.read_text() == b.read_text()
+
+
+class TestCrashConsistentPrimitives:
+    def test_canonical_dumps_is_order_insensitive(self):
+        assert canonical_dumps({"b": 1, "a": [2, 3]}) == canonical_dumps(
+            {"a": [2, 3], "b": 1}
+        )
+        assert canonical_dumps({"a": 1}) == '{"a":1}'
+
+    def test_checksum_agrees_across_processes_logically(self):
+        doc = {"serial": 3, "users": ["a", "b"]}
+        assert checksum_of(doc) == checksum_of(dict(reversed(doc.items())))
+        assert checksum_of(doc) != checksum_of({"serial": 4, "users": ["a", "b"]})
+
+    def test_atomic_write_bytes_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(str(path), b"first version")
+        atomic_write_bytes(str(path), b"second")
+        assert path.read_bytes() == b"second"
+        # No temp-file droppings survive the rename.
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+    def test_atomic_write_json_returns_content_checksum(self, tmp_path):
+        path = tmp_path / "doc.json"
+        doc = {"k": 5, "region": [0, 0, 512, 512]}
+        digest = atomic_write_json(str(path), doc)
+        assert digest == checksum_of(doc)
+        assert json.loads(path.read_text()) == doc
+        assert file_checksum(str(path)) == checksum_of(doc)
+
+    def test_file_checksum_detects_bit_flip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(str(path), {"a": 1})
+        before = file_checksum(str(path))
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0x01
+        path.write_bytes(bytes(raw))
+        assert file_checksum(str(path)) != before
 
 
 class TestLocationCsv:

@@ -125,3 +125,43 @@ class TestRun:
         sim.run(60.0)
         # After all the snapshot churn the live policy still honours k.
         assert sim.anonymizer.policy.min_group_size() >= 10
+
+
+class TestPerRungSLOs:
+    def test_all_served_on_fresh_without_faults(self, region, db):
+        report = make_sim(region, db).run(30.0)
+        assert set(report.latencies_by_rung) == {"fresh"}
+        assert report.served_by_rung["fresh"] == report.served
+
+    def test_rungs_partition_served_requests(self, region, db):
+        from repro.robustness.faults import FaultInjector, FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="repair", kind="error", match="2"),
+                FaultRule(site="coarsen", kind="error", probability=0.1),
+            ),
+            seed=5,
+        )
+        sim = make_sim(
+            region, db, injector=FaultInjector(plan), max_stale_snapshots=2
+        )
+        report = sim.run(120.0)
+        assert sum(report.served_by_rung.values()) == report.served
+        assert report.served == len(report.latencies)
+        assert report.served_by_rung.get("stale", 0) == report.stale_served
+        # Snapshot 2's repair fails, so its window is stale and the next
+        # successful repair opens a recovered window.
+        assert report.served_by_rung.get("stale", 0) > 0
+        assert report.served_by_rung.get("recovered", 0) > 0
+        assert report.served_by_rung.get("coarsened", 0) > 0
+
+    def test_rung_percentiles_and_summary(self, region, db):
+        report = make_sim(region, db).run(30.0)
+        p50 = report.rung_latency_percentile("fresh", 50)
+        p99 = report.rung_latency_percentile("fresh", 99)
+        assert 0.0 < p50 <= p99
+        assert report.rung_mean_latency("fresh") > 0.0
+        # Absent rungs report zero, not an error.
+        assert report.rung_latency_percentile("stale", 99) == 0.0
+        assert "fresh:" in report.slo_summary()
