@@ -1,0 +1,158 @@
+"""Experiment ``gateway``: sync serve loop vs. the asyncio gateway.
+
+Both paths pay the same simulated provider RTT (10 ms per wire
+round-trip) over the same workload and the same seeds.  The synchronous
+``CSP.request`` loop blocks one RTT per provider query; the gateway
+overlaps in-flight queries, coalesces same-cloak requests, and batches
+distinct cloaks into shared provider rounds — so its throughput
+advantage comes purely from I/O scheduling, never from a different
+anonymity decision.
+
+Hard gates (the PR's acceptance bar):
+
+* async throughput ≥ 3× sync at the same 10 ms RTT,
+* coalesced provider traffic < 1 query per served request,
+* zero anonymity violations — every async cloak identical to the sync
+  oracle's for the same user.
+"""
+
+import time
+
+from repro.core.geometry import Rect
+from repro.data import uniform_users
+from repro.experiments import Table
+from repro.lbs import CSP, LBSProvider, generate_pois
+from repro.serving import GatewayConfig
+
+from conftest import run_once
+
+K = 20
+RTT = 0.010  # 10 ms simulated provider round-trip
+REGION = Rect(0, 0, 16_384, 16_384)
+CATEGORIES = ("rest", "groc", "fuel")
+
+
+class SlowProvider:
+    """Wraps the in-process provider with a blocking per-call RTT, the
+    wire cost the synchronous pipeline pays on every provider query."""
+
+    def __init__(self, inner, rtt):
+        self.inner = inner
+        self.rtt = rtt
+
+    def serve(self, request):
+        time.sleep(self.rtt)
+        return self.inner.serve(request)
+
+    def serve_many(self, requests):
+        time.sleep(self.rtt)
+        return self.inner.serve_many(requests)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def _build(n_users, seed):
+    db = uniform_users(n_users, REGION, seed=seed)
+    pois = generate_pois(
+        REGION, {c: 150 for c in CATEGORIES}, seed=seed + 1
+    )
+    return db, pois
+
+
+def _workload(db, n_requests):
+    users = db.user_ids()
+    return [
+        (users[i % len(users)], [("poi", CATEGORIES[i % len(CATEGORIES)])])
+        for i in range(n_requests)
+    ]
+
+
+def _run_gateway(scale):
+    n_users = min(scale.db_fixed, 400)
+    n_requests = {"quick": 200, "default": 400, "full": 800}.get(
+        scale.name, 400
+    )
+    db, pois = _build(n_users, seed=151)
+    workload = _workload(db, n_requests)
+
+    # Synchronous oracle: one blocking RTT per provider query.
+    sync_csp = CSP(REGION, K, db, SlowProvider(LBSProvider(pois), RTT))
+    t0 = time.perf_counter()
+    oracle = [sync_csp.request(uid, payload) for uid, payload in workload]
+    sync_seconds = time.perf_counter() - t0
+    sync_queries = sync_csp.base_provider.inner.served
+
+    # Async gateway over an identically-constructed CSP.
+    async_csp = CSP(REGION, K, db, LBSProvider(pois))
+    config = GatewayConfig(
+        rtt=RTT, max_batch=32, max_wait=0.002, pool_size=8
+    )
+    t0 = time.perf_counter()
+    results, stats = async_csp.serve_async(workload, config)
+    async_seconds = time.perf_counter() - t0
+
+    mismatches = sum(
+        1
+        for served, want in zip(results, oracle)
+        if served.anonymized.cloak != want.anonymized.cloak
+    )
+
+    table = Table(
+        "Async serving gateway — sync loop vs asyncio gateway "
+        f"at {RTT * 1e3:.0f} ms provider RTT",
+        [
+            "path",
+            "requests",
+            "seconds",
+            "req_per_s",
+            "provider_queries",
+            "provider_rounds",
+            "queries_per_request",
+            "cloak_mismatches",
+        ],
+    )
+    table.add(
+        path="sync CSP.request loop",
+        requests=n_requests,
+        seconds=round(sync_seconds, 4),
+        req_per_s=round(n_requests / sync_seconds, 1),
+        provider_queries=sync_queries,
+        provider_rounds=sync_queries,
+        queries_per_request=round(sync_queries / n_requests, 4),
+        cloak_mismatches=0,
+    )
+    table.add(
+        path="asyncio gateway",
+        requests=n_requests,
+        seconds=round(async_seconds, 4),
+        req_per_s=round(n_requests / async_seconds, 1),
+        provider_queries=stats.provider_queries,
+        provider_rounds=stats.provider_rounds,
+        queries_per_request=round(stats.queries_per_request, 4),
+        cloak_mismatches=mismatches,
+    )
+    return table, sync_seconds, async_seconds, stats, mismatches
+
+
+def test_gateway_throughput(benchmark, record_table, profile):
+    table, sync_s, async_s, stats, mismatches = run_once(
+        benchmark, _run_gateway, profile
+    )
+    record_table("gateway", table)
+
+    n_requests = table.rows[0]["requests"]
+    assert stats.served == n_requests
+    assert stats.errors == stats.shed == stats.throttled == 0
+
+    # The anonymity invariant is absolute: concurrency may never change
+    # a cloak.
+    assert mismatches == 0
+
+    # Coalescing amortizes provider traffic below one query/request.
+    assert stats.queries_per_request < 1.0
+    assert stats.provider_rounds < stats.provider_queries
+
+    # The tentpole's headline: ≥ 3× the sync throughput at equal RTT.
+    speedup = sync_s / async_s
+    assert speedup >= 3.0, f"async speedup {speedup:.2f}x < 3x"

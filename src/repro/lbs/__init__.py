@@ -1,18 +1,25 @@
 """The privacy-conscious LBS substrate (§II): location database, POIs,
 the untrusted provider, the CSP pipeline, caching, and user mobility."""
 
-from .cache import AnswerCache, CacheStats
+from .cache import AnswerCache, AsyncAnswerCache, CacheStats
 from .locationdb import LocationDatabase, SnapshotSequence
 from .mobility import movement_stream, random_moves
-from .pipeline import CSP, MobilePositioningCenter, ServedRequest
+from .pipeline import (
+    CSP,
+    MobilePositioningCenter,
+    PreparedRequest,
+    ServedRequest,
+)
 from .poi import POI, POIDatabase, generate_pois
 from .simulation import LBSSimulation, ServiceTimes, SimulationReport
 from .provider import LBSProvider, QueryAnswer
 
 __all__ = [
     "AnswerCache",
+    "AsyncAnswerCache",
     "CSP",
     "CacheStats",
+    "PreparedRequest",
     "LBSProvider",
     "LocationDatabase",
     "MobilePositioningCenter",

@@ -33,7 +33,7 @@ Fault tolerance (all opt-in; the happy path is byte-identical):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.anonymizer import IncrementalAnonymizer, UpdateReport
 from ..core.errors import (
@@ -74,7 +74,12 @@ from .locationdb import LocationDatabase
 from .poi import POI
 from .provider import LBSProvider, QueryAnswer
 
-__all__ = ["ServedRequest", "MobilePositioningCenter", "CSP"]
+__all__ = [
+    "PreparedRequest",
+    "ServedRequest",
+    "MobilePositioningCenter",
+    "CSP",
+]
 
 #: Exceptions that mark a provider call transient (worth retrying).
 TRANSIENT_PROVIDER_ERRORS = (
@@ -83,6 +88,22 @@ TRANSIENT_PROVIDER_ERRORS = (
     ConnectionError,
     OSError,
 )
+
+
+@dataclass(frozen=True)
+class PreparedRequest:
+    """The synchronous front half of serving one request.
+
+    Everything up to (and including) the cloak decision: the privacy
+    contract is fully settled here, before any provider I/O happens —
+    which is what lets the async gateway overlap the I/O of many
+    requests without touching anonymization semantics.
+    """
+
+    request: ServiceRequest
+    anonymized: AnonymizedRequest
+    degradation: str
+    policy_age: int
 
 
 @dataclass(frozen=True)
@@ -209,6 +230,10 @@ class CSP:
         self.provider_deadline = provider_deadline
         self.max_stale_snapshots = max_stale_snapshots
         self.journal = journal
+        #: the unwrapped provider — the async gateway builds its pooled
+        #: client on this and applies its own (async) injector site, so
+        #: faults are not injected twice on the async path.
+        self.base_provider = provider
         if injector is not None:
             provider = FaultInjectingProvider(provider, injector)
         self.mpc = MobilePositioningCenter(db, injector=injector)
@@ -344,8 +369,10 @@ class CSP:
 
     # -- serving ------------------------------------------------------------
 
-    def request(self, user_id: str, payload) -> ServedRequest:
-        """Serve one user query end to end (fail-closed under faults)."""
+    def prepare(self, user_id: str, payload) -> PreparedRequest:
+        """The synchronous front half: staleness gate, MPC lookup, and
+        the fail-closed cloak decision.  No provider I/O happens here.
+        """
         if self.policy_age > self.max_stale_snapshots:
             raise ServiceUnavailableError(
                 f"policy is {self.policy_age} snapshots stale "
@@ -365,18 +392,60 @@ class CSP:
         anonymized = self._anonymize_fail_closed(service_request)
         if anonymized.cloak != self.anonymizer.policy.cloak_for(str(user_id)):
             degradation = "coarsened"
-        answer, cache_hit, attempts = self._fetch(anonymized)
-        result = self._client_filter(location, answer)
-        return ServedRequest(
+        return PreparedRequest(
             request=service_request,
             anonymized=anonymized,
+            degradation=degradation,
+            policy_age=self.policy_age,
+        )
+
+    def complete(
+        self,
+        prepared: PreparedRequest,
+        answer: QueryAnswer,
+        *,
+        cache_hit: bool,
+        attempts: int,
+    ) -> ServedRequest:
+        """The back half: client-side filtering over a fetched answer."""
+        result = self._client_filter(prepared.request.location, answer)
+        return ServedRequest(
+            request=prepared.request,
+            anonymized=prepared.anonymized,
             answer=answer,
             result=result,
             cache_hit=cache_hit,
-            degradation=degradation,
+            degradation=prepared.degradation,
             provider_attempts=attempts,
-            policy_age=self.policy_age,
+            policy_age=prepared.policy_age,
         )
+
+    def request(self, user_id: str, payload) -> ServedRequest:
+        """Serve one user query end to end (fail-closed under faults)."""
+        prepared = self.prepare(user_id, payload)
+        answer, cache_hit, attempts = self._fetch(prepared.anonymized)
+        return self.complete(
+            prepared, answer, cache_hit=cache_hit, attempts=attempts
+        )
+
+    def serve_async(
+        self,
+        workload: Sequence[Tuple[str, object]],
+        config=None,
+    ):
+        """Serve a workload through the asyncio gateway (sync façade).
+
+        ``workload`` is a sequence of ``(user_id, payload)`` pairs;
+        ``config`` an optional
+        :class:`~repro.serving.gateway.GatewayConfig`.  Returns
+        ``(results, stats)`` where each result is a
+        :class:`ServedRequest` or the typed exception that rejected it.
+        Cloaks are guaranteed identical to the sync path's: the gateway
+        calls this CSP's own :meth:`prepare`.
+        """
+        from ..serving.gateway import run_gateway
+
+        return run_gateway(self, workload, config)
 
     def _anonymize_fail_closed(
         self, service_request: ServiceRequest

@@ -48,6 +48,9 @@ class LBSProvider:
         #: requests served per category — the billing counters of §VII.
         self.billing: Dict[str, int] = {}
         self.served = 0
+        #: provider *rounds*: batched exchanges (one network round-trip
+        #: each, however many requests ride in it) — see ``serve_many``.
+        self.rounds = 0
 
     def serve(self, request: AnonymizedRequest) -> QueryAnswer:
         """Answer one anonymized request.
@@ -79,3 +82,20 @@ class LBSProvider:
         self.billing[category] = self.billing.get(category, 0) + 1
         self.served += 1
         return QueryAnswer(request.request_id, tuple(candidates))
+
+    def serve_many(
+        self, requests: Tuple[AnonymizedRequest, ...]
+    ) -> Tuple[QueryAnswer, ...]:
+        """One provider *round*: a batch of anonymized requests answered
+        in a single exchange.
+
+        The async gateway coalesces concurrent requests that share a
+        cloak and batches the distinct cloaks of a window into one round,
+        so the LBS pays one round-trip for many users — the serving-side
+        analogue of k-sharing's request amortization.  Billing and
+        ``served`` count per request exactly as :meth:`serve` does; the
+        round itself is tallied in ``rounds``.
+        """
+        answers = tuple(self.serve(request) for request in requests)
+        self.rounds += 1
+        return answers

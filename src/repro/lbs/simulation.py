@@ -90,6 +90,12 @@ class SimulationReport:
     latencies_by_rung: Dict[str, List[float]] = field(
         repr=False, default_factory=dict
     )
+    #: process restarts replayed into the timeline (CSP killed, state
+    #: restored from the policy journal).
+    restarts: int = 0
+    #: total simulated blackout spent in journal restores — the measured
+    #: restore latency, replayed once per restart.
+    restart_seconds: float = 0.0
 
     @property
     def throughput(self) -> float:
@@ -152,6 +158,12 @@ class SimulationReport:
             )
         if self.rejected:
             lines.append(f"rejected: {self.rejected}")
+        if self.restarts:
+            lines.append(
+                f"restarts: {self.restarts}, journal-restore blackout "
+                f"{1e3 * self.restart_seconds:.1f} ms total "
+                f"({1e3 * self.restart_seconds / self.restarts:.1f} ms each)"
+            )
         return "\n".join(lines)
 
     def summary(self) -> str:
@@ -174,8 +186,10 @@ class SimulationReport:
 
 
 # Event kinds, ordered so ties at equal timestamps resolve snapshots
-# first (requests arriving exactly at the tick see the new snapshot).
-_SNAPSHOT, _ARRIVAL = 0, 1
+# first, then restarts (a restart scheduled exactly at the tick restores
+# the just-repaired policy), then requests (arrivals at the tick see the
+# new snapshot).
+_SNAPSHOT, _RESTART, _ARRIVAL = 0, 1, 2
 
 
 class LBSSimulation:
@@ -204,6 +218,8 @@ class LBSSimulation:
         injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
         max_stale_snapshots: int = 1,
+        restart_at: Tuple[float, ...] = (),
+        restart_blackout: float = 0.0,
     ):
         if request_rate_per_user <= 0:
             raise WorkloadError("request_rate_per_user must be > 0")
@@ -213,6 +229,10 @@ class LBSSimulation:
             raise WorkloadError("n_servers must be ≥ 1")
         if max_stale_snapshots < 0:
             raise WorkloadError("max_stale_snapshots must be ≥ 0")
+        if restart_blackout < 0:
+            raise WorkloadError("restart_blackout must be ≥ 0")
+        if any(t <= 0 for t in restart_at):
+            raise WorkloadError("restart_at times must be > 0")
         self.region = region
         self.k = k
         self.request_rate = request_rate_per_user
@@ -234,6 +254,16 @@ class LBSSimulation:
         self.injector = injector
         self.retry_policy = retry_policy
         self.max_stale_snapshots = max_stale_snapshots
+        #: process restarts: at each listed simulated time the CSP dies
+        #: and restores from its policy journal, replaying the *measured*
+        #: restore latency (``restart_blackout``, e.g. from timing
+        #: :meth:`repro.lbs.pipeline.CSP.restore`) as a serving blackout.
+        #: The committed policy survives — requests queue through the
+        #: blackout and then ride the "recovered" rung until the next
+        #: successful snapshot repair, exactly like a real restore.  The
+        #: answer cache is process memory, so it does not survive.
+        self.restart_at = tuple(sorted(float(t) for t in restart_at))
+        self.restart_blackout = float(restart_blackout)
         self.rng = np.random.default_rng(seed)
 
         from ..core.anonymizer import IncrementalAnonymizer
@@ -267,6 +297,9 @@ class LBSSimulation:
         while tick < duration:
             push(tick, _SNAPSHOT)
             tick += self.snapshot_period
+        for restart_time in self.restart_at:
+            if restart_time < duration:
+                push(restart_time, _RESTART)
 
         cache: Dict[Tuple[object, str, bool], bool] = {}
         policy_ready_at = 0.0  # requests wait for an in-flight repair
@@ -313,6 +346,22 @@ class LBSSimulation:
                 )
                 recovered_window = stale_age > 0
                 stale_age = 0
+                continue
+
+            if kind == _RESTART:
+                # Process restart: the CSP dies and restores from its
+                # journal.  The committed policy survives (staleness is
+                # whatever it already was), but serving blacks out for
+                # the measured restore latency, the in-memory answer
+                # cache is lost, and requests after the blackout ride
+                # the "recovered" rung until the next snapshot repair.
+                report.restarts += 1
+                report.restart_seconds += self.restart_blackout
+                cache.clear()
+                policy_ready_at = max(
+                    policy_ready_at, now + self.restart_blackout
+                )
+                recovered_window = True
                 continue
 
             # Request arrival.

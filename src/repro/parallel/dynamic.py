@@ -72,6 +72,7 @@ def handoff_shards(
     max_depth: int = 40,
     n_shards: int = 2,
     base_node_id: int = 0,
+    solver=None,
 ) -> List[Tuple[Jurisdiction, Optional[CloakingPolicy], float]]:
     """Re-partition a dead jurisdiction's territory and re-solve it.
 
@@ -86,6 +87,14 @@ def handoff_shards(
     ``base_node_id`` (callers pick a range that cannot collide with live
     tree node ids).  Empty shards are kept (policy ``None``) so the
     returned shards still tile the whole territory.
+
+    ``solver`` delegates the per-shard solve:
+    ``solver(shard_rect, shard_rows, shard_index)`` must return
+    ``({user_id: cloak rect tuple}, solve seconds)``.  The engine uses
+    this to route hand-off solves through its worker pool (with the
+    kill-chaos hook live inside them); ``None`` solves in the calling
+    process.  Both paths run the identical deterministic DP, so the
+    resulting policies are bit-identical either way.
 
     Fails closed: a territory with fewer than ``k`` users cannot be
     anonymized by any shard, so no hand-off exists.
@@ -115,8 +124,21 @@ def handoff_shards(
         if not members:
             out.append((jur, None, 0.0))
             continue
-        start = time.perf_counter()
         shard_db = local_db.subset(members)
+        if solver is not None:
+            shard_rows = [
+                (uid, shard_db.location_of(uid).x, shard_db.location_of(uid).y)
+                for uid in members
+            ]
+            cloaks, elapsed = solver(shard.rect, shard_rows, offset)
+            policy = CloakingPolicy(
+                {uid: Rect(*tup) for uid, tup in cloaks.items()},
+                shard_db,
+                name=f"handoff-{shard_id}",
+            )
+            out.append((jur, policy, elapsed))
+            continue
+        start = time.perf_counter()
         shard_tree = BinaryTree.build(
             shard.rect, shard_db, k, max_depth=max_depth
         )

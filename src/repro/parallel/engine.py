@@ -495,72 +495,121 @@ def parallel_bulk_anonymize(
             if pending and round_no < max_attempts and retry_policy:
                 retry_seconds += retry_policy.delay_for(round_no - 1)
 
-    # Whatever is still pending exhausted every retry round.
-    handoffs: List[Tuple[int, int, int]] = []
-    extra_servers: List[ServerPolicy] = []
-    next_shard_id = (
-        max((j.node_id for j in jurisdictions), default=0) + 1
-    )
-    for jur, rows, __ in pending:
-        error = last_errors[jur.node_id]
-        if on_failure == "raise":
-            raise error
-        if on_failure == "handoff":
-            # Online hand-off: re-partition the dead territory, re-solve
-            # the shards, and hand them to adjacent surviving servers —
-            # users get fine optimal cloaks back, not the coarse rect.
-            handoff_start = time.perf_counter()
-            shards = handoff_shards(
-                jur.rect,
-                rows,
-                k,
-                max_depth=max_depth,
-                base_node_id=next_shard_id,
-            )
-            next_shard_id += len(shards)
-            survivors = [
-                j
-                for j in jurisdictions
-                if j.node_id != jur.node_id and j.node_id in policies
-            ]
-            adopters = assign_adopters(
-                [shard for shard, __, ___ in shards], survivors
-            )
-            for shard, policy, ___ in shards:
-                extra_servers.append(ServerPolicy(shard, policy))
-                handoffs.append(
-                    (
-                        jur.node_id,
-                        shard.node_id,
-                        adopters.get(shard.node_id, -1),
+        # Whatever is still pending exhausted every retry round.  This
+        # runs *inside* the pool context: with ``on_failure='handoff'``
+        # the shard re-solves are dispatched to the (possibly rebuilt)
+        # worker pool, where a ``KillPlan.shard_kills`` entry can break
+        # the pool again mid-recovery — nested recovery territory.
+        handoffs: List[Tuple[int, int, int]] = []
+        extra_servers: List[ServerPolicy] = []
+        next_shard_id = (
+            max((j.node_id for j in jurisdictions), default=0) + 1
+        )
+
+        def pooled_shard_solver(dead_node_id: int):
+            """A hand-off shard solver running in the worker pool.
+
+            Retries a shard whose worker dies (rebuilding the broken
+            pool each time, charged to recovery) up to the same attempt
+            budget as jurisdiction solves; a shard that outlives every
+            pool it is given falls back to an in-master solve — the DP
+            is deterministic, so the cloaks are identical either way.
+            """
+
+            def solve_shard(shard_rect, shard_rows, shard_index):
+                nonlocal recoveries, recovery_seconds
+                for shard_attempt in range(max(1, max_attempts)):
+                    kill = bool(
+                        kill_plan is not None
+                        and kill_plan.should_kill_shard(
+                            dead_node_id, shard_index, shard_attempt
+                        )
+                    )
+                    try:
+                        future = pool.pool.submit(
+                            _solve_jurisdiction,
+                            shard_rect.as_tuple(),
+                            shard_rows,
+                            k,
+                            max_depth,
+                            kill,
+                        )
+                        return future.result()
+                    except BrokenProcessPool:
+                        recoveries += 1
+                        recovery_seconds += pool.rebuild()
+                return _solve_jurisdiction(
+                    shard_rect.as_tuple(), shard_rows, k, max_depth
+                )
+
+            return solve_shard
+
+        for jur, rows, __ in pending:
+            error = last_errors[jur.node_id]
+            if on_failure == "raise":
+                raise error
+            if on_failure == "handoff":
+                # Online hand-off: re-partition the dead territory,
+                # re-solve the shards, and hand them to adjacent
+                # surviving servers — users get fine optimal cloaks
+                # back, not the coarse rect.
+                handoff_start = time.perf_counter()
+                shards = handoff_shards(
+                    jur.rect,
+                    rows,
+                    k,
+                    max_depth=max_depth,
+                    base_node_id=next_shard_id,
+                    solver=(
+                        pooled_shard_solver(jur.node_id)
+                        if mode == "process" and pool.pool is not None
+                        else None
+                    ),
+                )
+                next_shard_id += len(shards)
+                survivors = [
+                    j
+                    for j in jurisdictions
+                    if j.node_id != jur.node_id and j.node_id in policies
+                ]
+                adopters = assign_adopters(
+                    [shard for shard, __, ___ in shards], survivors
+                )
+                for shard, policy, ___ in shards:
+                    extra_servers.append(ServerPolicy(shard, policy))
+                    handoffs.append(
+                        (
+                            jur.node_id,
+                            shard.node_id,
+                            adopters.get(shard.node_id, -1),
+                        )
+                    )
+                recoveries += 1
+                recovery_seconds += time.perf_counter() - handoff_start
+                failures.append(
+                    JurisdictionFailure(
+                        node_id=jur.node_id,
+                        n_users=len(rows),
+                        attempts=attempts_used[jur.node_id],
+                        kind=error.kind,
+                        degraded=False,
+                        handed_off=True,
                     )
                 )
-            recoveries += 1
-            recovery_seconds += time.perf_counter() - handoff_start
+                continue
+            # Fail-closed degrade: one jurisdiction, one ≥k cloak.
+            policies[jur.node_id] = fallback_jurisdiction_policy(
+                jur.rect, jur.node_id, rows, k
+            )
             failures.append(
                 JurisdictionFailure(
                     node_id=jur.node_id,
                     n_users=len(rows),
                     attempts=attempts_used[jur.node_id],
                     kind=error.kind,
-                    degraded=False,
-                    handed_off=True,
+                    degraded=True,
                 )
             )
-            continue
-        # Fail-closed degrade: one jurisdiction, one ≥k cloak.
-        policies[jur.node_id] = fallback_jurisdiction_policy(
-            jur.rect, jur.node_id, rows, k
-        )
-        failures.append(
-            JurisdictionFailure(
-                node_id=jur.node_id,
-                n_users=len(rows),
-                attempts=attempts_used[jur.node_id],
-                kind=error.kind,
-                degraded=True,
-            )
-        )
 
     server_policies = [
         ServerPolicy(jur, policies[jur.node_id])

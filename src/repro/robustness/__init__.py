@@ -3,6 +3,13 @@ injection, retry/backoff with circuit breaking, the fail-closed
 degradation ladder (coarsen → stale → reject; never below k),
 crash-consistent snapshot recovery, and real process-kill chaos."""
 
+from .aio import (
+    AsyncClock,
+    LoopClock,
+    VirtualClock,
+    breaker_clock,
+    retry_call_async,
+)
 from .chaos import KillPlan, kill_current_process
 from .degrade import (
     DEGRADATION_LEVELS,
@@ -14,6 +21,7 @@ from .degrade import (
 )
 from .faults import (
     FAULT_KINDS,
+    FaultInjectingAsyncClient,
     FaultInjectingProvider,
     FaultInjector,
     FaultPlan,
@@ -42,8 +50,10 @@ __all__ = [
     "DEGRADATION_LEVELS",
     "DegradationEvent",
     "FAULT_KINDS",
+    "AsyncClock",
     "CircuitBreaker",
     "Clock",
+    "FaultInjectingAsyncClient",
     "FaultInjectingProvider",
     "FaultInjector",
     "FaultPlan",
@@ -53,11 +63,14 @@ __all__ = [
     "InjectedFault",
     "InjectedTimeout",
     "KillPlan",
+    "LoopClock",
     "ManualClock",
     "PolicyJournal",
     "RecoveredSnapshot",
     "RetryPolicy",
     "SystemClock",
+    "VirtualClock",
+    "breaker_clock",
     "flat_structure_digest",
     "kill_current_process",
     "rehydrate_flat_solution",
@@ -66,4 +79,5 @@ __all__ = [
     "fallback_jurisdiction_policy",
     "policy_with_overrides",
     "retry_call",
+    "retry_call_async",
 ]

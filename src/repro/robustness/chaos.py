@@ -49,13 +49,32 @@ class KillPlan:
     The plan is plain data — it crosses the process boundary by pickle,
     and the same plan against the same workload kills the same solves on
     every run.
+
+    ``shard_kills`` reaches one layer deeper: it schedules kills *inside
+    the recovery path itself*.  Each ``(dead jurisdiction node_id,
+    shard_index, attempt)`` triple names a hand-off shard solve — the
+    re-solve of shard ``shard_index`` of that permanently failed
+    jurisdiction's territory — and the worker running it on that 0-based
+    attempt dies.  This is the nastiest real-world timing: the pool
+    breaks again while the master is mid-recovery from the previous
+    break, so the master must recover *recursively* (rebuild the pool,
+    re-dispatch the shard) and still end bit-identical.
     """
 
     kills: Tuple[Tuple[int, int], ...] = ()
     name: str = "kill-plan"
+    #: (dead jurisdiction node_id, shard index, attempt) triples killed
+    #: mid-hand-off — see the class docstring.
+    shard_kills: Tuple[Tuple[int, int, int], ...] = ()
 
     def should_kill(self, node_id: int, attempt: int) -> bool:
         return (int(node_id), int(attempt)) in self.kills
+
+    def should_kill_shard(
+        self, dead_node_id: int, shard_index: int, attempt: int
+    ) -> bool:
+        key = (int(dead_node_id), int(shard_index), int(attempt))
+        return key in self.shard_kills
 
     @classmethod
     def first_attempt(cls, *node_ids: int) -> "KillPlan":
@@ -73,4 +92,24 @@ class KillPlan:
         return cls(
             kills=tuple((int(node_id), a) for a in range(max_attempts)),
             name="kill-permanent",
+        )
+
+    @classmethod
+    def permanent_with_shard_kill(
+        cls,
+        node_id: int,
+        max_attempts: int,
+        shard_index: int = 0,
+        shard_attempts: int = 1,
+    ) -> "KillPlan":
+        """Kill the jurisdiction on every attempt (forcing hand-off),
+        then also kill the hand-off re-solve of one of its shards for
+        ``shard_attempts`` attempts — the kill-inside-recovery scenario."""
+        return cls(
+            kills=tuple((int(node_id), a) for a in range(max_attempts)),
+            shard_kills=tuple(
+                (int(node_id), int(shard_index), a)
+                for a in range(shard_attempts)
+            ),
+            name="kill-permanent-and-shard",
         )

@@ -38,6 +38,7 @@ an injector was explicitly passed in.
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -50,6 +51,7 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FaultInjectingProvider",
+    "FaultInjectingAsyncClient",
     "InjectedFault",
     "InjectedCrash",
     "InjectedError",
@@ -223,3 +225,34 @@ class FaultInjectingProvider:
 
     def __getattr__(self, name):
         return getattr(self._provider, name)
+
+
+class FaultInjectingAsyncClient:
+    """Wraps a pooled async provider client with ``"provider"``-site
+    fault injection — the async injector site of the serving gateway.
+
+    Faults strike per *round* (the batched exchange is what fails on a
+    real network, taking every coalesced waiter with it), keyed by the
+    round's first request id so a retried round advances the
+    deterministic draw exactly like :class:`FaultInjectingProvider`'s
+    per-request attempts.  ``straggle`` rules become awaited extra
+    latency instead of simulated time.
+    """
+
+    def __init__(self, client, injector: FaultInjector, site: str = "provider"):
+        self._client = client
+        self._injector = injector
+        self._site = site
+        self._attempts: Dict[object, int] = {}
+
+    async def serve_round(self, requests):
+        key = requests[0].request_id if requests else -1
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        delay = self._injector.fire(self._site, key, attempt)
+        if delay:
+            await asyncio.sleep(delay)
+        return await self._client.serve_round(requests)
+
+    def __getattr__(self, name):
+        return getattr(self._client, name)

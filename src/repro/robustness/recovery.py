@@ -190,10 +190,27 @@ class PolicyJournal:
     crash-consistent (see the module docstring); ``recover`` returns the
     newest snapshot whose commit record and content checksum both
     validate, failing closed on any sign of corruption.
+
+    ``keep_last`` bounds disk for long-lived deployments: after every
+    commit the journal retains only the newest ``keep_last`` committed
+    serials — older snapshot/sidecar files are deleted and the log is
+    compacted to just the surviving intent/commit pairs (see
+    :meth:`prune`).  Recovery needs exactly one committed serial, so any
+    ``keep_last ≥ 1`` preserves restartability; restores that *require*
+    a pruned serial (e.g. a ``current_serial`` bound that only an older
+    snapshot could satisfy) fail closed exactly like any other missing
+    state.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, keep_last: Optional[int] = None):
+        if keep_last is not None and keep_last < 1:
+            raise RecoveryError(
+                f"keep_last must be ≥ 1 (got {keep_last}); retaining "
+                "zero snapshots would make every restore fail",
+                reason="corrupt",
+            )
         self.root = str(root)
+        self.keep_last = keep_last
         os.makedirs(self.root, exist_ok=True)
         self._journal_path = os.path.join(self.root, _JOURNAL_FILE)
 
@@ -256,7 +273,61 @@ class PolicyJournal:
         )
         atomic_write_json(os.path.join(self.root, snapshot_name), document)
         self._append({"op": "commit", "serial": int(serial)})
+        if self.keep_last is not None:
+            self.prune(self.keep_last)
         return checksum
+
+    def prune(self, keep_last: int) -> Tuple[int, ...]:
+        """Retain only the newest ``keep_last`` committed serials.
+
+        Three steps, ordered so a crash at any point leaves a journal
+        that still recovers (pruning must never be the thing that loses
+        state):
+
+        1. the **compacted log** is written first, via atomic replace —
+           only the surviving serials' intent/commit records remain, so
+           the journal file stops growing one pair per commit;
+        2. then the dropped serials' snapshot documents are deleted;
+        3. then their DP sidecars.
+
+        A crash between (1) and (2) merely leaves orphaned files that
+        the next prune removes; the reverse order could leave a log
+        whose newest committed serial has no snapshot file — a fail-
+        closed (but needless) :class:`RecoveryError` at restart.
+        Returns the serials that were pruned.
+        """
+        if keep_last < 1:
+            raise RecoveryError(
+                f"keep_last must be ≥ 1 (got {keep_last})",
+                reason="corrupt",
+            )
+        records, __ = self._read_journal()
+        serials = self.committed_serials()
+        keep = set(serials[-keep_last:])
+        dropped = tuple(s for s in serials if s not in keep)
+        if not dropped:
+            return ()
+        survivors = [
+            record
+            for record in records
+            if record.get("op") in ("intent", "commit")
+            and record.get("serial") in keep
+        ]
+        compacted = (
+            "\n".join(canonical_dumps(record) for record in survivors) + "\n"
+        )
+        atomic_write_bytes(self._journal_path, compacted.encode("utf-8"))
+        for serial in dropped:
+            for name in (
+                self._snapshot_file(serial),
+                self._sidecar_file(serial),
+            ):
+                path = os.path.join(self.root, name)
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+        return dropped
 
     @staticmethod
     def _dp_payload(solution) -> Optional[Tuple[bytes, str]]:

@@ -1,0 +1,19 @@
+"""Async serving gateway: admission control, request coalescing, and a
+pooled non-blocking LBS provider client in front of the synchronous CSP
+(the sync path stays the bit-identical oracle)."""
+
+from .aio_provider import AsyncProviderClient, ClientStats, PooledConnection
+from .batcher import BatcherStats, CoalescingBatcher
+from .gateway import AsyncGateway, GatewayConfig, GatewayStats, run_gateway
+
+__all__ = [
+    "AsyncGateway",
+    "AsyncProviderClient",
+    "BatcherStats",
+    "ClientStats",
+    "CoalescingBatcher",
+    "GatewayConfig",
+    "GatewayStats",
+    "PooledConnection",
+    "run_gateway",
+]

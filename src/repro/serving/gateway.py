@@ -1,0 +1,373 @@
+"""The asyncio serving gateway in front of the CSP.
+
+One synchronous CSP worker blocks for a full provider round-trip per
+request; this gateway lets a single event loop keep hundreds of
+requests in flight while preserving the privacy contract bit for bit —
+anonymization itself stays the synchronous
+:meth:`~repro.lbs.pipeline.CSP.prepare` (sub-millisecond, and the
+**same code path as the sync oracle**, so every cloak the gateway emits
+is identical to what ``CSP.request`` would have emitted).
+
+Request lifecycle::
+
+    submit ──► admission control ──► prepare (sync cloak lookup)
+                 │                        │
+                 │ shed / throttle        ▼
+                 ▼                 single-flight async cache
+          ServiceUnavailableError         │ miss
+                                          ▼
+                                 coalescing batcher (by cloak)
+                                          │ window flush
+                                          ▼
+                          retry/breaker (async) ► pooled client ► LBS
+                                          │
+                                          ▼
+                            fan-out ► client filter ► ServedRequest
+
+Admission control is fail-closed and layered:
+
+* a **high-water mark** on queued-but-unfinished requests: beyond it,
+  submissions are shed *immediately* with
+  :class:`~repro.core.errors.ServiceUnavailableError` (``reason="shed"``)
+  — an overloaded anonymizer must reject, never queue unboundedly and
+  never serve a weaker cloak faster;
+* a **per-user token bucket** (``burst_per_user`` capacity refilled at
+  ``rate_per_user``/s): one chatty user cannot starve the pool — their
+  excess is rejected with ``reason="throttle"``;
+* a **bounded in-flight semaphore** (``max_inflight``): the concurrency
+  actually admitted to the provider path.
+
+Provider failures surface exactly like the sync pipeline's: retries and
+breaker budgets are the CSP's own (:mod:`repro.robustness.aio` ports),
+and an exhausted round raises ``reason="provider"`` — the *same
+exception instance* for every waiter coalesced onto that round.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceUnavailableError,
+)
+from ..lbs.cache import AsyncAnswerCache
+from ..robustness.aio import AsyncClock, LoopClock, retry_call_async
+from ..robustness.degrade import DegradationEvent
+from ..robustness.faults import FaultInjectingAsyncClient
+from ..robustness.retry import RetryPolicy
+from .aio_provider import AsyncProviderClient
+from .batcher import CoalescingBatcher
+
+__all__ = ["GatewayConfig", "GatewayStats", "AsyncGateway", "run_gateway"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Admission-control and batching knobs of one gateway."""
+
+    #: concurrent requests allowed past admission (the semaphore).
+    max_inflight: int = 64
+    #: queued-but-unfinished requests beyond which submissions shed.
+    queue_high_water: int = 1024
+    #: per-user token refill rate (tokens/second); ``inf`` disables.
+    rate_per_user: float = float("inf")
+    #: per-user bucket capacity (burst tolerance).
+    burst_per_user: float = 32.0
+    #: distinct cloaks per provider round (batch window size cap).
+    max_batch: int = 16
+    #: seconds a window stays open after its first key (0 = next tick).
+    max_wait: float = 0.001
+    #: persistent provider connections.
+    pool_size: int = 8
+    #: simulated wire RTT per provider round (seconds).
+    rtt: float = 0.0
+    #: per-round deadline at the connection (seconds; None = no bound).
+    round_deadline: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.max_inflight < 1:
+            raise ReproError("max_inflight must be ≥ 1")
+        if self.queue_high_water < 1:
+            raise ReproError("queue_high_water must be ≥ 1")
+        if self.rate_per_user < 0:
+            raise ReproError("rate_per_user must be ≥ 0")
+        if self.burst_per_user < 1:
+            raise ReproError("burst_per_user must be ≥ 1")
+
+
+@dataclass
+class GatewayStats:
+    """Serving outcome counters (admission + amortization)."""
+
+    submitted: int = 0
+    served: int = 0
+    #: shed at the queue high-water mark (fail-closed).
+    shed: int = 0
+    #: rejected by a per-user token bucket.
+    throttled: int = 0
+    #: failed with a typed error past admission (provider, stale, ...).
+    errors: int = 0
+    cancelled: int = 0
+    #: answers shared from the cache (previous fills).
+    cache_hits: int = 0
+    #: requests that joined an in-flight fill or a pending batch key.
+    coalesced: int = 0
+    #: provider queries actually issued (distinct cloaks flushed).
+    provider_queries: int = 0
+    #: provider rounds (batched exchanges, one RTT each).
+    provider_rounds: int = 0
+
+    @property
+    def queries_per_request(self) -> float:
+        """Provider queries per served request — < 1 means coalescing
+        and caching amortize the cloak-to-provider hop."""
+        return self.provider_queries / self.served if self.served else 0.0
+
+    @property
+    def availability(self) -> float:
+        done = self.served + self.shed + self.throttled + self.errors
+        return self.served / done if done else 1.0
+
+
+class _TokenBucket:
+    __slots__ = ("tokens", "stamp")
+
+    def __init__(self, tokens: float, stamp: float):
+        self.tokens = tokens
+        self.stamp = stamp
+
+
+class AsyncGateway:
+    """Admission-controlled async frontend over one CSP.
+
+    The gateway owns the async half of serving (cache fills, batching,
+    pooled provider I/O, retry/breaker) and delegates the privacy half
+    (cloak computation, degradation ladder, client filter) to the CSP's
+    synchronous methods — the sync path remains the oracle.
+    """
+
+    def __init__(
+        self,
+        csp,
+        config: Optional[GatewayConfig] = None,
+        *,
+        client: Optional[AsyncProviderClient] = None,
+        clock: Optional[AsyncClock] = None,
+    ):
+        self.csp = csp
+        self.config = config or GatewayConfig()
+        self.config.validate()
+        self.clock = clock or LoopClock()
+        if client is None:
+            client = AsyncProviderClient(
+                csp.base_provider,
+                pool_size=self.config.pool_size,
+                rtt=self.config.rtt,
+                deadline=self.config.round_deadline,
+                clock=self.clock,
+            )
+        if csp.injector is not None:
+            client = FaultInjectingAsyncClient(client, csp.injector)
+        self.client = client
+        self.batcher = CoalescingBatcher(
+            self._provider_round,
+            max_batch=self.config.max_batch,
+            max_wait=self.config.max_wait,
+        )
+        self.cache = AsyncAnswerCache() if csp.cache is not None else None
+        self.stats = GatewayStats()
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._pending = 0
+        self._buckets: Dict[str, _TokenBucket] = {}
+
+    # -- admission -----------------------------------------------------------
+
+    def _admit(self, user_id: str) -> None:
+        """Fail-closed admission: raise before any work is queued."""
+        if self._pending >= self.config.queue_high_water:
+            self.stats.shed += 1
+            raise ServiceUnavailableError(
+                f"gateway over its high-water mark "
+                f"({self._pending} pending ≥ {self.config.queue_high_water}); "
+                "shedding fail-closed",
+                reason="shed",
+            )
+        if self.config.rate_per_user != float("inf"):
+            now = self.clock.monotonic()
+            bucket = self._buckets.get(user_id)
+            if bucket is None:
+                bucket = _TokenBucket(self.config.burst_per_user, now)
+                self._buckets[user_id] = bucket
+            else:
+                refill = (now - bucket.stamp) * self.config.rate_per_user
+                bucket.tokens = min(
+                    self.config.burst_per_user, bucket.tokens + refill
+                )
+                bucket.stamp = now
+            if bucket.tokens < 1.0:
+                self.stats.throttled += 1
+                raise ServiceUnavailableError(
+                    f"user {user_id!r} exceeded their request budget "
+                    f"({self.config.burst_per_user:g} burst at "
+                    f"{self.config.rate_per_user:g}/s); throttling",
+                    reason="throttle",
+                )
+            bucket.tokens -= 1.0
+
+    def _sem(self) -> asyncio.Semaphore:
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.config.max_inflight)
+        return self._semaphore
+
+    # -- provider path -------------------------------------------------------
+
+    async def _provider_round(self, requests):
+        """One batched provider exchange under the CSP's budgets.
+
+        Runs below the batcher, so however many waiters coalesced onto
+        the round, the breaker sees **one** failure per failed attempt
+        and the retry schedule runs once.
+        """
+        csp = self.csp
+        from ..lbs.pipeline import TRANSIENT_PROVIDER_ERRORS
+
+        async def fetch():
+            return await self.client.serve_round(requests)
+
+        try:
+            if csp.retry_policy is None and csp.breaker is None:
+                return await fetch()
+            return await retry_call_async(
+                fetch,
+                policy=csp.retry_policy or RetryPolicy(max_attempts=1),
+                clock=self.clock,
+                deadline=csp.provider_deadline,
+                retryable=TRANSIENT_PROVIDER_ERRORS
+                + (DeadlineExceededError,),
+                breaker=csp.breaker,
+            )
+        except asyncio.CancelledError:
+            raise
+        except (
+            CircuitOpenError,
+            DeadlineExceededError,
+        ) + TRANSIENT_PROVIDER_ERRORS as exc:
+            csp.events.append(
+                DegradationEvent(
+                    level="rejected",
+                    reason="provider",
+                    detail=f"async round of {len(requests)}: {exc}",
+                )
+            )
+            raise ServiceUnavailableError(
+                f"LBS provider unavailable for a round of "
+                f"{len(requests)} coalesced cloak(s): {exc}",
+                reason="provider",
+            ) from exc
+
+    # -- serving -------------------------------------------------------------
+
+    async def submit(self, user_id: str, payload) -> "ServedRequest":
+        """Serve one request end to end through the async path.
+
+        Raises :class:`ServiceUnavailableError` (``reason`` one of
+        ``"shed"``, ``"throttle"``, ``"provider"``, ``"stale"``, ...)
+        instead of ever emitting a weaker cloak.
+        """
+        self.stats.submitted += 1
+        self._admit(str(user_id))
+        self._pending += 1
+        try:
+            async with self._sem():
+                return await self._process(user_id, payload)
+        except asyncio.CancelledError:
+            self.stats.cancelled += 1
+            raise
+        except ServiceUnavailableError:
+            self.stats.errors += 1
+            raise
+        finally:
+            self._pending -= 1
+
+    async def _process(self, user_id: str, payload) -> "ServedRequest":
+        prepared = self.csp.prepare(user_id, payload)
+        if self.cache is not None:
+            answer, cache_hit, coalesced = await self.cache.fetch(
+                prepared.anonymized, self.batcher.fetch
+            )
+        else:
+            answer = await self.batcher.fetch(prepared.anonymized)
+            cache_hit, coalesced = False, False
+        if cache_hit:
+            self.stats.cache_hits += 1
+        if coalesced:
+            self.stats.coalesced += 1
+        served = self.csp.complete(
+            prepared,
+            answer,
+            cache_hit=cache_hit,
+            attempts=0 if cache_hit else 1,
+        )
+        self.stats.served += 1
+        return served
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _roll_up(self) -> None:
+        """Fold client/batcher counters into the gateway stats."""
+        self.stats.coalesced += self.batcher.stats.coalesced
+        self.stats.provider_queries = self.batcher.stats.keys_flushed
+        self.stats.provider_rounds = self.batcher.stats.rounds
+
+    async def close(self) -> None:
+        """Drain in-flight rounds and release resources."""
+        await self.batcher.drain()
+        if self.cache is not None:
+            await self.cache.close()
+        await self.batcher.close()
+        self._roll_up()
+
+
+async def serve_all(
+    gateway: AsyncGateway,
+    workload: Sequence[Tuple[str, object]],
+) -> List[object]:
+    """Submit a whole workload concurrently; results align with input.
+
+    Each result is a :class:`~repro.lbs.pipeline.ServedRequest` or the
+    exception that rejected it (shed/throttle/provider/...), so callers
+    can audit both sides of the admission decision.
+    """
+    tasks = [
+        asyncio.ensure_future(gateway.submit(user_id, payload))
+        for user_id, payload in workload
+    ]
+    results = await asyncio.gather(*tasks, return_exceptions=True)
+    await gateway.close()
+    return list(results)
+
+
+def run_gateway(
+    csp,
+    workload: Sequence[Tuple[str, object]],
+    config: Optional[GatewayConfig] = None,
+) -> Tuple[List[object], GatewayStats]:
+    """Sync façade: run a workload through a fresh gateway to completion.
+
+    Builds the gateway, drives the event loop, and returns
+    ``(results, stats)`` — the entry point for benches, the DES, and any
+    caller that is not already inside an event loop
+    (:meth:`repro.lbs.pipeline.CSP.serve_async` delegates here).
+    """
+    gateway = AsyncGateway(csp, config)
+
+    async def drive():
+        return await serve_all(gateway, workload)
+
+    results = asyncio.run(drive())
+    return results, gateway.stats

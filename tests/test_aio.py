@@ -1,0 +1,347 @@
+"""Async robustness primitives: retry/backoff port, clocks, and the
+single-flight answer cache.
+
+The async ports must be semantically identical to their sync twins —
+same policies, same delays (deterministic jitter included), shareable
+breaker instances — so the sync path can stay the privacy oracle while
+the gateway overlaps I/O.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReproError,
+)
+from repro.core.requests import AnonymizedRequest, normalize_payload
+from repro.lbs.cache import AsyncAnswerCache
+from repro.lbs.provider import QueryAnswer
+from repro.robustness import (
+    CircuitBreaker,
+    ManualClock,
+    RetryPolicy,
+    VirtualClock,
+    breaker_clock,
+    retry_call,
+    retry_call_async,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Flaky:
+    """Fails ``failures`` times, then succeeds with ``value``."""
+
+    def __init__(self, failures, value="ok", exc=TimeoutError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    async def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom {self.calls}")
+        return self.value
+
+
+class TestVirtualClock:
+    def test_sleep_accumulates_and_yields(self):
+        clock = VirtualClock()
+
+        async def use():
+            await clock.sleep(1.5)
+            await clock.sleep(0.5)
+            return clock.monotonic()
+
+        assert run(use()) == 2.0
+        assert clock.slept == 2.0
+
+    def test_negative_sleep_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ReproError):
+            run(clock.sleep(-1))
+
+    def test_advance_is_not_backoff(self):
+        clock = VirtualClock(start=10.0)
+        clock.advance(5.0)
+        assert clock.monotonic() == 15.0
+        assert clock.slept == 0.0
+
+    def test_breaker_clock_reads_through(self):
+        clock = VirtualClock(start=3.0)
+        sync_view = breaker_clock(clock)
+        assert sync_view.monotonic() == 3.0
+        with pytest.raises(ReproError):
+            sync_view.sleep(1.0)
+
+
+class TestRetryCallAsync:
+    def test_succeeds_after_transient_failures(self):
+        fn = Flaky(2)
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, seed=4)
+        assert run(retry_call_async(fn, policy=policy, clock=clock)) == "ok"
+        assert fn.calls == 3
+
+    def test_backoff_identical_to_sync_twin(self):
+        """The async port reuses RetryPolicy verbatim: total backoff must
+        equal the sync retry_call's to the last jittered microsecond."""
+        policy = RetryPolicy(max_attempts=4, base_delay=0.07, seed=9)
+
+        sync_clock = ManualClock()
+        with pytest.raises(TimeoutError):
+            retry_call(
+                _always_fail_sync, policy=policy, clock=sync_clock
+            )
+
+        async_clock = VirtualClock()
+        with pytest.raises(TimeoutError):
+            run(
+                retry_call_async(
+                    _always_fail_async, policy=policy, clock=async_clock
+                )
+            )
+        assert async_clock.slept == sync_clock.slept > 0.0
+
+    def test_exhaustion_reraises_last_error(self):
+        fn = Flaky(5)
+        with pytest.raises(TimeoutError, match="boom 2"):
+            run(
+                retry_call_async(
+                    fn,
+                    policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+                    clock=VirtualClock(),
+                )
+            )
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = Flaky(1, exc=ValueError)
+        with pytest.raises(ValueError):
+            run(
+                retry_call_async(
+                    fn,
+                    policy=RetryPolicy(max_attempts=5, base_delay=0.0),
+                    clock=VirtualClock(),
+                    retryable=(TimeoutError,),
+                )
+            )
+        assert fn.calls == 1
+
+    def test_deadline_refuses_doomed_backoff(self):
+        fn = Flaky(10)
+        clock = VirtualClock()
+        with pytest.raises(DeadlineExceededError):
+            run(
+                retry_call_async(
+                    fn,
+                    policy=RetryPolicy(
+                        max_attempts=10, base_delay=1.0, jitter=0.0
+                    ),
+                    clock=clock,
+                    deadline=2.5,
+                )
+            )
+        # The overrunning backoff is refused, never slept toward.
+        assert clock.slept <= 2.5
+
+    def test_breaker_shared_with_sync_path(self):
+        """One breaker instance guards both serving paths: async failures
+        push it open, and the sync path then fails fast too."""
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2,
+            reset_timeout=60.0,
+            clock=breaker_clock(clock),
+        )
+        with pytest.raises(TimeoutError):
+            run(
+                retry_call_async(
+                    Flaky(9),
+                    policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+                    clock=clock,
+                    breaker=breaker,
+                )
+            )
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            retry_call(
+                _always_fail_sync,
+                policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+                clock=ManualClock(),
+                breaker=breaker,
+            )
+
+    def test_cancellation_neither_retries_nor_trips_breaker(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            clock=breaker_clock(clock),
+        )
+        started = 0
+
+        async def hang():
+            nonlocal started
+            started += 1
+            await asyncio.sleep(3600)
+
+        async def drive():
+            task = asyncio.ensure_future(
+                retry_call_async(
+                    hang,
+                    policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+                    clock=clock,
+                    breaker=breaker,
+                )
+            )
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        run(drive())
+        assert started == 1  # cancellation burned no retry attempt
+        assert breaker.state == "closed"  # and is not a provider failure
+
+
+def _always_fail_sync():
+    raise TimeoutError("down")
+
+
+async def _always_fail_async():
+    raise TimeoutError("down")
+
+
+def _request(request_id, cloak="cloak-a", category="rest"):
+    return AnonymizedRequest(
+        request_id=request_id,
+        cloak=cloak,
+        payload=normalize_payload([("poi", category)]),
+    )
+
+
+class CountingLoader:
+    def __init__(self, delay=0.0, exc=None):
+        self.calls = 0
+        self.delay = delay
+        self.exc = exc
+
+    async def __call__(self, request):
+        self.calls += 1
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        if self.exc is not None:
+            raise self.exc
+        return QueryAnswer(request.request_id, ())
+
+
+class TestAsyncAnswerCache:
+    def test_single_flight_fill(self):
+        cache = AsyncAnswerCache()
+        loader = CountingLoader(delay=0.01)
+
+        async def drive():
+            return await asyncio.gather(
+                *(cache.fetch(_request(i), loader) for i in range(8))
+            )
+
+        results = run(drive())
+        assert loader.calls == 1  # one provider call for 8 racers
+        assert cache.stats.misses == 1
+        assert cache.stats.coalesced == 7
+        assert cache.stats.hits == 0
+        # Everyone got the answer, re-stamped with their own id.
+        assert [a.request_id for a, __, ___ in results] == list(range(8))
+        hit_flags = [hit for __, hit, ___ in results]
+        coalesced_flags = [c for __, ___, c in results]
+        assert hit_flags.count(True) == 0
+        assert coalesced_flags.count(True) == 7
+
+    def test_hit_after_fill(self):
+        cache = AsyncAnswerCache()
+        loader = CountingLoader()
+
+        async def drive():
+            await cache.fetch(_request(1), loader)
+            return await cache.fetch(_request(2), loader)
+
+        answer, hit, coalesced = run(drive())
+        assert hit and not coalesced
+        assert loader.calls == 1
+        assert cache.stats.hits == 1
+        assert cache.deferred_billing == {"rest": 1}
+        assert answer.request_id == 2
+
+    def test_distinct_keys_do_not_share(self):
+        cache = AsyncAnswerCache()
+        loader = CountingLoader()
+
+        async def drive():
+            await asyncio.gather(
+                cache.fetch(_request(1, cloak="a"), loader),
+                cache.fetch(_request(2, cloak="b"), loader),
+            )
+
+        run(drive())
+        assert loader.calls == 2
+        assert cache.stats.misses == 2
+
+    def test_failed_fill_fans_same_exception_and_leaves_no_trace(self):
+        cache = AsyncAnswerCache()
+        boom = ConnectionError("wire down")
+        loader = CountingLoader(delay=0.01, exc=boom)
+
+        async def drive():
+            return await asyncio.gather(
+                *(cache.fetch(_request(i), loader) for i in range(5)),
+                return_exceptions=True,
+            )
+
+        results = run(drive())
+        assert all(exc is boom for exc in results)  # the same instance
+        assert len(cache) == 0
+        assert cache.stats.misses == 0  # failures are not misses
+        assert cache.stats.hits == 0
+        # A later fetch retries from scratch and can succeed.
+        ok_loader = CountingLoader()
+        answer, hit, coalesced = run(cache.fetch(_request(9), ok_loader))
+        assert not hit and not coalesced
+        assert ok_loader.calls == 1
+
+    def test_cancelled_waiter_does_not_kill_shared_fill(self):
+        cache = AsyncAnswerCache()
+        loader = CountingLoader(delay=0.02)
+
+        async def drive():
+            first = asyncio.ensure_future(cache.fetch(_request(1), loader))
+            await asyncio.sleep(0.001)
+            second = asyncio.ensure_future(cache.fetch(_request(2), loader))
+            await asyncio.sleep(0.001)
+            second.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await second
+            return await first
+
+        answer, hit, coalesced = run(drive())
+        assert answer.request_id == 1
+        assert loader.calls == 1
+        assert cache.stats.misses == 1
+
+    def test_flush_returns_billing(self):
+        cache = AsyncAnswerCache()
+        loader = CountingLoader()
+
+        async def drive():
+            await cache.fetch(_request(1), loader)
+            await cache.fetch(_request(2), loader)
+            await cache.fetch(_request(3), loader)
+
+        run(drive())
+        assert cache.flush() == {"rest": 2}
+        assert len(cache) == 0
+        assert cache.deferred_billing == {}

@@ -115,3 +115,73 @@ def test_permanent_sigkill_hands_territory_off(db, reference):
         result.master.cloak_for(uid).area for uid in victims
     ) / len(victims)
     assert recovered <= fault_free * 1.05
+
+
+def test_sigkill_inside_handoff_recovers_identical_cloaks(db, reference):
+    """Nested recovery: the pool breaks *again* mid-hand-off.
+
+    The victim jurisdiction is killed on every retry attempt (forcing
+    the hand-off), and then the worker re-solving hand-off shard 0 is
+    itself SIGKILLed.  The master must rebuild the pool a second time,
+    re-dispatch the shard, and end with cloaks bit-identical to the
+    hand-off run that suffered no shard kill.
+    """
+    victim = pick_victim(reference)
+    kwargs = dict(
+        mode="process",
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+        on_failure="handoff",
+    )
+    baseline = parallel_bulk_anonymize(
+        REGION, db, K, N_SERVERS,
+        kill_plan=KillPlan.permanent(victim, 3),
+        **kwargs,
+    )
+    nested = parallel_bulk_anonymize(
+        REGION, db, K, N_SERVERS,
+        kill_plan=KillPlan.permanent_with_shard_kill(
+            victim, 3, shard_index=0, shard_attempts=1
+        ),
+        **kwargs,
+    )
+    assert [f.node_id for f in nested.failures] == [victim]
+    assert nested.failures[0].handed_off
+    assert nested.handoffs == baseline.handoffs
+    # The shard kill costs at least one extra pool rebuild beyond the
+    # jurisdiction kills' own recoveries.
+    assert nested.recoveries > baseline.recoveries
+    assert nested.recovery_seconds > 0.0
+    # Bit-identical serving for every user — including the dead
+    # territory's, whose shard solve was itself killed and re-run.
+    assert len(nested.master.merged) == len(db)
+    for uid in [uid for uid, __ in baseline.master.merged.items()]:
+        assert nested.master.cloak_for(uid) == baseline.master.cloak_for(uid)
+    assert nested.master.merged.min_group_size() >= K
+
+
+def test_shard_kill_exhaustion_falls_back_in_master(db, reference):
+    """A shard whose worker dies on every pooled attempt is solved
+    in-master — same deterministic DP, so cloaks still match."""
+    victim = pick_victim(reference)
+    kwargs = dict(
+        mode="process",
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        on_failure="handoff",
+    )
+    baseline = parallel_bulk_anonymize(
+        REGION, db, K, N_SERVERS,
+        kill_plan=KillPlan.permanent(victim, 2),
+        **kwargs,
+    )
+    exhausted = parallel_bulk_anonymize(
+        REGION, db, K, N_SERVERS,
+        kill_plan=KillPlan.permanent_with_shard_kill(
+            victim, 2, shard_index=0, shard_attempts=2
+        ),
+        **kwargs,
+    )
+    assert [f.node_id for f in exhausted.failures] == [victim]
+    for uid in [uid for uid, __ in baseline.master.merged.items()]:
+        assert exhausted.master.cloak_for(uid) == baseline.master.cloak_for(
+            uid
+        )

@@ -152,6 +152,90 @@ class TestPolicyJournal:
         assert err.value.reason == "corrupt"
 
 
+class TestJournalRetention:
+    def test_keep_last_must_be_positive(self, tmp_path):
+        with pytest.raises(RecoveryError) as err:
+            PolicyJournal(str(tmp_path / "j"), keep_last=0)
+        assert err.value.reason == "corrupt"
+
+    def test_commit_prunes_to_newest_serials(self, tmp_path):
+        journal = PolicyJournal(str(tmp_path / "j"), keep_last=2)
+        policies = {s: build_policy(seed=s) for s in range(5)}
+        for serial, policy in policies.items():
+            journal.commit(policy, serial, FINGERPRINT)
+        assert journal.committed_serials() == [3, 4]
+        for serial in range(3):
+            path = os.path.join(journal.root, journal._snapshot_file(serial))
+            assert not os.path.exists(path)
+        snapshot = journal.recover()
+        assert snapshot.serial == 4
+        assert_bit_identical(policies[4], snapshot.policy)
+
+    def test_compaction_bounds_log_length(self, tmp_path):
+        journal = PolicyJournal(str(tmp_path / "j"), keep_last=1)
+        for serial in range(6):
+            journal.commit(build_policy(seed=serial), serial, FINGERPRINT)
+        with open(journal._journal_path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        # One intent + one commit for the single surviving serial, plus
+        # the just-appended pair before the post-commit prune rewrote it.
+        assert len(lines) == 2
+        assert journal.recover().serial == 5
+
+    def test_explicit_prune_reports_dropped(self, journal):
+        for serial in range(4):
+            journal.commit(build_policy(seed=serial), serial, FINGERPRINT)
+        assert journal.prune(2) == (0, 1)
+        assert journal.prune(2) == ()  # idempotent
+        assert journal.committed_serials() == [2, 3]
+
+    def test_restore_after_prune_succeeds(self, provider, tmp_path):
+        journal = PolicyJournal(str(tmp_path / "j"), keep_last=1)
+        db = uniform_users(90, REGION, seed=11)
+        csp = CSP(REGION, K, db, provider, journal=journal)
+        churn(csp, rounds=3)
+        expected = {uid: cloak for uid, cloak in csp.policy.items()}
+        del csp
+
+        assert len(journal.committed_serials()) == 1
+        restored = CSP.restore(provider, journal)
+        assert restored.restored
+        for uid, cloak in expected.items():
+            assert restored.policy.cloak_for(uid) == cloak
+
+    def test_over_pruned_restore_fails_closed(self, tmp_path):
+        journal = PolicyJournal(str(tmp_path / "j"), keep_last=1)
+        for serial in range(3):
+            journal.commit(build_policy(seed=serial), serial, FINGERPRINT)
+        # Simulate an over-aggressive prune that also removed the one
+        # snapshot the compacted log still references.
+        os.remove(os.path.join(journal.root, journal._snapshot_file(2)))
+        with pytest.raises(RecoveryError) as err:
+            journal.recover()
+        assert err.value.reason == "corrupt"
+
+    def test_prune_removes_dp_sidecars(self, provider, tmp_path):
+        journal = PolicyJournal(str(tmp_path / "j"), keep_last=1)
+        db = uniform_users(90, REGION, seed=11)
+        csp = CSP(REGION, K, db, provider, journal=journal)
+        churn(csp, rounds=3)
+        kept = journal.committed_serials()
+        assert len(kept) == 1
+        npz = [f for f in os.listdir(journal.root) if f.endswith(".npz")]
+        assert npz == [journal._sidecar_file(kept[0])]
+        # The surviving sidecar still enables a warm restore.
+        del csp
+        assert CSP.restore(provider, journal).anonymizer.solution is not None
+
+    def test_stale_bound_still_enforced_after_prune(self, tmp_path):
+        journal = PolicyJournal(str(tmp_path / "j"), keep_last=1)
+        journal.commit(build_policy(seed=0), 0, FINGERPRINT)
+        journal.commit(build_policy(seed=1), 1, FINGERPRINT)
+        with pytest.raises(RecoveryError) as err:
+            journal.recover(current_serial=4, max_stale_snapshots=1)
+        assert err.value.reason == "stale"
+
+
 class TestCSPRestart:
     def make_csp(self, provider, journal, n_users=90, seed=11):
         db = uniform_users(n_users, REGION, seed=seed)
@@ -255,3 +339,37 @@ class TestCSPRestart:
         )
         assert restored.policy_age == 1
         assert restored.request(user, [("poi", "rest")]).degradation == "stale"
+
+    def test_measured_restore_latency_replays_in_des(self, provider, journal):
+        """Close the loop: time a real journal restore, then replay that
+        latency as a DES process-restart blackout and read the cost off
+        the per-rung SLO report."""
+        import time as _time
+
+        from repro.lbs.simulation import LBSSimulation
+
+        csp = self.make_csp(provider, journal)
+        churn(csp, rounds=1)
+        del csp
+        start = _time.perf_counter()
+        restored = CSP.restore(provider, journal)
+        measured = _time.perf_counter() - start
+        assert restored.restored and measured > 0.0
+
+        sim = LBSSimulation(
+            REGION,
+            uniform_users(90, REGION, seed=11),
+            K,
+            request_rate_per_user=0.5,
+            snapshot_period=20.0,
+            seed=13,
+            restart_at=(7.0,),
+            restart_blackout=measured,
+        )
+        report = sim.run(15.0)
+        assert report.restarts == 1
+        assert report.restart_seconds == pytest.approx(measured)
+        assert report.served_by_rung.get("recovered", 0) > 0
+        assert "restarts: 1" in report.slo_summary()
+        # The blackout is visible as queueing, bounded by the restore.
+        assert max(report.queue_delays) <= measured + 1e-9

@@ -165,3 +165,62 @@ class TestPerRungSLOs:
         # Absent rungs report zero, not an error.
         assert report.rung_latency_percentile("stale", 99) == 0.0
         assert "fresh:" in report.slo_summary()
+
+
+class TestProcessRestart:
+    def test_restart_params_validated(self, region, db):
+        with pytest.raises(WorkloadError):
+            make_sim(region, db, restart_blackout=-1.0)
+        with pytest.raises(WorkloadError):
+            make_sim(region, db, restart_at=(0.0,))
+
+    def test_restart_blacks_out_and_recovers(self, region, db):
+        blackout = 0.8
+        sim = make_sim(
+            region, db, restart_at=(10.0,), restart_blackout=blackout
+        )
+        report = sim.run(20.0)
+        assert report.restarts == 1
+        assert report.restart_seconds == pytest.approx(blackout)
+        # Arrivals inside the blackout queue for it: the worst queueing
+        # delay approaches the full restore latency.
+        assert max(report.queue_delays) > blackout * 0.5
+        # The post-restore window serves on the recovered rung until the
+        # next snapshot repair — never silently relabelled "fresh".
+        assert report.served_by_rung.get("recovered", 0) > 0
+        assert "restarts: 1" in report.slo_summary()
+
+    def test_restart_is_deterministic(self, region, db):
+        kwargs = dict(restart_at=(5.0, 12.0), restart_blackout=0.3, seed=3)
+        a = make_sim(region, db, **kwargs).run(30.0)
+        b = make_sim(region, db, **kwargs).run(30.0)
+        assert a.restarts == b.restarts == 2
+        assert a.latencies == b.latencies
+        assert a.served_by_rung == b.served_by_rung
+
+    def test_restart_loses_the_cache(self, region, db):
+        calm = make_sim(region, db, snapshot_period=100.0).run(30.0)
+        restarted = make_sim(
+            region,
+            db,
+            snapshot_period=100.0,
+            restart_at=(10.0, 20.0),
+            restart_blackout=0.0,
+        ).run(30.0)
+        # Same workload, but the restart dropped the warm answer cache
+        # twice — the provider absorbs the re-fills.
+        assert restarted.lbs_queries > calm.lbs_queries
+
+    def test_snapshot_repair_closes_recovered_window(self, region, db):
+        sim = make_sim(
+            region,
+            db,
+            snapshot_period=10.0,
+            restart_at=(11.0,),
+            restart_blackout=0.2,
+        )
+        report = sim.run(40.0)
+        # Only the restart's own window (t∈[11, 20)) is recovered; the
+        # repairs at 20/30 restore fresh serving.
+        assert report.served_by_rung.get("recovered", 0) > 0
+        assert report.served_by_rung.get("fresh", 0) > 0
