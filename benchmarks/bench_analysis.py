@@ -1,0 +1,95 @@
+"""Static-analysis benchmark: full-tree scan cost of ``repro.analysis``.
+
+The lint gate runs on every CI push and in pre-commit, so its wall-clock
+cost is part of the developer loop.  This bench times a cold full scan
+of ``src/`` (parse + taint fixpoint + all four rule families), a
+single-package scan (``lbs/`` — the taint-heaviest subtree), and the
+taint-summary fixpoint alone, and records files/s so regressions in the
+visitor or the interprocedural pass show up as a throughput drop rather
+than anecdotes.
+"""
+
+import pathlib
+import time
+
+from repro.analysis import Analyzer, Project
+from repro.experiments import Table
+
+from conftest import run_once
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+def _scan(paths):
+    analyzer = Analyzer()
+    started = time.perf_counter()
+    report = analyzer.run(paths)
+    elapsed = time.perf_counter() - started
+    return report, elapsed
+
+
+def _fixpoint(analyzer, modules):
+    started = time.perf_counter()
+    project = Project(modules, analyzer.config)
+    elapsed = time.perf_counter() - started
+    return len(project.taint_summaries), elapsed
+
+
+def test_analysis_throughput(record_table, benchmark):
+    table = Table(
+        "Static-analysis scan cost (repro.analysis)",
+        [
+            "scenario",
+            "files",
+            "findings",
+            "suppressed",
+            "seconds",
+            "files_per_s",
+        ],
+    )
+
+    def scenarios():
+        rows = []
+        for name, paths in (
+            ("full src/ tree", [SRC]),
+            ("lbs/ package only", [SRC / "repro" / "lbs"]),
+        ):
+            report, elapsed = _scan(paths)
+            rows.append(
+                dict(
+                    scenario=name,
+                    files=report.files_scanned,
+                    findings=len(report.findings),
+                    suppressed=report.suppressed,
+                    seconds=elapsed,
+                    files_per_s=report.files_scanned / max(elapsed, 1e-9),
+                )
+            )
+        analyzer = Analyzer()
+        modules = analyzer.load([SRC])
+        summaries, elapsed = _fixpoint(analyzer, modules)
+        rows.append(
+            dict(
+                scenario="taint-summary fixpoint",
+                files=len(modules),
+                findings=summaries,
+                suppressed=0,
+                seconds=elapsed,
+                files_per_s=len(modules) / max(elapsed, 1e-9),
+            )
+        )
+        return rows
+
+    rows = run_once(benchmark, scenarios)
+    for row in rows:
+        table.add(**row)
+
+    record_table("analysis", table)
+
+    full = rows[0]
+    # Functional gates: the tree itself must scan clean (new findings
+    # break CI before they break this bench), and a full scan has to
+    # stay interactive — pre-commit runs it on every commit.
+    assert full["findings"] == 0
+    assert full["seconds"] < 30.0

@@ -1,0 +1,38 @@
+"""Static analysis for the CSP's fail-closed privacy invariants.
+
+The paper's premise is that the anonymization *design* is public; the
+sender is protected only because the CSP provably never ships a raw
+location past the anonymizer.  This package turns that convention into
+a machine-checked property: an AST-based linter (stdlib only) with
+three rule families —
+
+* privacy taint (``PA``): raw-location flows into provider-facing
+  sinks, wire formats, and logs;
+* fail-closed discipline (``FC``): every serving-path handler
+  re-raises or enters the degradation ladder;
+* async-safety (``AS``): no blocking calls on the gateway's event
+  loop, no await-in-loop-under-lock;
+* determinism (``DT``): no unseeded randomness/wall clocks/set-order
+  iteration inside the bit-identical DP kernels.
+
+Run it as ``python -m repro.analysis [paths]``; see DESIGN.md §9 for
+the threat-model → rule mapping and the baseline workflow.
+"""
+
+from .config import DEFAULT_CONFIG, AnalysisConfig
+from .engine import Analyzer, ModuleInfo, Project, Rule
+from .model import AnalysisReport, Baseline, Finding
+from .rules import default_rules
+
+__all__ = [
+    "AnalysisConfig",
+    "DEFAULT_CONFIG",
+    "Analyzer",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "default_rules",
+]

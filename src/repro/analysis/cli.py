@@ -1,0 +1,112 @@
+"""``python -m repro.analysis`` — the lint gate's command line.
+
+Exit status: 0 when the tree is clean under ``--fail-on`` (default:
+fail only on findings *not* in the baseline), 1 otherwise, 2 on usage
+errors.  ``--write-baseline`` grandfathers the current findings so the
+gate can be adopted incrementally; the committed baseline should trend
+toward (and stay) empty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import Analyzer
+from .model import Baseline
+from .rules import default_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Privacy-taint, fail-closed, async-safety, and determinism "
+            "linter for the repro codebase."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("new", "any", "none"),
+        default="new",
+        help="what makes the exit status non-zero (default: new)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule families and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id:6s} {rule.name}: {rule.description}")
+        return 0
+
+    paths: List[Path] = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(map(str, missing))}")
+
+    baseline = None
+    if (
+        args.baseline is not None
+        and args.baseline.exists()
+        and not args.write_baseline
+    ):
+        baseline = Baseline.load(args.baseline)
+
+    analyzer = Analyzer()
+    report = analyzer.run(paths, baseline=baseline)
+
+    if args.write_baseline:
+        if args.baseline is None:
+            parser.error("--write-baseline requires --baseline FILE")
+        Baseline.from_findings(report.findings).save(args.baseline)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return report.exit_code(args.fail_on)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

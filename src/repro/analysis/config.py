@@ -1,0 +1,153 @@
+"""Analyzer configuration: sources, sinks, launder APIs, and scopes.
+
+The defaults encode *this* repository's trust perimeter (see DESIGN.md
+§9): raw locations originate at the MPC/location database, may only
+cross to the provider after laundering through the policy/anonymizer
+APIs, exception handlers in the serving layers must ride the fail-closed
+ladder, the async gateway must never block its loop, and the DP kernels
+must stay bit-identical across engines and restores.
+
+New sinks and sources should be added here (or tagged inline with
+``# taint: location`` at the defining assignment) rather than special-
+cased inside the rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+__all__ = ["AnalysisConfig", "DEFAULT_CONFIG"]
+
+
+def _fs(*items: str) -> FrozenSet[str]:
+    return frozenset(items)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Tunable knobs of all rule families."""
+
+    # -- privacy taint (PA) --------------------------------------------------
+
+    #: method/function names whose return value is a raw location.
+    taint_source_calls: FrozenSet[str] = _fs("locate", "location_of")
+    #: attribute names that carry raw-location taint on any receiver.
+    tainted_fields: FrozenSet[str] = _fs(
+        "location", "request", "locx", "locy", "_locations"
+    )
+    #: constructors whose result *is* a raw-location carrier.
+    taint_constructors: FrozenSet[str] = _fs("ServiceRequest")
+    #: constructors producing containers that hold a tainted field next
+    #: to clean ones (field-sensitive: only ``tainted_fields`` project
+    #: taint back out of them).
+    partial_constructors: FrozenSet[str] = _fs(
+        "PreparedRequest", "ServedRequest"
+    )
+    #: calls that launder a raw location into a policy-aware cloak.
+    launder_calls: FrozenSet[str] = _fs("anonymize", "cloak_for", "cloak_of")
+    #: wire-format constructors: a tainted argument here IS the leak.
+    wire_constructors: FrozenSet[str] = _fs("AnonymizedRequest")
+    #: provider-facing call names (the trust perimeter).
+    sink_calls: FrozenSet[str] = _fs("serve", "serve_many", "serve_round", "fetch")
+    #: provider-facing class constructors (tainted ctor args leak).
+    sink_constructors: FrozenSet[str] = _fs(
+        "AsyncProviderClient", "CoalescingBatcher", "FaultInjectingAsyncClient"
+    )
+    #: observability sinks: logging a raw location is a leak too.
+    log_call_names: FrozenSet[str] = _fs("print")
+    log_method_names: FrozenSet[str] = _fs(
+        "debug", "info", "warning", "error", "critical", "exception", "log"
+    )
+    #: parameter names assumed tainted on entry (interprocedural seed).
+    taint_param_names: FrozenSet[str] = _fs("location", "service_request")
+    #: names too generic for cross-module call summaries (dict methods
+    #: and the like) — summary lookups skip them to avoid collisions.
+    generic_names: FrozenSet[str] = _fs(
+        "items", "keys", "values", "get", "copy", "pop", "update",
+        "append", "add", "close", "flush",
+    )
+
+    # -- fail-closed exception discipline (FC) -------------------------------
+
+    #: path fragments where every handler must re-raise or degrade.
+    failclosed_scope: Tuple[str, ...] = ("lbs/", "serving/")
+    #: calls that count as propagating/degrading inside a handler.
+    degrade_calls: FrozenSet[str] = _fs(
+        "set_exception", "record_failure", "cancel", "fire"
+    )
+    #: constructors that count as entering the degradation ladder.
+    degrade_constructors: FrozenSet[str] = _fs(
+        "DegradationEvent", "ServiceUnavailableError"
+    )
+    #: exception names a handler may swallow outright (cancellation is a
+    #: caller decision — a cancelled request returns nothing, so it can
+    #: never return an uncloaked response).
+    swallow_exempt_exceptions: FrozenSet[str] = _fs(
+        "CancelledError", "GeneratorExit", "StopIteration", "StopAsyncIteration"
+    )
+
+    # -- async-safety (AS) ---------------------------------------------------
+
+    #: path fragments whose ``async def`` bodies must not block the loop.
+    async_scope: Tuple[str, ...] = ("serving/", "robustness/aio.py", "lbs/cache.py")
+    #: fully-resolved dotted calls that block the event loop.
+    blocking_calls: FrozenSet[str] = _fs(
+        "time.sleep",
+        "os.system",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    )
+    #: dotted prefixes that block (whole modules).
+    blocking_prefixes: Tuple[str, ...] = ("subprocess.", "requests.")
+    #: bare names that block (sync file I/O, sync retry loop, stdin).
+    blocking_names: FrozenSet[str] = _fs("open", "input", "retry_call")
+    #: method names that block regardless of receiver (``.result()`` on
+    #: an executor future, pathlib file I/O).
+    blocking_methods: FrozenSet[str] = _fs(
+        "result", "write_text", "read_text", "write_bytes", "read_bytes"
+    )
+    #: context-manager expression fragment that looks like a lock; an
+    #: ``await`` inside a loop inside such a ``with`` stalls every other
+    #: holder for the whole loop.
+    lockish_pattern: str = r"(?i)(lock|sem\b|_sem\b|sem\(|semaphore|mutex)"
+
+    # -- determinism (DT) ----------------------------------------------------
+
+    #: path fragments of the bit-identical DP kernels.
+    dp_kernel_scope: Tuple[str, ...] = (
+        "core/bulk_dp.py",
+        "core/binary_dp.py",
+        "core/flat_dp.py",
+        "trees/flat.py",
+    )
+    #: dotted names forbidden in kernels: wall clocks.
+    wallclock_calls: FrozenSet[str] = _fs(
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.sleep",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    )
+    #: dotted prefixes forbidden in kernels: unseeded randomness.
+    random_prefixes: Tuple[str, ...] = ("random.", "numpy.random.", "secrets.")
+    #: members of ``numpy.random`` that are fine (seeded factories —
+    #: still checked for an explicit seed argument).
+    seeded_factories: FrozenSet[str] = _fs(
+        "default_rng", "Generator", "SeedSequence", "PCG64", "Philox"
+    )
+    #: other nondeterministic dotted calls (process-unique identity).
+    nondeterministic_calls: FrozenSet[str] = _fs("uuid.uuid4", "os.urandom")
+
+    # -- shared --------------------------------------------------------------
+
+    #: directories never scanned.
+    exclude_parts: FrozenSet[str] = _fs("__pycache__", ".git", ".venv")
+
+    def in_scope(self, relpath: str, fragments: Tuple[str, ...]) -> bool:
+        """Whether ``relpath`` (posix, relative) matches any fragment."""
+        normalized = relpath.replace("\\", "/")
+        return any(frag in normalized for frag in fragments)
+
+
+#: The repository's default configuration.
+DEFAULT_CONFIG = AnalysisConfig()

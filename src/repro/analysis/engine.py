@@ -1,0 +1,346 @@
+"""The analysis engine: module loading, project pre-passes, rule driver.
+
+Design (stdlib :mod:`ast` only, no third-party dependencies):
+
+* :class:`ModuleInfo` — one parsed file plus everything rules need that
+  ``ast`` alone does not give: the import alias table (so ``np.random``
+  resolves to ``numpy.random``), a parent map (for enclosing-symbol
+  attribution), inline ``# analysis: ok[RULE]`` suppressions, and
+  ``# taint: location`` field tags.
+* :class:`Project` — all modules plus two interprocedural-lite
+  summaries computed to a small fixpoint: per-function *taint levels*
+  (does ``f()`` return a raw-location carrier?) and *degrade* flags
+  (does ``f()`` raise or enter the degradation ladder?).  Summaries are
+  keyed by bare function name — deliberately coarse; collisions on
+  ubiquitous names are avoided via ``config.generic_names``.
+* :class:`Rule` — the visitor contract: ``check(module, project)``
+  yields findings; the driver applies suppressions and ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .config import DEFAULT_CONFIG, AnalysisConfig
+from .model import AnalysisReport, Baseline, Finding
+
+__all__ = [
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Analyzer",
+    "dotted_name",
+    "CLEAN",
+    "PARTIAL",
+    "TAINTED",
+]
+
+#: Taint lattice: CLEAN < PARTIAL (container with a tainted field) <
+#: TAINTED (the value itself is a raw location / carries one).
+CLEAN, PARTIAL, TAINTED = 0, 1, 2
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*analysis:\s*ok(?:\[([A-Za-z0-9_,\s]+)\])?"
+)
+_TAINT_TAG_RE = re.compile(
+    r"^\s*(?:self\.)?([A-Za-z_][A-Za-z0-9_]*)\s*[:=].*#\s*taint:\s*location"
+)
+
+
+def dotted_name(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Best-effort dotted resolution of a call target.
+
+    ``np.random.rand`` with ``import numpy as np`` resolves to
+    ``numpy.random.rand``; un-imported roots resolve to themselves
+    (``self.clock.sleep`` stays ``self.clock.sleep``), which is exactly
+    what keeps ``time.sleep`` matching precise.
+    """
+    if isinstance(node, ast.Name):
+        return imports.get(node.id, node.id)
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value, imports)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+class ModuleInfo:
+    """One parsed source file plus rule-facing metadata."""
+
+    def __init__(self, path: Path, relpath: str, source: str):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.imports = self._collect_imports(self.tree)
+        self.parents = self._collect_parents(self.tree)
+        self.suppressions = self._collect_suppressions(self.lines)
+        self.taint_tags = self._collect_taint_tags(self.lines)
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+        table: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    table[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return table
+
+    @staticmethod
+    def _collect_parents(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        return parents
+
+    @staticmethod
+    def _collect_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+        """``# analysis: ok[FC002]`` → {lineno: {"FC002"}}; bare
+        ``# analysis: ok`` suppresses every rule on that line."""
+        table: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            rules = match.group(1)
+            if rules is None:
+                table[lineno] = {"*"}
+            else:
+                table[lineno] = {
+                    r.strip() for r in rules.split(",") if r.strip()
+                }
+        return table
+
+    @staticmethod
+    def _collect_taint_tags(lines: Sequence[str]) -> Set[str]:
+        """Names assigned/annotated on a ``# taint: location`` line."""
+        tags: Set[str] = set()
+        for line in lines:
+            match = _TAINT_TAG_RE.match(line)
+            if match is not None:
+                tags.add(match.group(1))
+        return tags
+
+    def symbol_of(self, node: ast.AST) -> str:
+        """The enclosing ``Class.method`` qualname of ``node``."""
+        names: List[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                names.append(current.name)
+            current = self.parents.get(current)
+        return ".".join(reversed(names)) or "<module>"
+
+    def snippet_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        for lineno in (finding.line, finding.line - 1):
+            rules = self.suppressions.get(lineno)
+            if rules and ("*" in rules or finding.rule in rules):
+                return True
+        return False
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=lineno,
+            col=col,
+            message=message,
+            symbol=self.symbol_of(node),
+            snippet=self.snippet_at(lineno),
+        )
+
+
+def _is_function(node: ast.AST) -> bool:
+    return isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+
+
+class Project:
+    """All modules of one scan plus interprocedural-lite summaries."""
+
+    def __init__(self, modules: Sequence[ModuleInfo], config: AnalysisConfig):
+        self.modules = list(modules)
+        self.config = config
+        #: union of configured and ``# taint: location``-tagged fields.
+        self.tainted_fields: Set[str] = set(config.tainted_fields)
+        for module in self.modules:
+            self.tainted_fields |= module.taint_tags
+        #: bare function name → taint level of its return value.
+        self.taint_summaries: Dict[str, int] = {}
+        #: bare function name → True when the body raises or degrades.
+        self.degrade_summaries: Dict[str, bool] = {}
+        self._build_degrade_summaries()
+        self._build_taint_summaries()
+
+    # -- degrade summaries ---------------------------------------------------
+
+    def _degrades_locally(self, fn: ast.AST) -> bool:
+        config = self.config
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name in config.degrade_constructors:
+                    return True
+        return False
+
+    def _build_degrade_summaries(self) -> None:
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if _is_function(node):
+                    if self._degrades_locally(node):
+                        self.degrade_summaries[node.name] = True
+
+    # -- taint summaries -----------------------------------------------------
+
+    def _build_taint_summaries(self) -> None:
+        """Two fixpoint passes: enough for source → helper → caller
+        chains one level deep on each side (the codebase's depth)."""
+        from .taint_eval import TaintEvaluator  # cycle-free local import
+
+        for _ in range(3):
+            changed = False
+            for module in self.modules:
+                for node in ast.walk(module.tree):
+                    if not _is_function(node):
+                        continue
+                    if node.name in self.config.generic_names:
+                        continue
+                    evaluator = TaintEvaluator(module, self, self.config)
+                    level = evaluator.infer_return_level(node)
+                    if level > self.taint_summaries.get(node.name, CLEAN):
+                        self.taint_summaries[node.name] = level
+                        changed = True
+            if not changed:
+                break
+
+    def summary_taint(self, name: Optional[str]) -> int:
+        if name is None or name in self.config.generic_names:
+            return CLEAN
+        return self.taint_summaries.get(name, CLEAN)
+
+    def call_degrades(self, name: Optional[str]) -> bool:
+        if name is None:
+            return False
+        return self.degrade_summaries.get(name, False)
+
+
+class Rule:
+    """One rule family: yields findings for one module at a time."""
+
+    rule_id = "XX000"
+    name = "unnamed"
+    description = ""
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def iter_python_files(
+    paths: Sequence[Path], config: AnalysisConfig
+) -> Iterator[Tuple[Path, str]]:
+    """Yield ``(path, relpath)`` for every scanned file, sorted."""
+    seen: Set[Path] = set()
+    for root in paths:
+        root = Path(root)
+        if root.is_file():
+            candidates = [root]
+            base = root.parent
+        else:
+            candidates = sorted(root.rglob("*.py"))
+            base = root
+        for path in candidates:
+            if any(part in config.exclude_parts for part in path.parts):
+                continue
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                rel = path.relative_to(base)
+            except ValueError:
+                rel = path
+            yield path, rel.as_posix()
+
+
+class Analyzer:
+    """Parse, pre-pass, and run every rule; apply suppressions."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        config: AnalysisConfig = DEFAULT_CONFIG,
+    ):
+        if rules is None:
+            from .rules import default_rules
+
+            rules = default_rules()
+        self.rules = list(rules)
+        self.config = config
+
+    def load(self, paths: Sequence[Path]) -> List[ModuleInfo]:
+        modules: List[ModuleInfo] = []
+        for path, relpath in iter_python_files(paths, self.config):
+            source = path.read_text(encoding="utf-8")
+            try:
+                modules.append(ModuleInfo(path, relpath, source))
+            except SyntaxError as exc:
+                raise SyntaxError(
+                    f"cannot analyze {path}: {exc}"
+                ) from exc
+        return modules
+
+    def run(
+        self,
+        paths: Sequence[Path],
+        baseline: Optional[Baseline] = None,
+    ) -> AnalysisReport:
+        modules = self.load(paths)
+        project = Project(modules, self.config)
+        report = AnalysisReport(
+            root=", ".join(str(p) for p in paths),
+            baseline=baseline,
+            files_scanned=len(modules),
+        )
+        for module in modules:
+            for rule in self.rules:
+                for finding in rule.check(module, project):
+                    if module.is_suppressed(finding):
+                        report.suppressed += 1
+                    else:
+                        report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report

@@ -1,0 +1,176 @@
+"""Findings, fingerprints, baselines, and reports.
+
+The analyzer's output model is deliberately small and stable: a
+:class:`Finding` is one (rule, location, message) triple; its
+*fingerprint* hashes everything except the line number, so a committed
+:class:`Baseline` keeps grandfathered findings suppressed across
+unrelated edits (adding a line above a baselined finding must not
+resurrect it).  A finding resurfaces as **new** only when the offending
+source line itself (or its enclosing symbol) changes — exactly when a
+human should re-justify it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Finding", "Baseline", "AnalysisReport"]
+
+#: Schema version of the JSON report and baseline files.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Rule identifier, e.g. ``"PA001"``.
+    rule: str
+    #: Path of the offending file, relative to the scan root.
+    path: str
+    #: 1-based line and 0-based column of the offending node.
+    line: int
+    col: int
+    #: Human-readable description of the violation.
+    message: str
+    #: Enclosing ``Class.method`` (or ``"<module>"``).
+    symbol: str = "<module>"
+    #: The offending source line, stripped.
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity, for baselining."""
+        digest = hashlib.blake2b(digest_size=12)
+        for part in (self.rule, self.path, self.symbol, self.snippet):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["fingerprint"] = self.fingerprint
+        return data
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} {self.message} [{self.symbol}]"
+        )
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints.
+
+    Stored as JSON so reviews can see *what* was grandfathered, not just
+    opaque hashes; only the fingerprints participate in matching.
+    """
+
+    def __init__(self, entries: Iterable[Dict[str, object]] = ()):
+        self.entries: List[Dict[str, object]] = list(entries)
+        self._fingerprints = {
+            str(entry["fingerprint"]) for entry in self.entries
+        }
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != SCHEMA_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {data.get('version')!r}; "
+                f"this analyzer writes version {SCHEMA_VERSION}"
+            )
+        return cls(data.get("findings", ()))
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        entries = [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+                "snippet": f.snippet,
+            }
+            for f in findings
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {"version": SCHEMA_VERSION, "findings": self.entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    #: findings suppressed by inline ``# analysis: ok`` annotations.
+    suppressed: int = 0
+    files_scanned: int = 0
+    baseline: Optional[Baseline] = None
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        if self.baseline is None:
+            return list(self.findings)
+        return [f for f in self.findings if f not in self.baseline]
+
+    @property
+    def baselined_findings(self) -> List[Finding]:
+        if self.baseline is None:
+            return []
+        return [f for f in self.findings if f in self.baseline]
+
+    def exit_code(self, fail_on: str = "new") -> int:
+        if fail_on == "none":
+            return 0
+        if fail_on == "any":
+            return 1 if self.findings else 0
+        return 1 if self.new_findings else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        baselined = {f.fingerprint for f in self.baselined_findings}
+        return {
+            "version": SCHEMA_VERSION,
+            "root": self.root,
+            "counts": {
+                "total": len(self.findings),
+                "new": len(self.new_findings),
+                "baselined": len(baselined),
+                "suppressed": self.suppressed,
+                "files": self.files_scanned,
+            },
+            "findings": [
+                dict(f.to_dict(), baselined=f.fingerprint in baselined)
+                for f in self.findings
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        lines = [f.render() for f in self.new_findings]
+        known = len(self.baselined_findings)
+        lines.append(
+            f"{len(self.new_findings)} new finding(s), "
+            f"{known} baselined, {self.suppressed} suppressed "
+            f"({self.files_scanned} files)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Rule families of the privacy/concurrency/determinism linter.
+
+* ``PA***`` — privacy taint: raw locations must never cross the
+  CSP→provider trust perimeter un-laundered (``taint.py``).
+* ``FC***`` — fail-closed exception discipline in the serving layers
+  (``failclosed.py``).
+* ``AS***`` — async-safety of the gateway/event-loop code
+  (``asyncsafety.py``).
+* ``DT***`` — determinism of the bit-identical DP kernels
+  (``determinism.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import Rule
+from .asyncsafety import AsyncSafetyRule
+from .determinism import DeterminismRule
+from .failclosed import FailClosedRule
+from .taint import PrivacyTaintRule
+
+__all__ = [
+    "PrivacyTaintRule",
+    "FailClosedRule",
+    "AsyncSafetyRule",
+    "DeterminismRule",
+    "default_rules",
+]
+
+
+def default_rules() -> List[Rule]:
+    """All rule families, in reporting order."""
+    return [
+        PrivacyTaintRule(),
+        FailClosedRule(),
+        AsyncSafetyRule(),
+        DeterminismRule(),
+    ]

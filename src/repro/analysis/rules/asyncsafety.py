@@ -1,0 +1,132 @@
+"""AS: the event loop must never block, and locks must not pin loops.
+
+The gateway's whole throughput argument (PR 4: overlap many provider
+RTTs on one loop) collapses if an ``async def`` body performs blocking
+work: one ``time.sleep``/sync file read/``.result()`` stalls *every*
+in-flight request, silently — latency SLOs degrade with no error.
+
+Findings:
+
+* ``AS001`` — blocking call inside an ``async def`` body in the async
+  scope (``serving/``, ``robustness/aio.py``, ``lbs/cache.py``):
+  ``time.sleep``, sync file I/O (``open``, ``Path.read_text``...),
+  ``Future.result()``, the sync ``retry_call``, subprocess/requests.
+* ``AS002`` — ``await`` inside a loop while holding a lock-ish context
+  (``async with lock/semaphore``): each iteration parks the coroutine
+  with the lock held, starving every other holder for the whole loop.
+
+Nested ``def``/``lambda`` bodies are separate execution contexts and
+are skipped (nested ``async def``s get their own visit).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..engine import ModuleInfo, Project, Rule, dotted_name
+from ..model import Finding
+
+__all__ = ["AsyncSafetyRule"]
+
+
+class AsyncSafetyRule(Rule):
+    rule_id = "AS001"
+    name = "async-safety"
+    description = (
+        "no blocking calls inside async def; no await-in-loop while "
+        "holding a lock"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        config = project.config
+        if not config.in_scope(module.relpath, config.async_scope):
+            return
+        lockish = re.compile(config.lockish_pattern)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(
+                    node, module, project, lockish
+                )
+
+    # -- AS001 ---------------------------------------------------------------
+
+    def _blocking_reason(self, call: ast.Call, module: ModuleInfo, config):
+        dotted = dotted_name(call.func, module.imports)
+        if dotted is not None:
+            if dotted in config.blocking_calls:
+                return f"{dotted} blocks the event loop"
+            for prefix in config.blocking_prefixes:
+                if dotted.startswith(prefix):
+                    return f"{dotted} blocks the event loop"
+        if isinstance(call.func, ast.Name):
+            if call.func.id in config.blocking_names:
+                return (
+                    f"sync call {call.func.id}() blocks the event loop "
+                    "(use the async port)"
+                )
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in config.blocking_methods:
+                return (
+                    f".{call.func.attr}() blocks the event loop "
+                    "(await the async result instead)"
+                )
+            if call.func.attr in config.blocking_names:
+                return (
+                    f"sync call .{call.func.attr}() blocks the event "
+                    "loop (use the async port)"
+                )
+        return None
+
+    # -- traversal -----------------------------------------------------------
+
+    def _check_async_body(
+        self,
+        fn: ast.AsyncFunctionDef,
+        module: ModuleInfo,
+        project: Project,
+        lockish: "re.Pattern[str]",
+    ) -> Iterator[Finding]:
+        config = project.config
+
+        def visit(node: ast.AST, in_lock: bool, in_loop: bool):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                ):
+                    continue  # separate execution context
+                child_lock, child_loop = in_lock, in_loop
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    held = any(
+                        lockish.search(ast.unparse(item.context_expr))
+                        for item in child.items
+                    )
+                    if held:
+                        # A loop must be *inside* the lock to matter.
+                        child_lock, child_loop = True, False
+                elif isinstance(child, (ast.For, ast.While, ast.AsyncFor)):
+                    if in_lock:
+                        child_loop = True
+                elif isinstance(child, ast.Call):
+                    reason = self._blocking_reason(child, module, config)
+                    if reason is not None:
+                        yield module.finding(
+                            "AS001",
+                            child,
+                            f"blocking call in async def "
+                            f"{fn.name!r}: {reason}",
+                        )
+                elif isinstance(child, ast.Await):
+                    if in_lock and in_loop:
+                        yield module.finding(
+                            "AS002",
+                            child,
+                            f"await inside a loop while holding a lock in "
+                            f"async def {fn.name!r} — each iteration parks "
+                            "with the lock held, starving other holders",
+                        )
+                yield from visit(child, child_lock, child_loop)
+
+        yield from visit(fn, False, False)

@@ -1,0 +1,111 @@
+"""FC: fail-closed exception discipline in the serving layers.
+
+The degradation ladder (coarsen → stale → reject) only protects users
+if *every* failure actually rides it: an exception handler in ``lbs/``
+or ``serving/`` that silently swallows an error could fall through to a
+response built from weaker state.  Every handler must therefore
+re-raise, propagate the failure to its waiters (``set_exception`` /
+``cancel``), or demonstrably enter the ladder (construct a
+``DegradationEvent``/``ServiceUnavailableError``, or call a helper that
+does — function summaries make one level of indirection visible).
+
+Findings:
+
+* ``FC001`` — bare ``except:`` (catches ``SystemExit``/``KeyboardInterrupt``
+  and hides the failure class entirely).
+* ``FC002`` — handler neither re-raises nor degrades: a silently
+  swallowed exception on the serving path.
+
+Handlers that catch **only** cancellation-style exceptions
+(``CancelledError``, ``GeneratorExit``) are exempt from ``FC002``: a
+cancelled request returns nothing, so it can never return an uncloaked
+response.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..engine import ModuleInfo, Project, Rule
+from ..model import Finding
+
+__all__ = ["FailClosedRule"]
+
+
+def _exception_names(node: Optional[ast.AST]) -> List[str]:
+    """Leaf names of the caught exception spec (``asyncio.CancelledError``
+    → ``CancelledError``); unresolvable specs yield ``"?"``."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    if isinstance(node, ast.Tuple):
+        names: List[str] = []
+        for elt in node.elts:
+            names.extend(_exception_names(elt) or ["?"])
+        return names
+    return ["?"]
+
+
+class FailClosedRule(Rule):
+    rule_id = "FC001"
+    name = "fail-closed"
+    description = (
+        "every except in the serving layers must re-raise or enter the "
+        "degradation ladder"
+    )
+
+    def _handler_propagates(
+        self, handler: ast.ExceptHandler, project: Project
+    ) -> bool:
+        config = project.config
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name in config.degrade_calls:
+                    return True
+                if name in config.degrade_constructors:
+                    return True
+                if project.call_degrades(name):
+                    return True
+        return False
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        config = project.config
+        if not config.in_scope(module.relpath, config.failclosed_scope):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if handler.type is None:
+                    yield module.finding(
+                        "FC001",
+                        handler,
+                        "bare 'except:' on the serving path — name the "
+                        "failure class and ride the degradation ladder",
+                    )
+                    continue
+                names = _exception_names(handler.type)
+                if names and all(
+                    n in config.swallow_exempt_exceptions for n in names
+                ):
+                    continue  # cancellation cleanup cannot leak a response
+                if not self._handler_propagates(handler, project):
+                    caught = ", ".join(names) or "?"
+                    yield module.finding(
+                        "FC002",
+                        handler,
+                        f"handler for ({caught}) neither re-raises nor "
+                        "degrades — a silently swallowed exception may "
+                        "serve from weaker state",
+                    )

@@ -1,0 +1,57 @@
+"""PA: privacy-taint tracking across the CSP→provider perimeter.
+
+The paper's attacker knows the anonymization *algorithm* (the design is
+not secret); the only secret is the raw location relation.  These rules
+mechanically enforce the single invariant that protection rests on: a
+raw location reaches a provider-facing call, a wire-format constructor,
+or a log line **only** after laundering through the policy/anonymizer
+APIs.
+
+Findings:
+
+* ``PA001`` — tainted value flows into a provider-facing sink
+  (``serve``/``serve_many``/``serve_round``/``fetch`` calls, async
+  client/batcher constructors).
+* ``PA002`` — tainted value logged (``print`` or a ``log``-ish
+  receiver's logging method): logging a raw location is a sink too.
+* ``PA003`` — tainted value serialized into a wire-format constructor
+  (``AnonymizedRequest``): the leak is baked into the request itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..engine import ModuleInfo, Project, Rule
+from ..model import Finding
+from ..taint_eval import TaintEvaluator
+
+__all__ = ["PrivacyTaintRule"]
+
+
+class PrivacyTaintRule(Rule):
+    rule_id = "PA001"
+    name = "privacy-taint"
+    description = (
+        "raw locations must be laundered through the anonymizer before "
+        "any provider-facing call, wire format, or log line"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        findings: List[Finding] = []
+
+        def on_violation(rule: str, node, message: str) -> None:
+            findings.append(module.finding(rule, node, message))
+
+        evaluator = TaintEvaluator(
+            module, project, project.config, on_violation=on_violation
+        )
+        evaluator.check_module()
+        # The same node can be visited once as a statement and once as a
+        # nested closure body — deduplicate on (rule, line, col).
+        seen = set()
+        for finding in findings:
+            key = (finding.rule, finding.line, finding.col)
+            if key not in seen:
+                seen.add(key)
+                yield finding

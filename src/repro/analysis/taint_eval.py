@@ -1,0 +1,360 @@
+"""Per-function taint dataflow over raw-location values.
+
+A three-level lattice (``CLEAN < PARTIAL < TAINTED``) is propagated
+through straight-line assignments, containers, f-strings, and calls:
+
+* **sources** — configured call names (``locate``, ``location_of``),
+  tainted constructors (``ServiceRequest``), fields named in
+  ``config.tainted_fields`` or tagged inline with ``# taint: location``,
+  and parameters named in ``config.taint_param_names``;
+* **laundering** — the policy/anonymizer APIs (``anonymize``,
+  ``cloak_for``, ``cloak_of``) return CLEAN regardless of inputs: a
+  cloak is exactly the value that is allowed past the perimeter;
+* **containers** — ``PreparedRequest``/``ServedRequest`` are PARTIAL:
+  only their tainted fields project taint back out, so
+  ``prepared.anonymized`` stays clean while ``prepared.request`` does
+  not;
+* **method propagation** — a method call on a TAINTED receiver returns
+  TAINTED unless the method launders (``db_view.items()`` stays hot);
+* **interprocedural-lite** — cross-function flow goes through
+  :class:`~repro.analysis.engine.Project` summaries keyed by bare
+  function name (``mpc.locate`` is TAINTED wherever it is called).
+
+The evaluator is deliberately flow-insensitive across branches (both
+sides of an ``if`` execute, last write wins) — sound enough for a
+linter whose job is the *perimeter*, not general information flow.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .config import AnalysisConfig
+from .engine import CLEAN, PARTIAL, TAINTED, ModuleInfo
+
+__all__ = ["TaintEvaluator"]
+
+#: Callback fired at a violating node: (rule_id, node, message).
+SinkCallback = Callable[[str, ast.AST, str], None]
+
+_LOGGERISH = re.compile(r"(?i)\blog")
+
+
+def _bare_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class TaintEvaluator:
+    """Evaluate one function (or module) body; report sink violations."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        project,  # Project — untyped to avoid an import cycle
+        config: AnalysisConfig,
+        on_violation: Optional[SinkCallback] = None,
+    ):
+        self.module = module
+        self.project = project
+        self.config = config
+        self.on_violation = on_violation
+        self._returns: List[int] = []
+
+    # -- entry points --------------------------------------------------------
+
+    def infer_return_level(self, fn: ast.AST) -> int:
+        """The taint level of ``fn``'s return value (summary phase)."""
+        previous, self.on_violation = self.on_violation, None
+        try:
+            self._returns = []
+            env = self._seed_params(fn)
+            self._exec_block(fn.body, env)
+            return max(self._returns, default=CLEAN)
+        finally:
+            self.on_violation = previous
+
+    def check_module(self) -> None:
+        """Evaluate the whole module, firing ``on_violation`` at sinks."""
+        self._returns = []
+        self._exec_block(self.module.tree.body, {})
+
+    # -- environment ---------------------------------------------------------
+
+    def _seed_params(self, fn: ast.AST) -> Dict[str, int]:
+        env: Dict[str, int] = {}
+        args = fn.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if arg.arg in self.config.taint_param_names:
+                env[arg.arg] = TAINTED
+        return env
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_block(self, body: Iterable[ast.stmt], env: Dict[str, int]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _bind(self, target: ast.AST, level: int, env: Dict[str, int]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = level
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, level, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, level, env)
+        # attribute/subscript stores: field taint is name-based, not
+        # tracked per object — nothing to bind.
+
+    def _tagged(self, stmt: ast.stmt) -> bool:
+        """Whether the statement's first line carries ``# taint: location``."""
+        line = self.module.snippet_at(stmt.lineno)
+        return "# taint: location" in line or "#taint: location" in line
+
+    def _exec_stmt(self, stmt: ast.stmt, env: Dict[str, int]) -> None:
+        if isinstance(stmt, ast.Assign):
+            level = self._eval(stmt.value, env)
+            if self._tagged(stmt):
+                level = TAINTED
+            for target in stmt.targets:
+                self._bind(target, level, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            level = self._eval(stmt.value, env) if stmt.value else CLEAN
+            if self._tagged(stmt):
+                level = TAINTED
+            self._bind(stmt.target, level, env)
+        elif isinstance(stmt, ast.AugAssign):
+            level = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = max(env.get(stmt.target.id, CLEAN), level)
+        elif isinstance(stmt, ast.Return):
+            level = self._eval(stmt.value, env) if stmt.value else CLEAN
+            self._returns.append(level)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test, env)
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            level = self._eval(stmt.iter, env)
+            self._bind(stmt.target, level, env)
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                level = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, level, env)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                if handler.name:
+                    env[handler.name] = CLEAN
+                self._exec_block(handler.body, env)
+            self._exec_block(stmt.orelse, env)
+            self._exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function/closure: evaluate its body against a copy
+            # of the enclosing environment so sinks inside closures see
+            # the captured locals (the pipeline's `fetch` lambdas).
+            inner = dict(env)
+            inner.update(self._seed_params(stmt))
+            saved, self._returns = self._returns, []
+            self._exec_block(stmt.body, inner)
+            self._returns = saved
+        elif isinstance(stmt, ast.ClassDef):
+            self._exec_block(stmt.body, {})
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+            if stmt.msg is not None:
+                self._eval(stmt.msg, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # Pass / Break / Continue / Import / Global / Nonlocal: no flow.
+
+    # -- expressions ---------------------------------------------------------
+
+    def _eval(self, node: Optional[ast.AST], env: Dict[str, int]) -> int:
+        if node is None:
+            return CLEAN
+        if isinstance(node, ast.Name):
+            return env.get(node.id, CLEAN)
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value, env)
+            if node.attr in self.project.tainted_fields:
+                return TAINTED
+            if base == TAINTED and node.attr in ("x", "y"):
+                return TAINTED  # coordinates of a tainted point
+            return CLEAN
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return max(
+                (self._eval(e, env) for e in node.elts), default=CLEAN
+            )
+        if isinstance(node, ast.Dict):
+            levels = [self._eval(k, env) for k in node.keys if k is not None]
+            levels += [self._eval(v, env) for v in node.values]
+            return max(levels, default=CLEAN)
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice, env)
+            return self._eval(node.value, env)
+        if isinstance(node, ast.BoolOp):
+            return max(self._eval(v, env) for v in node.values)
+        if isinstance(node, ast.BinOp):
+            return max(self._eval(node.left, env), self._eval(node.right, env))
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, env)
+            for comp in node.comparators:
+                self._eval(comp, env)
+            return CLEAN
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return max(self._eval(node.body, env), self._eval(node.orelse, env))
+        if isinstance(node, ast.JoinedStr):
+            return max(
+                (
+                    self._eval(v.value, env)
+                    for v in node.values
+                    if isinstance(v, ast.FormattedValue)
+                ),
+                default=CLEAN,
+            )
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            level = self._eval(node.value, env)
+            self._bind(node.target, level, env)
+            return level
+        if isinstance(node, ast.Lambda):
+            inner = dict(env)
+            for arg in node.args.args:
+                inner.setdefault(arg.arg, CLEAN)
+            self._eval(node.body, inner)
+            return CLEAN
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+        ):
+            inner = dict(env)
+            for gen in node.generators:
+                level = self._eval(gen.iter, inner)
+                self._bind(gen.target, level, inner)
+                for cond in gen.ifs:
+                    self._eval(cond, inner)
+            return self._eval(node.elt, inner)
+        if isinstance(node, ast.DictComp):
+            inner = dict(env)
+            for gen in node.generators:
+                level = self._eval(gen.iter, inner)
+                self._bind(gen.target, level, inner)
+            return max(
+                self._eval(node.key, inner), self._eval(node.value, inner)
+            )
+        return CLEAN
+
+    # -- calls: sources, sinks, laundering ------------------------------------
+
+    def _call_args(self, node: ast.Call) -> List[ast.AST]:
+        return list(node.args) + [kw.value for kw in node.keywords]
+
+    def _violate(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.on_violation is not None:
+            self.on_violation(rule, node, message)
+
+    def _describe(self, node: ast.AST) -> str:
+        try:
+            return ast.unparse(node)
+        except Exception:  # pragma: no cover — unparse is total on 3.9+
+            return "<expr>"
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, int]) -> int:
+        config = self.config
+        bare = _bare_name(node.func)
+        arg_levels = [self._eval(a, env) for a in self._call_args(node)]
+        hot_args = [
+            self._describe(a)
+            for a, lvl in zip(self._call_args(node), arg_levels)
+            if lvl >= PARTIAL
+        ]
+
+        # Provider-facing sinks: any taint in, finding out.
+        if bare in config.sink_calls or bare in config.sink_constructors:
+            if hot_args:
+                self._violate(
+                    "PA001",
+                    node,
+                    f"raw-location value ({', '.join(hot_args)}) flows "
+                    f"into provider-facing sink {bare!r} without "
+                    "laundering through the anonymizer",
+                )
+        # Wire-format constructors: tainted field = the leak itself.
+        if bare in config.wire_constructors and hot_args:
+            self._violate(
+                "PA003",
+                node,
+                f"raw-location value ({', '.join(hot_args)}) serialized "
+                f"into wire format {bare!r}",
+            )
+        # Observability sinks.
+        if isinstance(node.func, ast.Name) and bare in config.log_call_names:
+            if hot_args:
+                self._violate(
+                    "PA002",
+                    node,
+                    f"raw-location value ({', '.join(hot_args)}) logged "
+                    f"via {bare}() — logging a raw location is a sink",
+                )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and bare in config.log_method_names
+            and _LOGGERISH.search(self._describe(node.func.value))
+        ):
+            if hot_args:
+                self._violate(
+                    "PA002",
+                    node,
+                    f"raw-location value ({', '.join(hot_args)}) logged "
+                    f"via {self._describe(node.func)}()",
+                )
+
+        # Result level.
+        if bare in config.launder_calls:
+            return CLEAN
+        if bare in config.taint_constructors:
+            return TAINTED
+        if bare in config.partial_constructors:
+            return PARTIAL
+        if bare in config.taint_source_calls:
+            return TAINTED
+        if isinstance(node.func, ast.Attribute):
+            receiver = self._eval(node.func.value, env)
+            if receiver == TAINTED:
+                return TAINTED  # method call on a hot receiver stays hot
+        summary = self.project.summary_taint(bare)
+        if summary > CLEAN:
+            return summary
+        return CLEAN

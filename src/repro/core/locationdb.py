@@ -30,7 +30,7 @@ class LocationDatabase:
     """
 
     def __init__(self, rows: Iterable[Tuple[str, float, float]] = ()):
-        self._locations: Dict[str, Point] = {}
+        self._locations: Dict[str, Point] = {}  # taint: location
         for user_id, x, y in rows:
             key = str(user_id)
             if key in self._locations:

@@ -59,7 +59,7 @@ class ServiceRequest:
     """
 
     user_id: str
-    location: Point
+    location: Point  # taint: location
     payload: Payload = ()
 
     @staticmethod

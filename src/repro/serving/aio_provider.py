@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..core.errors import DeadlineExceededError, ReproError
 from ..core.requests import AnonymizedRequest
@@ -81,13 +81,13 @@ class AsyncProviderClient:
 
     def __init__(
         self,
-        provider,
+        provider: Any,
         *,
         pool_size: int = 8,
         rtt: float = 0.0,
         deadline: Optional[float] = None,
         clock: Optional[AsyncClock] = None,
-    ):
+    ) -> None:
         if pool_size < 1:
             raise ReproError("pool_size must be ≥ 1")
         if rtt < 0:

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import (
     CircuitOpenError,
@@ -153,12 +153,12 @@ class AsyncGateway:
 
     def __init__(
         self,
-        csp,
+        csp: Any,
         config: Optional[GatewayConfig] = None,
         *,
         client: Optional[AsyncProviderClient] = None,
         clock: Optional[AsyncClock] = None,
-    ):
+    ) -> None:
         self.csp = csp
         self.config = config or GatewayConfig()
         self.config.validate()
@@ -272,7 +272,9 @@ class AsyncGateway:
 
     # -- serving -------------------------------------------------------------
 
-    async def submit(self, user_id: str, payload) -> "ServedRequest":
+    async def submit(
+        self, user_id: str, payload: Iterable[Tuple[str, str]]
+    ) -> "ServedRequest":
         """Serve one request end to end through the async path.
 
         Raises :class:`ServiceUnavailableError` (``reason`` one of
@@ -294,7 +296,9 @@ class AsyncGateway:
         finally:
             self._pending -= 1
 
-    async def _process(self, user_id: str, payload) -> "ServedRequest":
+    async def _process(
+        self, user_id: str, payload: Iterable[Tuple[str, str]]
+    ) -> "ServedRequest":
         prepared = self.csp.prepare(user_id, payload)
         if self.cache is not None:
             answer, cache_hit, coalesced = await self.cache.fetch(
@@ -353,7 +357,7 @@ async def serve_all(
 
 
 def run_gateway(
-    csp,
+    csp: Any,
     workload: Sequence[Tuple[str, object]],
     config: Optional[GatewayConfig] = None,
 ) -> Tuple[List[object], GatewayStats]:

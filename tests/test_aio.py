@@ -345,3 +345,49 @@ class TestAsyncAnswerCache:
         assert cache.flush() == {"rest": 2}
         assert len(cache) == 0
         assert cache.deferred_billing == {}
+
+
+class TestAsyncCacheCloseDiscipline:
+    """Regression for the fail-closed linter fix: ``close()`` swallows
+    only the cancellation it requested; anything else propagates."""
+
+    def test_close_cancels_inflight_fills_quietly(self):
+        cache = AsyncAnswerCache()
+        loader = CountingLoader(delay=60.0)
+
+        async def drive():
+            waiter = asyncio.ensure_future(cache.fetch(_request(1), loader))
+            await asyncio.sleep(0)
+            await cache.close()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+
+        run(drive())
+        assert len(cache._fills) == 0 and len(cache._inflight) == 0
+
+    def test_close_propagates_unexpected_task_failure(self):
+        cache = AsyncAnswerCache()
+
+        async def explode():
+            raise ValueError("boom — not a cancellation")
+
+        async def drive():
+            task = asyncio.get_event_loop().create_task(explode())
+            await asyncio.sleep(0)
+            cache._fills["bogus"] = task
+            with pytest.raises(ValueError, match="boom"):
+                await cache.close()
+
+        run(drive())
+
+    def test_loader_failure_reaches_waiters_not_close(self):
+        cache = AsyncAnswerCache()
+        loader = CountingLoader(exc=TimeoutError("wire down"))
+
+        async def drive():
+            with pytest.raises(TimeoutError):
+                await cache.fetch(_request(1), loader)
+            await cache.close()  # nothing left to swallow or raise
+
+        run(drive())
+        assert cache.stats.misses == 0 and len(cache) == 0
