@@ -5,11 +5,16 @@ once clean, once under a seeded chaos schedule — and reports
 availability, p50/p99 latency, and the degradation counters.  A third
 parallel scenario SIGKILLs a real worker process mid-solve and reports
 **MTTR** (mean time to recovery: pool rebuild + re-solve of the lost
-jurisdictions, per recovery event).  The hard gate is the fail-closed
-invariant: no schedule may ever produce a policy-aware breach, so
-degraded operation trades *utility and availability* for faults, never
-anonymity.
+jurisdictions, per recovery event).  A fourth destroys one replica of a
+quorum journal mid-commit and times the majority-vote restore+repair.
+The hard gate is the fail-closed invariant: no schedule may ever
+produce a policy-aware breach, so degraded operation trades *utility
+and availability* for faults, never anonymity.
 """
+
+import os
+import tempfile
+import time
 
 import numpy as np
 
@@ -18,11 +23,16 @@ from repro.core.geometry import Rect
 from repro.data import uniform_users
 from repro.experiments import Table
 from repro.lbs import LBSSimulation
+from repro.lbs.pipeline import CSP
+from repro.lbs.poi import generate_pois
+from repro.lbs.provider import LBSProvider
 from repro.parallel import parallel_bulk_anonymize
 from repro.robustness import (
     FaultInjector,
     FaultPlan,
     FaultRule,
+    QuorumJournal,
+    ReplicaKillPlan,
     RetryPolicy,
 )
 from repro.robustness.chaos import KillPlan
@@ -171,6 +181,43 @@ def _run_chaos(scale):
         mttr_ms=1e3 * result.mttr,
         breaches=len(audit.breached_users),
     )
+
+    # -- quorum journal: replica destroyed mid-commit --------------------------
+    with tempfile.TemporaryDirectory(prefix="bench-quorum-") as base:
+        roots = [os.path.join(base, f"replica-{i}") for i in range(3)]
+        provider = LBSProvider(generate_pois(region, {"rest": 20}, seed=3))
+        journal_db = uniform_users(240, region, seed=103)
+        csp = CSP(
+            region,
+            K,
+            journal_db,
+            provider,
+            journal=QuorumJournal(
+                roots, kill_plan=ReplicaKillPlan.single(0, 0, "snapshot")
+            ),
+        )
+        expected = {uid: cloak for uid, cloak in csp.policy.items()}
+        start = time.perf_counter()
+        restored = CSP.restore(provider, QuorumJournal(roots))
+        restore_seconds = time.perf_counter() - start
+        recovery = restored.journal.last_recovery
+        audit = audit_policy(restored.policy, K)
+        served_identical = sum(
+            restored.policy.cloak_for(uid) == cloak
+            for uid, cloak in expected.items()
+        )
+        table.add(
+            scenario="journal/replica-kill",
+            availability=served_identical / len(expected),
+            p50_ms=1e3 * restore_seconds,
+            p99_ms=1e3 * restore_seconds,
+            rejected=0,
+            stale=0,
+            retries=0,
+            recoveries=len(recovery.repaired) if recovery else 0,
+            mttr_ms=1e3 * (recovery.repair_seconds if recovery else 0.0),
+            breaches=len(audit.breached_users),
+        )
     return table
 
 
@@ -201,3 +248,8 @@ def test_chaos_availability_and_latency(benchmark, record_table, profile):
     assert rows["bulk/kill"]["availability"] == 1.0
     assert rows["bulk/kill"]["recoveries"] >= 1
     assert rows["bulk/kill"]["mttr_ms"] > 0.0
+    # The replica destroyed mid-commit was rebuilt from the majority and
+    # the restored policy serves bit-identical cloaks.
+    assert rows["journal/replica-kill"]["availability"] == 1.0
+    assert rows["journal/replica-kill"]["recoveries"] == 1
+    assert rows["journal/replica-kill"]["mttr_ms"] > 0.0

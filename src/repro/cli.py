@@ -6,7 +6,9 @@ Operational front door for the library:
 * ``anonymize``  — bulk-anonymize a CSV snapshot into a policy JSON;
 * ``audit``      — audit a saved policy against both attacker classes;
 * ``cloak``      — look up one user's cloak in a saved policy;
-* ``experiment`` — run one of the paper's tables/figures and print it.
+* ``experiment`` — run one of the paper's tables/figures and print it;
+* ``slo-report`` — the closed-loop SLO artifact (durability MTTR,
+  capacity sweep, DES cross-validation).
 """
 
 from __future__ import annotations
@@ -133,6 +135,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--results-dir", default="bench_results")
 
+    slo = sub.add_parser(
+        "slo-report",
+        help="closed-loop SLO report: quorum durability MTTR, "
+        "static-vs-adaptive capacity sweep, DES cross-validation",
+    )
+    slo.add_argument(
+        "--scale",
+        default="default",
+        choices=("quick", "default", "full"),
+        help="workload size (quick is CI-sized)",
+    )
+    slo.add_argument("--results-dir", default="bench_results")
+    slo.add_argument("--seed", type=int, default=7)
+
     return parser
 
 
@@ -239,6 +255,27 @@ def _cmd_verify_results(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_slo_report(args) -> int:
+    from .experiments.slo import write_slo_report
+
+    json_path, txt_path = write_slo_report(
+        scale=args.scale, results_dir=args.results_dir, seed=args.seed
+    )
+    with open(txt_path, "r", encoding="utf-8") as handle:
+        print(handle.read().rstrip())
+    print(f"\nslo report -> {json_path}, {txt_path}")
+    # Fail visibly if the closed loop's hard invariants did not hold.
+    with open(json_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    durability = report["durability"]
+    healthy = (
+        durability["bit_identical"]
+        and durability["quorum_loss_fails_closed"]
+        and report["controller_invariant"]["adaptive_subset_of_static"]
+    )
+    return 0 if healthy else 1
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "anonymize": _cmd_anonymize,
@@ -247,6 +284,7 @@ _HANDLERS = {
     "experiment": _cmd_experiment,
     "report": _cmd_report,
     "verify-results": _cmd_verify_results,
+    "slo-report": _cmd_slo_report,
 }
 
 

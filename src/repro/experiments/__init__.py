@@ -20,6 +20,7 @@ from .charts import bar_chart, chart_table, line_chart
 from .calibration import PowerLawFit, fit_power_law, r_squared, speedup_curve
 from .render import density_map, depth_map
 from .report import EXPECTED_RESULTS, build_report, collect_results
+from .slo import SLO_SCALES, build_slo_report, render_slo_report, write_slo_report
 from .workloads import master_for, sample_for, scaled_master
 
 __all__ = [
@@ -34,10 +35,14 @@ __all__ = [
     "EXPECTED_RESULTS",
     "Expectation",
     "ExpectationResult",
+    "SLO_SCALES",
     "bar_chart",
     "build_report",
+    "build_slo_report",
     "chart_table",
     "collect_results",
+    "render_slo_report",
+    "write_slo_report",
     "master_for",
     "run_ablation_dp",
     "run_fig3",

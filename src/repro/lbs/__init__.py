@@ -11,7 +11,14 @@ from .pipeline import (
     ServedRequest,
 )
 from .poi import POI, POIDatabase, generate_pois
-from .simulation import LBSSimulation, ServiceTimes, SimulationReport
+from .simulation import (
+    GatewaySimulation,
+    GatewaySimulationReport,
+    LBSSimulation,
+    ServiceTimes,
+    SimulationReport,
+    poisson_schedule,
+)
 from .provider import LBSProvider, QueryAnswer
 
 __all__ = [
@@ -19,6 +26,8 @@ __all__ = [
     "AsyncAnswerCache",
     "CSP",
     "CacheStats",
+    "GatewaySimulation",
+    "GatewaySimulationReport",
     "PreparedRequest",
     "LBSProvider",
     "LocationDatabase",
@@ -33,5 +42,6 @@ __all__ = [
     "SnapshotSequence",
     "generate_pois",
     "movement_stream",
+    "poisson_schedule",
     "random_moves",
 ]

@@ -33,7 +33,7 @@ Fault tolerance (all opt-in; the happy path is byte-identical):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.anonymizer import IncrementalAnonymizer, UpdateReport
 from ..core.errors import (
@@ -59,6 +59,7 @@ from ..robustness.faults import (
 )
 from ..robustness.recovery import (
     PolicyJournal,
+    QuorumJournal,
     RecoveredSnapshot,
     rehydrate_flat_solution,
 )
@@ -218,7 +219,7 @@ class CSP:
         clock: Optional[Clock] = None,
         max_stale_snapshots: int = 1,
         engine: str = "flat",
-        journal: Optional[PolicyJournal] = None,
+        journal: Optional[Union[PolicyJournal, QuorumJournal]] = None,
         _recovered: Optional[RecoveredSnapshot] = None,
     ):
         self.region = region
@@ -319,7 +320,7 @@ class CSP:
     def restore(
         cls,
         provider: LBSProvider,
-        journal: PolicyJournal,
+        journal: Union[PolicyJournal, QuorumJournal],
         *,
         use_cache: bool = True,
         current_serial: Optional[int] = None,
@@ -365,6 +366,22 @@ class CSP:
         )
         if current_serial is not None:
             csp.policy_age = max(0, current_serial - snapshot.serial)
+        report = getattr(journal, "last_recovery", None)
+        if report is not None and report.repaired:
+            # Quorum restore rebuilt one or more replicas from the
+            # majority — surface the repair (and its duration, the MTTR
+            # numerator) on the degradation timeline.
+            csp.events.append(
+                DegradationEvent(
+                    level="journal",
+                    reason="replica-repaired",
+                    detail=(
+                        f"replicas {list(report.repaired)} rewritten from "
+                        f"quorum of {len(report.voters)} in "
+                        f"{report.repair_seconds:.4f}s"
+                    ),
+                )
+            )
         return csp
 
     # -- serving ------------------------------------------------------------

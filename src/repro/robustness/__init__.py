@@ -10,7 +10,12 @@ from .aio import (
     breaker_clock,
     retry_call_async,
 )
-from .chaos import KillPlan, kill_current_process
+from .chaos import (
+    KillPlan,
+    ReplicaKillPlan,
+    destroy_replica,
+    kill_current_process,
+)
 from .degrade import (
     DEGRADATION_LEVELS,
     DegradationEvent,
@@ -33,6 +38,8 @@ from .faults import (
 )
 from .recovery import (
     PolicyJournal,
+    QuorumJournal,
+    QuorumRecoveryReport,
     RecoveredSnapshot,
     flat_structure_digest,
     rehydrate_flat_solution,
@@ -66,11 +73,15 @@ __all__ = [
     "LoopClock",
     "ManualClock",
     "PolicyJournal",
+    "QuorumJournal",
+    "QuorumRecoveryReport",
     "RecoveredSnapshot",
+    "ReplicaKillPlan",
     "RetryPolicy",
     "SystemClock",
     "VirtualClock",
     "breaker_clock",
+    "destroy_replica",
     "flat_structure_digest",
     "kill_current_process",
     "rehydrate_flat_solution",

@@ -28,16 +28,104 @@ against the ``mode="simulated"`` reference.
 from __future__ import annotations
 
 import os
+import shutil
 import signal
 from dataclasses import dataclass
 from typing import Tuple
 
-__all__ = ["KillPlan", "kill_current_process"]
+__all__ = [
+    "KillPlan",
+    "ReplicaKillPlan",
+    "destroy_replica",
+    "kill_current_process",
+]
 
 
 def kill_current_process() -> None:
     """SIGKILL the calling process — uncatchable, like the real thing."""
     os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
+
+
+def destroy_replica(root: str) -> None:
+    """Remove a whole journal replica directory — media loss, not crash.
+
+    Unlike a process kill, nothing of the replica survives: journal log,
+    snapshots, and DP sidecars all vanish at once, exactly like a failed
+    disk or a fat-fingered ``rm -rf``.  Idempotent (destroying an
+    already-missing replica is a no-op), because chaos schedules may
+    name the same replica at several phases.
+    """
+    shutil.rmtree(root, ignore_errors=True)
+
+
+#: Phases of one replica's local commit a destruction can target:
+#: ``"before"`` (media already gone when the commit reaches it),
+#: ``"intent"`` (after the intent record hit the replica's journal),
+#: ``"snapshot"`` (after the snapshot document was renamed into place,
+#: before the commit record), and ``"after"`` (the replica acked this
+#: commit, then its media died while the quorum round continued).
+REPLICA_KILL_PHASES = ("before", "intent", "snapshot", "after")
+
+
+@dataclass(frozen=True)
+class ReplicaKillPlan:
+    """A deterministic schedule of journal-replica destructions.
+
+    The process-kill plans above model *compute* loss; this plan models
+    *media* loss for the quorum-replicated policy journal
+    (:class:`repro.robustness.recovery.QuorumJournal`).  ``kills`` holds
+    ``(serial, replica_index, phase)`` triples: while committing
+    ``serial``, the named replica's whole directory is destroyed at the
+    named phase of *its* local commit (see
+    :data:`REPLICA_KILL_PHASES`).  Destruction inside the write sequence
+    makes the replica's remaining writes fail with ``OSError``, so the
+    quorum layer observes exactly what a dying disk produces: a partial
+    local commit followed by hard I/O errors.  Like :class:`KillPlan`,
+    the plan is plain data and the same plan destroys the same replicas
+    at the same points on every run.
+    """
+
+    kills: Tuple[Tuple[int, int, str], ...] = ()
+    name: str = "replica-kill-plan"
+
+    def __post_init__(self) -> None:
+        for __, ___, phase in self.kills:
+            if phase not in REPLICA_KILL_PHASES:
+                raise ValueError(
+                    f"unknown replica kill phase {phase!r} "
+                    f"(expected one of {REPLICA_KILL_PHASES})"
+                )
+
+    def should_destroy(
+        self, serial: int, replica_index: int, phase: str
+    ) -> bool:
+        return (int(serial), int(replica_index), phase) in self.kills
+
+    @classmethod
+    def single(
+        cls, serial: int, replica_index: int, phase: str = "snapshot"
+    ) -> "ReplicaKillPlan":
+        """Destroy one replica mid-commit of ``serial`` — the canonical
+        single-media-loss scenario quorum replication must survive."""
+        return cls(
+            kills=((int(serial), int(replica_index), phase),),
+            name=f"kill-replica-{replica_index}@{phase}",
+        )
+
+    @classmethod
+    def double(
+        cls, serial: int, first: int, second: int, phase: str = "snapshot"
+    ) -> "ReplicaKillPlan":
+        """Destroy two replicas during one commit — with three replicas
+        this breaks the quorum, and every later commit/restore must fail
+        closed rather than serve unprovable state."""
+        return cls(
+            kills=(
+                (int(serial), int(first), phase),
+                (int(serial), int(second), phase),
+            ),
+            name=f"kill-replicas-{first},{second}@{phase}",
+        )
 
 
 @dataclass(frozen=True)

@@ -43,7 +43,7 @@ import io
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +61,8 @@ from ..core.serialization import (
 
 __all__ = [
     "PolicyJournal",
+    "QuorumJournal",
+    "QuorumRecoveryReport",
     "RecoveredSnapshot",
     "flat_structure_digest",
     "rehydrate_flat_solution",
@@ -108,6 +110,10 @@ class RecoveredSnapshot:
     #: the journal ended in a partial line (crash mid-append) that was
     #: safely discarded.
     torn_tail: bool = False
+    #: the journalled content checksum of the recovered snapshot — the
+    #: identity quorum recovery votes on (same serial + same checksum
+    #: means bit-identical committed state).
+    checksum: Optional[str] = None
 
 
 def _relabel_tree(tree, ids, left, right) -> bool:
@@ -234,6 +240,7 @@ class PolicyJournal:
         serial: int,
         fingerprint: Mapping[str, object],
         solution=None,
+        _chaos: Optional[Callable[[str], None]] = None,
     ) -> str:
         """Durably commit one (policy, db-serial) pair; returns its checksum.
 
@@ -241,6 +248,12 @@ class PolicyJournal:
         :class:`~repro.core.flat_dp.FlatTreeSolution`, in which case its
         cost vectors are persisted as the DP sidecar enabling warm
         restarts; any other value (or ``None``) commits the policy alone.
+        ``_chaos`` is the quorum layer's destruction hook: it is called
+        with ``"intent"`` after the intent record is durable and with
+        ``"snapshot"`` after the snapshot document is renamed into
+        place, so a chaos schedule can destroy this replica's media at
+        exactly those points (see
+        :class:`~repro.robustness.chaos.ReplicaKillPlan`).
         """
         document: Dict[str, object] = {
             "format": _FORMAT,
@@ -271,7 +284,11 @@ class PolicyJournal:
                 "checksum": checksum,
             }
         )
+        if _chaos is not None:
+            _chaos("intent")
         atomic_write_json(os.path.join(self.root, snapshot_name), document)
+        if _chaos is not None:
+            _chaos("snapshot")
         self._append({"op": "commit", "serial": int(serial)})
         if self.keep_last is not None:
             self.prune(self.keep_last)
@@ -522,7 +539,17 @@ class PolicyJournal:
             dp_structure=dp_structure,
             dp_layout=dp_layout,
             torn_tail=torn_tail,
+            checksum=str(intent["checksum"]),
         )
+
+    def files_for_serial(self, serial: int) -> List[str]:
+        """Names of the on-disk artifacts of one committed serial that
+        actually exist (snapshot document, DP sidecar)."""
+        names = []
+        for name in (self._snapshot_file(serial), self._sidecar_file(serial)):
+            if os.path.exists(os.path.join(self.root, name)):
+                names.append(name)
+        return names
 
     def _load_sidecar(
         self, document: Mapping[str, object]
@@ -556,3 +583,382 @@ class PolicyJournal:
             for i in range(len(offsets) - 1)
         ]
         return vecs, str(meta.get("structure")), (ids, left, right)
+
+
+# -- quorum replication --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuorumRecoveryReport:
+    """What one quorum recovery observed and repaired.
+
+    Stored on :attr:`QuorumJournal.last_recovery` so callers (``CSP.
+    restore``, the chaos bench) can attribute MTTR: how many replicas
+    voted for the adopted state, which ones were dead/lagging/divergent,
+    and how long the majority-vote repair of those replicas took.
+    """
+
+    #: the adopted (serial, checksum) identity.
+    serial: int
+    checksum: str
+    #: replica indexes that voted for the adopted state.
+    voters: Tuple[int, ...]
+    #: replica indexes rewritten from a voter (dead, lagging, divergent,
+    #: or carrying torn-tail residue).
+    repaired: Tuple[int, ...]
+    #: wall-clock seconds the repair copies took (0.0 when nothing
+    #: needed repair).
+    repair_seconds: float
+    #: per-replica pre-repair condition, index-aligned with the roots:
+    #: ``"ok"`` | ``"torn"`` | ``"lagging"`` | ``"divergent"`` | a
+    #: :class:`RecoveryError` reason (``"empty"``, ``"corrupt"``, ...).
+    replica_states: Tuple[str, ...] = ()
+
+
+class QuorumJournal:
+    """``PolicyJournal`` mirrored across N directories with majority
+    quorum — media loss becomes survivable, not just process death.
+
+    Every commit is applied to all replicas; it succeeds once a **write
+    quorum** of ⌊N/2⌋+1 replicas acked their (locally crash-consistent)
+    commit, and **fails closed** with :class:`RecoveryError`
+    (``reason="quorum"``) below that — an anonymizer that cannot prove
+    its policy history durable must stop advancing state, never shed
+    durability silently.  Recovery reads *all* replicas and adopts the
+    newest (serial, checksum) pair that a **read quorum** (the same
+    majority) agrees on; replicas outside the winning vote — destroyed,
+    lagging, divergent, or carrying torn-tail residue — are rewritten
+    from a voter (majority-vote repair), and the repair is timed so
+    restores report MTTR.  Because read and write quorums overlap in at
+    least one replica, an acked commit can never be silently lost, and
+    a serial that survives only on a minority (e.g. a stale replica
+    that missed a quorum-coordinated prune) can never be resurrected.
+
+    ``keep_last`` retention is **quorum-coordinated**: pruning runs only
+    when a write quorum of replicas is healthy and must succeed on a
+    write quorum, so the set of retained serials can never silently
+    diverge to where a minority replica's older serial could win a
+    future vote.
+
+    ``kill_plan`` (a :class:`~repro.robustness.chaos.ReplicaKillPlan`)
+    deterministically destroys whole replica directories at chosen
+    phases of a commit — the chaos harness for everything above.
+    """
+
+    def __init__(
+        self,
+        roots: Sequence[str],
+        keep_last: Optional[int] = None,
+        *,
+        kill_plan=None,
+    ):
+        roots = [str(root) for root in roots]
+        if not roots:
+            raise RecoveryError(
+                "a quorum journal needs at least one replica directory",
+                reason="corrupt",
+            )
+        if len({os.path.abspath(r) for r in roots}) != len(roots):
+            raise RecoveryError(
+                "replica directories must be distinct — mirroring a "
+                "journal onto itself survives nothing",
+                reason="corrupt",
+            )
+        if keep_last is not None and keep_last < 1:
+            raise RecoveryError(
+                f"keep_last must be ≥ 1 (got {keep_last})", reason="corrupt"
+            )
+        self.roots = tuple(roots)
+        self.keep_last = keep_last
+        self.kill_plan = kill_plan
+        #: write/read quorum: a strict majority of replicas.
+        self.quorum = len(roots) // 2 + 1
+        self.replicas = [PolicyJournal(root) for root in roots]
+        #: replica indexes that failed their local commit last time.
+        self.last_commit_failures: Tuple[int, ...] = ()
+        #: what the last :meth:`recover` adopted and repaired.
+        self.last_recovery: Optional[QuorumRecoveryReport] = None
+
+    # -- writing ---------------------------------------------------------------
+
+    def _fire_kill(self, serial: int, index: int, phase: str) -> None:
+        if self.kill_plan is not None and self.kill_plan.should_destroy(
+            serial, index, phase
+        ):
+            from .chaos import destroy_replica
+
+            destroy_replica(self.roots[index])
+
+    def commit(
+        self,
+        policy: CloakingPolicy,
+        serial: int,
+        fingerprint: Mapping[str, object],
+        solution=None,
+    ) -> str:
+        """Mirror one commit to every replica; fail closed below quorum.
+
+        Per-replica failures (missing media, permission errors, a chaos
+        destruction mid-write) are contained: the replica simply does
+        not ack.  With ``acks ≥ ⌊N/2⌋+1`` the commit is durable and its
+        checksum is returned; below that the quorum is lost and
+        :class:`RecoveryError` (``reason="quorum"``) propagates — the
+        caller must treat the state advance as not having happened.
+        """
+        acks = 0
+        failures: List[int] = []
+        checksum: Optional[str] = None
+        for index, replica in enumerate(self.replicas):
+            self._fire_kill(serial, index, "before")
+            hook = (
+                (lambda phase, i=index: self._fire_kill(serial, i, phase))
+                if self.kill_plan is not None
+                else None
+            )
+            try:
+                checksum_i = replica.commit(
+                    policy, serial, fingerprint, solution, _chaos=hook
+                )
+            except OSError:
+                failures.append(index)
+                continue
+            acks += 1
+            checksum = checksum_i
+            self._fire_kill(serial, index, "after")
+        self.last_commit_failures = tuple(failures)
+        if acks < self.quorum or checksum is None:
+            raise RecoveryError(
+                f"commit of serial {serial} reached only {acks} of "
+                f"{len(self.replicas)} replicas (write quorum "
+                f"{self.quorum}); failing closed — durability cannot be "
+                "proven",
+                reason="quorum",
+            )
+        if self.keep_last is not None:
+            self.prune(self.keep_last)
+        return checksum
+
+    def prune(self, keep_last: int) -> Tuple[int, ...]:
+        """Quorum-coordinated retention: prune every healthy replica.
+
+        Refuses (fail-closed, nothing touched) unless a write quorum of
+        replicas is healthy *before* pruning, and raises if fewer than a
+        write quorum completed their prune — otherwise a lagging
+        minority replica could keep serials the majority dropped and a
+        later vote-less restore could resurrect them.
+        """
+        if keep_last < 1:
+            raise RecoveryError(
+                f"keep_last must be ≥ 1 (got {keep_last})", reason="corrupt"
+            )
+        healthy: List[int] = []
+        for index, replica in enumerate(self.replicas):
+            try:
+                replica.committed_serials()
+            except (RecoveryError, OSError):
+                continue
+            healthy.append(index)
+        if len(healthy) < self.quorum:
+            raise RecoveryError(
+                f"only {len(healthy)} of {len(self.replicas)} replicas "
+                f"are readable (write quorum {self.quorum}); refusing to "
+                "prune — retention must stay quorum-coordinated",
+                reason="quorum",
+            )
+        dropped: set = set()
+        pruned = 0
+        for index in healthy:
+            try:
+                dropped.update(self.replicas[index].prune(keep_last))
+            except (RecoveryError, OSError):
+                continue
+            pruned += 1
+        if pruned < self.quorum:
+            raise RecoveryError(
+                f"prune completed on only {pruned} of {len(self.replicas)} "
+                f"replicas (write quorum {self.quorum}); retention is not "
+                "quorum-coordinated",
+                reason="quorum",
+            )
+        return tuple(sorted(dropped))
+
+    # -- reading ---------------------------------------------------------------
+
+    def committed_serials(self) -> List[int]:
+        """Serials committed on at least a read quorum of replicas."""
+        counts: Dict[int, int] = {}
+        readable = 0
+        for replica in self.replicas:
+            try:
+                serials = replica.committed_serials()
+            except (RecoveryError, OSError):
+                continue
+            readable += 1
+            for serial in serials:
+                counts[serial] = counts.get(serial, 0) + 1
+        if readable < self.quorum:
+            raise RecoveryError(
+                f"only {readable} of {len(self.replicas)} replicas are "
+                f"readable (read quorum {self.quorum})",
+                reason="quorum",
+            )
+        return sorted(s for s, n in counts.items() if n >= self.quorum)
+
+    def latest_serial(self) -> Optional[int]:
+        """Newest quorum-committed serial, or ``None`` when empty."""
+        serials = self.committed_serials()
+        return serials[-1] if serials else None
+
+    def recover(
+        self,
+        *,
+        fingerprint: Optional[Mapping[str, object]] = None,
+        current_serial: Optional[int] = None,
+        max_stale_snapshots: int = 1,
+        repair: bool = True,
+    ) -> RecoveredSnapshot:
+        """Majority-vote recovery with replica repair.
+
+        Each replica independently runs the full fail-closed
+        single-journal recovery; the vote key is the (serial, checksum)
+        identity of what it recovered.  The newest identity holding a
+        read quorum of votes wins and is returned.  No quorum — too many
+        replicas destroyed, or a divergent split with no majority —
+        raises :class:`RecoveryError` (``reason="quorum"``): the CSP
+        must refuse to serve rather than adopt state it cannot prove,
+        and in particular must **never** fall back to serving some
+        coarser policy.  With ``repair=True`` (the default) every
+        replica outside the winning vote is rewritten from a voter and
+        the repair is timed (:attr:`last_recovery`).
+        """
+        votes: Dict[Tuple[int, str], List[int]] = {}
+        snapshots: Dict[int, RecoveredSnapshot] = {}
+        states: List[str] = []
+        for index, replica in enumerate(self.replicas):
+            try:
+                snapshot = replica.recover(fingerprint=fingerprint)
+            except RecoveryError as exc:
+                states.append(exc.reason)
+                continue
+            except OSError:
+                states.append("corrupt")
+                continue
+            snapshots[index] = snapshot
+            states.append("torn" if snapshot.torn_tail else "ok")
+            key = (snapshot.serial, snapshot.checksum or "")
+            votes.setdefault(key, []).append(index)
+        winner: Optional[Tuple[int, str]] = None
+        for key, voters in votes.items():
+            if len(voters) < self.quorum:
+                continue
+            if winner is None or key[0] > winner[0]:
+                winner = key
+        if winner is None:
+            raise RecoveryError(
+                "no (serial, checksum) identity reaches the read quorum "
+                f"of {self.quorum} across {len(self.replicas)} replicas "
+                f"(states: {', '.join(states)}); failing closed — a "
+                "minority replica must never resurrect state on its own",
+                reason="quorum",
+            )
+        serial, __ = winner
+        if current_serial is not None and (
+            current_serial - serial > max_stale_snapshots
+        ):
+            raise RecoveryError(
+                f"quorum-recovered policy is {current_serial - serial} "
+                f"snapshots behind the current db (bound "
+                f"{max_stale_snapshots}); rejecting fail-closed",
+                reason="stale",
+            )
+        voters = votes[winner]
+        # Retention must also agree: a replica that voted for the
+        # winning state but kept serials the quorum has pruned (it
+        # missed a quorum-coordinated prune while offline) is
+        # retention-divergent.  Left alone, its stale tail would sit
+        # waiting for enough other failures to make it the deciding
+        # copy; repairing it here keeps every majority bit-identical,
+        # so pruned serials can never be resurrected.
+        serial_sets: Dict[int, Tuple[int, ...]] = {}
+        for index in snapshots:
+            serial_sets[index] = tuple(
+                self.replicas[index].committed_serials()
+            )
+        serial_counts: Dict[int, int] = {}
+        for serials in serial_sets.values():
+            for one in serials:
+                serial_counts[one] = serial_counts.get(one, 0) + 1
+        quorum_set = tuple(
+            sorted(s for s, n in serial_counts.items() if n >= self.quorum)
+        )
+        canonical = [i for i in voters if serial_sets[i] == quorum_set]
+        laggards = tuple(
+            index for index in range(len(self.replicas))
+            if index not in voters
+            or (index in snapshots and snapshots[index].torn_tail)
+            or (canonical and serial_sets[index] != quorum_set)
+        )
+        for index in laggards:
+            if index in snapshots:
+                kind = states[index]
+                if kind == "ok":
+                    states[index] = (
+                        "lagging"
+                        if snapshots[index].serial < serial
+                        else "divergent"
+                    )
+        # Prefer a clean, retention-canonical voter as the repair source.
+        source = min(
+            voters,
+            key=lambda i: (
+                snapshots[i].torn_tail,
+                serial_sets[i] != quorum_set,
+                i,
+            ),
+        )
+        repair_seconds = 0.0
+        repaired: Tuple[int, ...] = ()
+        if repair and laggards:
+            import time
+
+            start = time.perf_counter()
+            for index in laggards:
+                self._repair_replica(index, source)
+            repair_seconds = time.perf_counter() - start
+            repaired = laggards
+        self.last_recovery = QuorumRecoveryReport(
+            serial=serial,
+            checksum=winner[1],
+            voters=tuple(voters),
+            repaired=repaired,
+            repair_seconds=repair_seconds,
+            replica_states=tuple(states),
+        )
+        return snapshots[source]
+
+    def _repair_replica(self, index: int, source: int) -> None:
+        """Rewrite replica ``index`` from voter ``source``.
+
+        Artifacts first, journal last (the same ordering argument as
+        :meth:`PolicyJournal.prune`): a crash mid-repair leaves either
+        orphaned snapshot files (harmless) or the old journal (the
+        replica stays exactly as broken as before) — never a journal
+        referencing files that are not there yet.
+        """
+        from .chaos import destroy_replica
+
+        src = self.replicas[source]
+        dst_root = self.roots[index]
+        destroy_replica(dst_root)
+        os.makedirs(dst_root, exist_ok=True)
+        for serial in src.committed_serials():
+            for name in src.files_for_serial(serial):
+                with open(os.path.join(src.root, name), "rb") as handle:
+                    payload = handle.read()
+                atomic_write_bytes(os.path.join(dst_root, name), payload)
+        with open(src._journal_path, "rb") as handle:
+            journal_bytes = handle.read()
+        atomic_write_bytes(
+            os.path.join(dst_root, _JOURNAL_FILE), journal_bytes
+        )
+        self.replicas[index] = PolicyJournal(dst_root)

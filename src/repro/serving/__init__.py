@@ -2,11 +2,21 @@
 pooled non-blocking LBS provider client in front of the synchronous CSP
 (the sync path stays the bit-identical oracle)."""
 
+from .admission import AdmissionConfig, AdmissionController
 from .aio_provider import AsyncProviderClient, ClientStats, PooledConnection
 from .batcher import BatcherStats, CoalescingBatcher
-from .gateway import AsyncGateway, GatewayConfig, GatewayStats, run_gateway
+from .gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    GatewayStats,
+    run_gateway,
+    run_gateway_scheduled,
+    serve_scheduled,
+)
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "AsyncGateway",
     "AsyncProviderClient",
     "BatcherStats",
@@ -16,4 +26,6 @@ __all__ = [
     "GatewayStats",
     "PooledConnection",
     "run_gateway",
+    "run_gateway_scheduled",
+    "serve_scheduled",
 ]

@@ -60,10 +60,18 @@ from ..robustness.aio import AsyncClock, LoopClock, retry_call_async
 from ..robustness.degrade import DegradationEvent
 from ..robustness.faults import FaultInjectingAsyncClient
 from ..robustness.retry import RetryPolicy
+from .admission import AdmissionController
 from .aio_provider import AsyncProviderClient
 from .batcher import CoalescingBatcher
 
-__all__ = ["GatewayConfig", "GatewayStats", "AsyncGateway", "run_gateway"]
+__all__ = [
+    "AsyncGateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "run_gateway",
+    "run_gateway_scheduled",
+    "serve_scheduled",
+]
 
 
 @dataclass(frozen=True)
@@ -106,8 +114,14 @@ class GatewayStats:
 
     submitted: int = 0
     served: int = 0
-    #: shed at the queue high-water mark (fail-closed).
+    #: shed before any work was queued (fail-closed), all causes.
     shed: int = 0
+    #: ... at the static queue high-water mark.
+    shed_high_water: int = 0
+    #: ... at the adaptive controller's (tighter) limit.
+    shed_adaptive: int = 0
+    #: ... because the circuit breaker was open at submission.
+    shed_breaker: int = 0
     #: rejected by a per-user token bucket.
     throttled: int = 0
     #: failed with a typed error past admission (provider, stale, ...).
@@ -132,6 +146,16 @@ class GatewayStats:
     def availability(self) -> float:
         done = self.served + self.shed + self.throttled + self.errors
         return self.served / done if done else 1.0
+
+    @property
+    def shed_by_cause(self) -> Dict[str, int]:
+        """Attributable admission decisions: which gate refused."""
+        return {
+            "high_water": self.shed_high_water,
+            "adaptive": self.shed_adaptive,
+            "breaker": self.shed_breaker,
+            "throttle": self.throttled,
+        }
 
 
 class _TokenBucket:
@@ -158,10 +182,24 @@ class AsyncGateway:
         *,
         client: Optional[AsyncProviderClient] = None,
         clock: Optional[AsyncClock] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.csp = csp
         self.config = config or GatewayConfig()
         self.config.validate()
+        #: optional AIMD controller — when present it tightens (never
+        #: loosens) admission below the static high-water mark, fed by
+        #: the RTT of every provider round (see ``_provider_round``).
+        self.admission = admission
+        if admission is not None and (
+            admission.static_high_water != self.config.queue_high_water
+        ):
+            raise ReproError(
+                "admission controller was built for static high-water "
+                f"{admission.static_high_water}, gateway uses "
+                f"{self.config.queue_high_water} — the containment "
+                "invariant needs them identical"
+            )
         self.clock = clock or LoopClock()
         if client is None:
             client = AsyncProviderClient(
@@ -188,15 +226,41 @@ class AsyncGateway:
     # -- admission -----------------------------------------------------------
 
     def _admit(self, user_id: str) -> None:
-        """Fail-closed admission: raise before any work is queued."""
+        """Fail-closed admission: raise before any work is queued.
+
+        Gate order is static-first so the adaptive gates can only ever
+        refuse a *subset* of what static admission refuses plus more —
+        never admit past the static mark.
+        """
         if self._pending >= self.config.queue_high_water:
             self.stats.shed += 1
+            self.stats.shed_high_water += 1
             raise ServiceUnavailableError(
                 f"gateway over its high-water mark "
                 f"({self._pending} pending ≥ {self.config.queue_high_water}); "
                 "shedding fail-closed",
                 reason="shed",
             )
+        if self.admission is not None:
+            breaker = self.csp.breaker
+            if breaker is not None and breaker.state == "open":
+                self.stats.shed += 1
+                self.stats.shed_breaker += 1
+                raise ServiceUnavailableError(
+                    "circuit breaker is open; shedding at admission "
+                    "instead of queueing a request that can only fail",
+                    reason="shed",
+                )
+            if not self.admission.admit(self._pending):
+                self.stats.shed += 1
+                self.stats.shed_adaptive += 1
+                raise ServiceUnavailableError(
+                    f"adaptive admission limit reached ({self._pending} "
+                    f"pending ≥ {self.admission.high_water} adaptive "
+                    f"≤ {self.config.queue_high_water} static); "
+                    "shedding fail-closed",
+                    reason="shed",
+                )
         if self.config.rate_per_user != float("inf"):
             now = self.clock.monotonic()
             bucket = self._buckets.get(user_id)
@@ -239,24 +303,29 @@ class AsyncGateway:
         async def fetch():
             return await self.client.serve_round(requests)
 
+        start = self.clock.monotonic()
         try:
             if csp.retry_policy is None and csp.breaker is None:
-                return await fetch()
-            return await retry_call_async(
-                fetch,
-                policy=csp.retry_policy or RetryPolicy(max_attempts=1),
-                clock=self.clock,
-                deadline=csp.provider_deadline,
-                retryable=TRANSIENT_PROVIDER_ERRORS
-                + (DeadlineExceededError,),
-                breaker=csp.breaker,
-            )
+                result = await fetch()
+            else:
+                result = await retry_call_async(
+                    fetch,
+                    policy=csp.retry_policy or RetryPolicy(max_attempts=1),
+                    clock=self.clock,
+                    deadline=csp.provider_deadline,
+                    retryable=TRANSIENT_PROVIDER_ERRORS
+                    + (DeadlineExceededError,),
+                    breaker=csp.breaker,
+                )
+            self._observe_round(start, failed=False)
+            return result
         except asyncio.CancelledError:
             raise
         except (
             CircuitOpenError,
             DeadlineExceededError,
         ) + TRANSIENT_PROVIDER_ERRORS as exc:
+            self._observe_round(start, failed=True)
             csp.events.append(
                 DegradationEvent(
                     level="rejected",
@@ -269,6 +338,17 @@ class AsyncGateway:
                 f"{len(requests)} coalesced cloak(s): {exc}",
                 reason="provider",
             ) from exc
+
+    def _observe_round(self, start: float, *, failed: bool) -> None:
+        """Feed one completed provider round to the AIMD controller."""
+        if self.admission is None:
+            return
+        breaker = self.csp.breaker
+        self.admission.observe_round(
+            self.clock.monotonic() - start,
+            failed=failed,
+            breaker_open=breaker is not None and breaker.state != "closed",
+        )
 
     # -- serving -------------------------------------------------------------
 
@@ -356,10 +436,54 @@ async def serve_all(
     return list(results)
 
 
+async def serve_scheduled(
+    gateway: AsyncGateway,
+    schedule: Sequence[Tuple[float, str, object]],
+) -> List[object]:
+    """Submit a timed workload: each ``(arrival, user_id, payload)`` is
+    submitted at its arrival offset (seconds from the first submission).
+
+    This is the live twin of the DES's arrival schedule — replaying the
+    *same* schedule here and in
+    :class:`~repro.lbs.simulation.GatewaySimulation` is what makes the
+    offline capacity model falsifiable against the real event loop.
+    """
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    tasks: List[asyncio.Future] = []
+    for arrival, user_id, payload in schedule:
+        delay = start + arrival - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(gateway.submit(user_id, payload)))
+    results = await asyncio.gather(*tasks, return_exceptions=True)
+    await gateway.close()
+    return list(results)
+
+
+def run_gateway_scheduled(
+    csp: Any,
+    schedule: Sequence[Tuple[float, str, object]],
+    config: Optional[GatewayConfig] = None,
+    *,
+    admission: Optional[AdmissionController] = None,
+) -> Tuple[List[object], GatewayStats]:
+    """Sync façade over :func:`serve_scheduled` (fresh gateway, own loop)."""
+    gateway = AsyncGateway(csp, config, admission=admission)
+
+    async def drive():
+        return await serve_scheduled(gateway, schedule)
+
+    results = asyncio.run(drive())
+    return results, gateway.stats
+
+
 def run_gateway(
     csp: Any,
     workload: Sequence[Tuple[str, object]],
     config: Optional[GatewayConfig] = None,
+    *,
+    admission: Optional[AdmissionController] = None,
 ) -> Tuple[List[object], GatewayStats]:
     """Sync façade: run a workload through a fresh gateway to completion.
 
@@ -368,7 +492,7 @@ def run_gateway(
     caller that is not already inside an event loop
     (:meth:`repro.lbs.pipeline.CSP.serve_async` delegates here).
     """
-    gateway = AsyncGateway(csp, config)
+    gateway = AsyncGateway(csp, config, admission=admission)
 
     async def drive():
         return await serve_all(gateway, workload)

@@ -143,3 +143,28 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestSLOReportCommand:
+    def test_quick_report_writes_artifacts(self, tmp_path, capsys):
+        code = main(
+            ["slo-report", "--scale", "quick",
+             "--results-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durability" in out
+        assert "capacity sweep" in out
+        assert "cross-validation" in out
+        report = json.loads((tmp_path / "slo.json").read_text())
+        assert report["durability"]["bit_identical"] is True
+        assert report["durability"]["quorum_loss_fails_closed"] is True
+        invariant = report["controller_invariant"]
+        assert invariant["adaptive_subset_of_static"] is True
+        assert invariant["points_checked"] == 3
+        assert len(report["cross_validation"]) == 2
+        assert (tmp_path / "slo.txt").read_text().startswith("== Closed-loop")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["slo-report", "--scale", "enormous"])

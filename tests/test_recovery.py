@@ -13,7 +13,8 @@ from repro.lbs.mobility import random_moves
 from repro.lbs.pipeline import CSP
 from repro.lbs.poi import generate_pois
 from repro.lbs.provider import LBSProvider
-from repro.robustness.recovery import PolicyJournal
+from repro.robustness.chaos import ReplicaKillPlan, destroy_replica
+from repro.robustness.recovery import PolicyJournal, QuorumJournal
 from repro.trees import BinaryTree
 
 REGION = Rect(0, 0, 1024, 1024)
@@ -373,3 +374,207 @@ class TestCSPRestart:
         assert "restarts: 1" in report.slo_summary()
         # The blackout is visible as queueing, bounded by the restore.
         assert max(report.queue_delays) <= measured + 1e-9
+
+
+class TestQuorumJournal:
+    """Media loss: the journal mirrored across three directories."""
+
+    FP = FINGERPRINT
+
+    @pytest.fixture
+    def roots(self, tmp_path):
+        return [str(tmp_path / f"replica-{i}") for i in range(3)]
+
+    def test_round_trip_and_quorum_views(self, roots):
+        q = QuorumJournal(roots)
+        checksum = q.commit(build_policy(seed=1), 0, self.FP)
+        q.commit(build_policy(seed=2), 1, self.FP)
+        assert q.quorum == 2
+        assert q.committed_serials() == [0, 1]
+        assert q.latest_serial() == 1
+        snapshot = q.recover(fingerprint=self.FP)
+        assert snapshot.serial == 1
+        assert snapshot.checksum is not None and snapshot.checksum != checksum
+        assert q.last_recovery.repaired == ()
+
+    def test_replicas_must_be_distinct(self, tmp_path):
+        same = str(tmp_path / "only")
+        with pytest.raises(RecoveryError):
+            QuorumJournal([same, same, str(tmp_path / "other")])
+
+    @pytest.mark.parametrize("phase", ["before", "intent", "snapshot", "after"])
+    def test_single_loss_mid_commit_recovers_bit_identical(self, roots, phase):
+        """Destroy any one replica at any phase of a commit: the commit
+        still acks a quorum and recovery returns bit-identical state,
+        repairing the destroyed replica with a measured MTTR."""
+        policy = build_policy(seed=3)
+        q = QuorumJournal(
+            roots, kill_plan=ReplicaKillPlan.single(1, 1, phase)
+        )
+        q.commit(policy, 0, self.FP)
+        q.commit(build_policy(seed=4), 1, self.FP)
+        snapshot = q.recover(fingerprint=self.FP)
+        assert snapshot.serial == 1
+        report = q.last_recovery
+        if phase == "after":
+            # The replica acked before dying: the commit saw 3/3, but
+            # recovery still finds the dead replica and repairs it.
+            assert q.last_commit_failures == ()
+        else:
+            assert q.last_commit_failures == (1,)
+        assert report.repaired == (1,)
+        assert report.repair_seconds > 0.0
+        # The repaired replica now recovers the same state on its own.
+        repaired = PolicyJournal(roots[1]).recover(fingerprint=self.FP)
+        assert repaired.serial == snapshot.serial
+        assert repaired.checksum == snapshot.checksum
+        assert_bit_identical(snapshot.policy, repaired.policy)
+
+    def test_two_of_three_with_torn_tail_replica(self, roots):
+        q = QuorumJournal(roots)
+        q.commit(build_policy(seed=5), 0, self.FP)
+        expected = q.recover(fingerprint=self.FP)
+        # Replica 0 crashed mid-append (torn tail), replica 2's media
+        # is gone entirely: only replica 1 is pristine, but the torn
+        # replica still votes for its last *committed* state, so the
+        # read quorum of 2 holds.
+        with open(os.path.join(roots[0], "journal.log"), "a") as handle:
+            handle.write('{"op": "intent", "serial": 1, "fi')
+        destroy_replica(roots[2])
+        snapshot = q.recover(fingerprint=self.FP)
+        assert snapshot.serial == expected.serial
+        assert snapshot.checksum == expected.checksum
+        report = q.last_recovery
+        assert set(report.voters) == {0, 1}
+        # Both the torn and the destroyed replica get rewritten.
+        assert set(report.repaired) == {0, 2}
+        assert report.replica_states == ("torn", "ok", "empty")
+        assert_bit_identical(expected.policy, snapshot.policy)
+
+    def test_double_loss_fails_closed_never_serves(self, roots):
+        q = QuorumJournal(
+            roots, kill_plan=ReplicaKillPlan.double(1, 0, 2, "snapshot")
+        )
+        q.commit(build_policy(seed=6), 0, self.FP)
+        with pytest.raises(RecoveryError) as err:
+            q.commit(build_policy(seed=7), 1, self.FP)
+        assert err.value.reason == "quorum"
+        # Recovery on the lone survivor must also fail closed — a
+        # minority must never resurrect (or coarsen) state on its own.
+        with pytest.raises(RecoveryError) as err:
+            q.recover(fingerprint=self.FP)
+        assert err.value.reason == "quorum"
+
+    def test_permissions_failure_mid_commit(self, roots, monkeypatch):
+        """A replica whose directory stops being writable mid-commit
+        (PermissionError ⊂ OSError) simply fails to ack; a second such
+        replica breaks the quorum."""
+        q = QuorumJournal(roots)
+        q.commit(build_policy(seed=8), 0, self.FP)
+
+        def denied(record):
+            raise PermissionError("journal directory is read-only")
+
+        monkeypatch.setattr(q.replicas[1], "_append", denied)
+        q.commit(build_policy(seed=9), 1, self.FP)
+        assert q.last_commit_failures == (1,)
+        monkeypatch.setattr(q.replicas[2], "_append", denied)
+        with pytest.raises(RecoveryError) as err:
+            q.commit(build_policy(seed=10), 2, self.FP)
+        assert err.value.reason == "quorum"
+
+    def test_prune_is_quorum_coordinated(self, roots):
+        q = QuorumJournal(roots)
+        for serial in range(4):
+            q.commit(build_policy(seed=serial), serial, self.FP)
+        destroy_replica(roots[0])
+        destroy_replica(roots[1])
+        with pytest.raises(RecoveryError) as err:
+            q.prune(keep_last=1)
+        assert err.value.reason == "quorum"
+        # The surviving replica was not touched: fail-closed means
+        # nothing pruned anywhere, not "pruned where possible".
+        assert q.replicas[2].committed_serials() == [0, 1, 2, 3]
+
+    def test_prune_then_restore_cannot_resurrect_stale_serials(self, roots):
+        """Regression for the prune/replication interaction: a replica
+        that missed a quorum-coordinated prune keeps serials the
+        majority dropped, and a later restore where that replica is the
+        only survivor must fail closed rather than resurrect them."""
+        q = QuorumJournal(roots)
+        for serial in range(4):
+            q.commit(build_policy(seed=20 + serial), serial, self.FP)
+        # Replica 2's media goes away for the prune...
+        saved = roots[2] + ".offline"
+        os.rename(roots[2], saved)
+        assert q.prune(keep_last=1) == (0, 1, 2)
+        # ...and comes back afterwards, still holding serials 0-3.
+        os.rename(saved, roots[2])
+        stale = QuorumJournal(roots)
+        assert PolicyJournal(roots[2]).committed_serials() == [0, 1, 2, 3]
+        # Quorum views never expose the minority's stale serials.
+        assert stale.committed_serials() == [3]
+        # Majority intact: recovery adopts the pruned majority's newest
+        # serial and repairs the lagging replica, dropping its stale tail.
+        snapshot = stale.recover(fingerprint=self.FP)
+        assert snapshot.serial == 3
+        assert PolicyJournal(roots[2]).committed_serials() == [3]
+        # Majority lost: the stale minority alone must never win.
+        destroy_replica(roots[0])
+        destroy_replica(roots[1])
+        with pytest.raises(RecoveryError) as err:
+            QuorumJournal(roots).recover(fingerprint=self.FP)
+        assert err.value.reason == "quorum"
+
+
+class TestQuorumCSPRestore:
+    """The full loop: CSP commits through a quorum journal, a replica
+    dies mid-commit, restore recovers bit-identical with measured MTTR."""
+
+    @pytest.fixture
+    def roots(self, tmp_path):
+        return [str(tmp_path / f"replica-{i}") for i in range(3)]
+
+    def make_csp(self, provider, quorum, n_users=90, seed=11):
+        db = uniform_users(n_users, REGION, seed=seed)
+        return CSP(REGION, K, db, provider, journal=quorum)
+
+    def test_restore_after_replica_destruction_bit_identical(
+        self, provider, roots
+    ):
+        quorum = QuorumJournal(
+            roots, kill_plan=ReplicaKillPlan.single(2, 0, "snapshot")
+        )
+        csp = self.make_csp(provider, quorum)
+        churn(csp, rounds=2)  # serial 2's commit destroys replica 0
+        expected = {uid: cloak for uid, cloak in csp.policy.items()}
+        user = sorted(expected)[0]
+        del csp
+
+        restored = CSP.restore(provider, QuorumJournal(roots))
+        assert restored.restored
+        for uid, cloak in expected.items():
+            assert restored.policy.cloak_for(uid) == cloak
+        served = restored.request(user, [("poi", "rest")])
+        assert served.degradation == "recovered"
+        assert served.anonymized.cloak == expected[user]
+        # The repair is on the degradation timeline with its MTTR.
+        repairs = [
+            event for event in restored.events
+            if event.reason == "replica-repaired"
+        ]
+        assert len(repairs) == 1
+        assert "replicas [0]" in repairs[0].detail
+
+    def test_quorum_loss_fails_closed_never_serves_coarse(
+        self, provider, roots
+    ):
+        quorum = QuorumJournal(roots)
+        csp = self.make_csp(provider, quorum)
+        churn(csp, rounds=1)
+        del csp
+        destroy_replica(roots[0])
+        destroy_replica(roots[1])
+        with pytest.raises(RecoveryError) as err:
+            CSP.restore(provider, QuorumJournal(roots))
+        assert err.value.reason == "quorum"

@@ -224,3 +224,164 @@ class TestProcessRestart:
         # repairs at 20/30 restore fresh serving.
         assert report.served_by_rung.get("recovered", 0) > 0
         assert report.served_by_rung.get("fresh", 0) > 0
+
+
+class TestGatewaySimulation:
+    """The virtual-time twin of the async gateway."""
+
+    REGION = Rect(0, 0, 4096, 4096)
+    K = 8
+
+    def make(self, n_users=200, seed=5):
+        from repro.lbs.pipeline import CSP
+        from repro.lbs.poi import generate_pois
+        from repro.lbs.provider import LBSProvider
+
+        db = uniform_users(n_users, self.REGION, seed=seed)
+        provider = LBSProvider(
+            generate_pois(
+                self.REGION,
+                {"rest": 40, "groc": 30, "cinema": 10},
+                seed=3,
+            )
+        )
+        return CSP(self.REGION, self.K, db, provider)
+
+    def times(self):
+        return ServiceTimes(
+            cloak_lookup=0.00005, lbs_query=0.00005, cache_lookup=0.00002
+        )
+
+    def test_schedule_is_deterministic(self):
+        from repro.lbs import poisson_schedule
+
+        users = ["u%d" % i for i in range(20)]
+        a = poisson_schedule(users, 2.0, 5.0, seed=9)
+        b = poisson_schedule(users, 2.0, 5.0, seed=9)
+        assert a == b
+        assert all(t < 5.0 for t, __, ___ in a)
+        with pytest.raises(WorkloadError):
+            poisson_schedule([], 2.0, 5.0)
+        with pytest.raises(WorkloadError):
+            poisson_schedule(users, 0.0, 5.0)
+
+    def test_run_is_deterministic(self):
+        from repro.lbs import GatewaySimulation, poisson_schedule
+        from repro.serving.gateway import GatewayConfig
+
+        csp = self.make()
+        schedule = poisson_schedule(
+            csp.anonymizer.current_db.user_ids(), 6.0, 1.0, seed=11
+        )
+        config = GatewayConfig(
+            queue_high_water=8, rtt=0.03, max_wait=0.005,
+            max_batch=8, pool_size=2,
+        )
+        first = GatewaySimulation(csp.policy, config, times=self.times()).run(
+            schedule
+        )
+        second = GatewaySimulation(csp.policy, config, times=self.times()).run(
+            schedule
+        )
+        assert first.served == second.served
+        assert first.shed_by_cause == second.shed_by_cause
+        assert first.latencies == second.latencies
+
+    def test_accounting_balances(self):
+        from repro.lbs import GatewaySimulation, poisson_schedule
+        from repro.serving.gateway import GatewayConfig
+
+        csp = self.make()
+        schedule = poisson_schedule(
+            csp.anonymizer.current_db.user_ids(), 6.0, 1.0, seed=12
+        )
+        config = GatewayConfig(
+            queue_high_water=8, rtt=0.03, max_wait=0.005,
+            max_batch=8, pool_size=2,
+        )
+        report = GatewaySimulation(
+            csp.policy, config, times=self.times()
+        ).run(schedule)
+        assert report.submitted == len(schedule)
+        assert (
+            report.submitted
+            == report.served
+            + report.shed
+            + report.throttled
+            + report.errors
+        )
+        assert report.shed == (
+            report.shed_high_water
+            + report.shed_adaptive
+            + report.shed_breaker
+        )
+        # Coalescing/caching amortize: fewer provider queries than serves.
+        assert 0 < report.provider_queries < report.served
+        assert report.provider_rounds <= report.provider_queries
+        assert len(report.latencies) == report.served
+        assert "shed" in report.slo_summary()
+
+    def test_token_bucket_throttles_chatty_user(self):
+        from repro.lbs import GatewaySimulation
+        from repro.serving.gateway import GatewayConfig
+
+        csp = self.make()
+        user = csp.anonymizer.current_db.user_ids()[0]
+        # One user fires 40 requests in 40 ms against a 4-token bucket.
+        schedule = [(0.001 * i, user, "rest") for i in range(40)]
+        config = GatewayConfig(
+            queue_high_water=1024,
+            max_inflight=1024,
+            rate_per_user=1.0,
+            burst_per_user=4.0,
+            rtt=0.01,
+            max_wait=0.001,
+        )
+        report = GatewaySimulation(
+            csp.policy, config, times=self.times()
+        ).run(schedule)
+        assert report.throttled >= 30
+        assert report.shed_by_cause["throttle"] == report.throttled
+
+    def test_des_within_15pct_of_live_gateway(self):
+        """The acceptance cross-validation: replay one Poisson schedule
+        through the DES and the real event-loop gateway at three
+        operating points; the predicted shed rate must land within 15%
+        of the measured rate on at least two of them (one point may be
+        lost to wall-clock jitter on a loaded host)."""
+        from repro.lbs import GatewaySimulation, poisson_schedule
+        from repro.serving.gateway import (
+            GatewayConfig,
+            run_gateway_scheduled,
+        )
+
+        csp = self.make()
+        users = csp.anonymizer.current_db.user_ids()
+        schedule = poisson_schedule(users, 8.0, 2.0, seed=7)
+        points = [
+            GatewayConfig(
+                queue_high_water=8, max_inflight=64, rtt=rtt,
+                max_wait=max_wait, max_batch=8, pool_size=2,
+            )
+            for rtt, max_wait in ((0.03, 0.005), (0.05, 0.008), (0.06, 0.01))
+        ]
+        within = 0
+        observed = []
+        for config in points:
+            predicted = GatewaySimulation(
+                csp.policy, config, times=self.times()
+            ).run(schedule)
+            live_csp = self.make()
+            live_schedule = [
+                (t, user, [("poi", cat)]) for t, user, cat in schedule
+            ]
+            __, stats = run_gateway_scheduled(
+                live_csp, live_schedule, config
+            )
+            measured = (stats.shed + stats.throttled) / stats.submitted
+            assert measured > 0.0, "operating point must actually shed"
+            error = abs(predicted.shed_rate - measured) / measured
+            observed.append((config.rtt, predicted.shed_rate, measured, error))
+            if error <= 0.15:
+                within += 1
+        assert within >= 2, f"DES disagreed with the live gateway: {observed}"
