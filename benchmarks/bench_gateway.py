@@ -8,12 +8,26 @@ distinct cloaks into shared provider rounds — so its throughput
 advantage comes purely from I/O scheduling, never from a different
 anonymity decision.
 
+The sharded fleet rows shard the same serving stack across N worker
+processes behind a cloak-keyed consistent-hash dispatcher, every worker
+mapping one shared-memory FlatTree.  They run a *round-bound* operating
+point (many distinct coalescing keys through a small per-worker
+connection pool) — the regime where a single event loop's pool is the
+bottleneck and extra workers buy aggregate provider concurrency.  Fleet
+walls use the repo's share-nothing idealized accounting (each worker's
+share timed sequentially, wall = slowest worker — the same model
+``ParallelResult`` uses), so the rows are honest on hosts with fewer
+cores than workers; the process row reports real elapsed time for the
+end-to-end plumbing.
+
 Hard gates (the PR's acceptance bar):
 
 * async throughput ≥ 3× sync at the same 10 ms RTT,
 * coalesced provider traffic < 1 query per served request,
-* zero anonymity violations — every async cloak identical to the sync
-  oracle's for the same user.
+* fleet throughput ≥ 1.7× the 1-worker fleet at 2 workers and ≥ 3× at
+  4 workers (same 10 ms RTT, same config),
+* zero anonymity violations — every async/fleet cloak identical to the
+  sync oracle's for the same user.
 """
 
 import time
@@ -22,7 +36,7 @@ from repro.core.geometry import Rect
 from repro.data import uniform_users
 from repro.experiments import Table
 from repro.lbs import CSP, LBSProvider, generate_pois
-from repro.serving import GatewayConfig
+from repro.serving import FleetConfig, GatewayConfig, run_fleet
 
 from conftest import run_once
 
@@ -30,6 +44,9 @@ K = 20
 RTT = 0.010  # 10 ms simulated provider round-trip
 REGION = Rect(0, 0, 16_384, 16_384)
 CATEGORIES = ("rest", "groc", "fuel")
+#: the fleet's round-bound mix: ~n/k cloaks × 36 categories ≈ hundreds
+#: of distinct (cloak, payload) keys, far more than one pool turns over.
+FLEET_CATEGORIES = tuple(f"c{i}" for i in range(36))
 
 
 class SlowProvider:
@@ -132,11 +149,105 @@ def _run_gateway(scale):
         queries_per_request=round(stats.queries_per_request, 4),
         cloak_mismatches=mismatches,
     )
-    return table, sync_seconds, async_seconds, stats, mismatches
+
+    # -- sharded fleet: round-bound mix, idealized per-worker walls ------
+    fleet_workload = [
+        (
+            db.user_ids()[i % n_users],
+            [("poi", FLEET_CATEGORIES[i % len(FLEET_CATEGORIES)])],
+        )
+        for i in range(n_requests)
+    ]
+    fleet_pois = generate_pois(
+        REGION, {c: 20 for c in FLEET_CATEGORIES}, seed=153
+    )
+    fleet_config = GatewayConfig(
+        rtt=RTT, max_batch=8, max_wait=0.002, pool_size=2
+    )
+    fleet_oracle = [
+        CSP(REGION, K, db, LBSProvider(fleet_pois)).request(uid, payload)
+        for uid, payload in fleet_workload
+    ]
+    worker_counts = (1, 2) if scale.name == "quick" else (1, 2, 4)
+    fleet_rows = []
+    for n_workers in worker_counts:
+        results, fstats = run_fleet(
+            REGION,
+            K,
+            db,
+            LBSProvider(fleet_pois),
+            fleet_workload,
+            FleetConfig(
+                n_workers=n_workers, mode="simulated", gateway=fleet_config
+            ),
+        )
+        fleet_mism = sum(
+            1
+            for served, want in zip(results, fleet_oracle)
+            if served.anonymized.cloak != want.anonymized.cloak
+        )
+        wall = fstats.wall_seconds
+        totals = fstats.totals
+        table.add(
+            path=f"fleet ({n_workers} worker(s), idealized)",
+            requests=n_requests,
+            seconds=round(wall, 4),
+            req_per_s=round(n_requests / wall, 1),
+            provider_queries=totals.provider_queries,
+            provider_rounds=totals.provider_rounds,
+            queries_per_request=round(
+                totals.provider_queries / n_requests, 4
+            ),
+            cloak_mismatches=fleet_mism,
+        )
+        fleet_rows.append(
+            {"workers": n_workers, "wall": wall, "mismatches": fleet_mism}
+        )
+
+    # End-to-end plumbing row: real processes, real elapsed time
+    # (informational — a 1-core host cannot show true scaling here).
+    results, pstats = run_fleet(
+        REGION,
+        K,
+        db,
+        LBSProvider(fleet_pois),
+        fleet_workload,
+        FleetConfig(n_workers=2, mode="process", gateway=fleet_config),
+    )
+    process_mism = sum(
+        1
+        for served, want in zip(results, fleet_oracle)
+        if served.anonymized.cloak != want.anonymized.cloak
+    )
+    process_wall = pstats.dispatch_wall_seconds
+    table.add(
+        path="fleet (2 workers, process)",
+        requests=n_requests,
+        seconds=round(process_wall, 4),
+        req_per_s=round(n_requests / process_wall, 1),
+        provider_queries=pstats.totals.provider_queries,
+        provider_rounds=pstats.totals.provider_rounds,
+        queries_per_request=round(
+            pstats.totals.provider_queries / n_requests, 4
+        ),
+        cloak_mismatches=process_mism,
+    )
+    fleet_rows.append(
+        {"workers": 2, "wall": process_wall, "mismatches": process_mism}
+    )
+
+    return (
+        table,
+        sync_seconds,
+        async_seconds,
+        stats,
+        mismatches,
+        fleet_rows,
+    )
 
 
 def test_gateway_throughput(benchmark, record_table, profile):
-    table, sync_s, async_s, stats, mismatches = run_once(
+    table, sync_s, async_s, stats, mismatches, fleet_rows = run_once(
         benchmark, _run_gateway, profile
     )
     record_table("gateway", table)
@@ -146,13 +257,27 @@ def test_gateway_throughput(benchmark, record_table, profile):
     assert stats.errors == stats.shed == stats.throttled == 0
 
     # The anonymity invariant is absolute: concurrency may never change
-    # a cloak.
+    # a cloak — not in the single gateway, not in any fleet worker.
     assert mismatches == 0
+    assert all(row["mismatches"] == 0 for row in fleet_rows)
 
     # Coalescing amortizes provider traffic below one query/request.
     assert stats.queries_per_request < 1.0
     assert stats.provider_rounds < stats.provider_queries
 
-    # The tentpole's headline: ≥ 3× the sync throughput at equal RTT.
+    # ≥ 3× the sync throughput at equal RTT.
     speedup = sync_s / async_s
     assert speedup >= 3.0, f"async speedup {speedup:.2f}x < 3x"
+
+    # Fleet scaling (idealized accounting, vs the 1-worker fleet):
+    # ≥ 1.7× at 2 workers, ≥ 3× at 4.
+    walls = {
+        row["workers"]: row["wall"] for row in fleet_rows[:-1]
+    }  # last row is the process-mode plumbing row
+    fleet_speedup_2 = walls[1] / walls[2]
+    assert fleet_speedup_2 >= 1.7, f"2-worker fleet {fleet_speedup_2:.2f}x"
+    if 4 in walls:
+        fleet_speedup_4 = walls[1] / walls[4]
+        assert (
+            fleet_speedup_4 >= 3.0
+        ), f"4-worker fleet {fleet_speedup_4:.2f}x"

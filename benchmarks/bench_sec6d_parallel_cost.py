@@ -4,11 +4,19 @@ Paper shape: splitting the map across servers leaves the cost within 1%
 of the single-server optimum even for thousands of jurisdictions (the
 paper stress-tested 4096; cost divergence appears only when an optimal
 cloak would have spanned a jurisdiction border).
+
+The transport comparison rides along: dispatching jurisdictions as
+shared-memory handles must shrink the pickled payload by at least an
+order of magnitude versus shipping each compiled subtree, while staying
+bit-identical in cost and cloaks.  The gate applies up to 64
+jurisdictions; beyond that the subtrees themselves shrink toward
+handle size and the ratio honestly decays (recorded, not gated).
 """
 
 import pytest
 
 from repro.experiments import run_sec6d
+from repro.parallel import parallel_bulk_anonymize
 
 from conftest import run_once
 
@@ -24,3 +32,53 @@ def test_sec6d_parallel_cost_divergence(benchmark, profile, record_table):
     # The single-jurisdiction row is exactly the optimum.
     base = min(table.rows, key=lambda r: r["jurisdictions_requested"])
     assert base["overhead_percent"] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_sec6d_shm_transport_shrinks_dispatch(profile, record_table):
+    from repro.experiments import Table
+    from repro.experiments.workloads import sample_for
+
+    region, db = sample_for(profile.db_fixed, profile)
+    k = profile.k
+    table = Table(
+        "§VI-D transport — pickled subtrees vs shared-memory handles",
+        [
+            "jurisdictions",
+            "flat_payload_bytes",
+            "shm_payload_bytes",
+            "ratio",
+            "bit_identical",
+        ],
+    )
+    for n_servers in profile.jurisdiction_sweep:
+        flat = parallel_bulk_anonymize(
+            region, db, k, n_servers, transport="flat"
+        )
+        shm = parallel_bulk_anonymize(
+            region, db, k, n_servers, transport="shm"
+        )
+        # Bit-identical outcome — the handle names the same arrays the
+        # pickled subtree carried.
+        identical = shm.cost == flat.cost and all(
+            shm.master.cloak_for(u) == flat.master.cloak_for(u)
+            for u in db.user_ids()
+        )
+        ratio = (
+            flat.dispatch_payload_bytes / shm.dispatch_payload_bytes
+        )
+        table.add(
+            jurisdictions=n_servers,
+            flat_payload_bytes=flat.dispatch_payload_bytes,
+            shm_payload_bytes=shm.dispatch_payload_bytes,
+            ratio=round(ratio, 1),
+            bit_identical=identical,
+        )
+        assert identical, f"transport changed the outcome at {n_servers}"
+        if n_servers <= 64:
+            # ≥ 10× smaller dispatch payload (the PR's acceptance bar).
+            assert ratio >= 10.0, (
+                f"shm payload only {ratio:.1f}x smaller at {n_servers} "
+                f"jurisdictions ({flat.dispatch_payload_bytes} vs "
+                f"{shm.dispatch_payload_bytes} B)"
+            )
+    record_table("sec6d_transport", table)

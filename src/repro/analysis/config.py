@@ -73,8 +73,10 @@ class AnalysisConfig:
     #: path fragments where every handler must re-raise or degrade.
     failclosed_scope: Tuple[str, ...] = ("lbs/", "serving/")
     #: calls that count as propagating/degrading inside a handler.
+    #: ``_send_failure`` is the fleet worker's cross-process analogue of
+    #: ``Future.set_exception`` (typed error fan-out over the pipe).
     degrade_calls: FrozenSet[str] = _fs(
-        "set_exception", "record_failure", "cancel", "fire"
+        "set_exception", "record_failure", "cancel", "fire", "_send_failure"
     )
     #: constructors that count as entering the degradation ladder.
     degrade_constructors: FrozenSet[str] = _fs(
@@ -137,6 +139,17 @@ class AnalysisConfig:
     )
     #: other nondeterministic dotted calls (process-unique identity).
     nondeterministic_calls: FrozenSet[str] = _fs("uuid.uuid4", "os.urandom")
+
+    # -- resource safety (RS) ------------------------------------------------
+
+    #: path fragments where kernel-backed resource creation is audited.
+    resource_scope: Tuple[str, ...] = (
+        "trees/", "serving/", "parallel/", "lbs/"
+    )
+    #: constructors that acquire a named kernel resource needing release.
+    resource_constructors: FrozenSet[str] = _fs("SharedMemory")
+    #: attribute calls that count as releasing such a resource.
+    resource_release_calls: FrozenSet[str] = _fs("close", "unlink")
 
     # -- shared --------------------------------------------------------------
 

@@ -8,6 +8,8 @@
   (``asyncsafety.py``).
 * ``DT***`` — determinism of the bit-identical DP kernels
   (``determinism.py``).
+* ``RS***`` — lifecycle discipline for kernel-backed shared resources
+  such as ``SharedMemory`` segments (``resources.py``).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from ..engine import Rule
 from .asyncsafety import AsyncSafetyRule
 from .determinism import DeterminismRule
 from .failclosed import FailClosedRule
+from .resources import ResourceSafetyRule
 from .taint import PrivacyTaintRule
 
 __all__ = [
@@ -25,6 +28,7 @@ __all__ = [
     "FailClosedRule",
     "AsyncSafetyRule",
     "DeterminismRule",
+    "ResourceSafetyRule",
     "default_rules",
 ]
 
@@ -36,4 +40,5 @@ def default_rules() -> List[Rule]:
         FailClosedRule(),
         AsyncSafetyRule(),
         DeterminismRule(),
+        ResourceSafetyRule(),
     ]

@@ -1,0 +1,127 @@
+"""RS: lifecycle discipline for kernel-backed shared resources.
+
+``multiprocessing.shared_memory.SharedMemory`` segments are named
+kernel objects, not garbage-collected Python state: a mapping that is
+never ``close()``d pins the pages until process exit, and a created
+segment that is never ``unlink()``ed outlives the process in
+``/dev/shm`` — a cross-run leak that accumulates across fleet restarts.
+Every creation site must therefore make release *reachable on failure
+paths*, in one of three audited shapes:
+
+* the constructor is a context-manager item (``with SharedMemory(...)``);
+* the enclosing function guards with a ``try`` whose handler or
+  ``finally`` calls ``.close()``/``.unlink()`` (the publish pattern:
+  destroy the half-built segment before re-raising);
+* the creation lives inside an **owner class** that defines both
+  ``close()`` and ``unlink()`` methods (the ``SharedFlatTree`` pattern:
+  the returned instance carries the release obligation, and its
+  context-manager protocol discharges it).
+
+Findings:
+
+* ``RS001`` — a resource constructor with none of the above: the
+  segment (or its mapping) leaks on any exception between creation
+  and whatever ad-hoc cleanup was intended.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from ..config import AnalysisConfig
+from ..engine import ModuleInfo, Project, Rule
+from ..model import Finding
+
+__all__ = ["ResourceSafetyRule"]
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _contains_release(
+    stmts: Iterable[ast.stmt], config: AnalysisConfig
+) -> bool:
+    """Whether any statement calls a ``.close()``/``.unlink()``-style
+    release method (attribute call, any receiver)."""
+    for stmt in stmts:
+        for sub in ast.walk(stmt):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in config.resource_release_calls
+            ):
+                return True
+    return False
+
+
+class ResourceSafetyRule(Rule):
+    rule_id = "RS001"
+    name = "resource-safety"
+    description = (
+        "kernel-backed resources (SharedMemory) must be created with a "
+        "reachable release: with-block, try handler/finally, or an "
+        "owner class defining close()/unlink()"
+    )
+
+    def _managed(
+        self, call: ast.Call, module: ModuleInfo, config: AnalysisConfig
+    ) -> bool:
+        scope: Optional[ast.AST] = None
+        current = module.parents.get(call)
+        while current is not None:
+            if isinstance(current, ast.withitem):
+                return True  # context manager releases on every path
+            if scope is None and isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                scope = current
+            if isinstance(current, ast.ClassDef):
+                methods = {
+                    stmt.name
+                    for stmt in current.body
+                    if isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                }
+                if config.resource_release_calls <= methods:
+                    return True  # owner class carries the obligation
+            current = module.parents.get(current)
+        search: ast.AST = scope if scope is not None else module.tree
+        for node in ast.walk(search):
+            if not isinstance(node, ast.Try):
+                continue
+            if _contains_release(node.finalbody, config):
+                return True
+            if any(
+                _contains_release(handler.body, config)
+                for handler in node.handlers
+            ):
+                return True
+        return False
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        config = project.config
+        if not config.in_scope(module.relpath, config.resource_scope):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in config.resource_constructors:
+                continue
+            if self._managed(node, module, config):
+                continue
+            yield module.finding(
+                "RS001",
+                node,
+                f"{name}(...) created without a reachable release — use "
+                "a with-block, release in a try handler/finally, or hand "
+                "it to an owner class defining close()/unlink(); the "
+                "segment leaks in /dev/shm on any failure path",
+            )

@@ -8,7 +8,9 @@ Operational front door for the library:
 * ``cloak``      — look up one user's cloak in a saved policy;
 * ``experiment`` — run one of the paper's tables/figures and print it;
 * ``slo-report`` — the closed-loop SLO artifact (durability MTTR,
-  capacity sweep, DES cross-validation).
+  capacity sweep, DES cross-validation);
+* ``fleet``      — serve a synthetic workload through the sharded
+  gateway fleet and print per-worker stats.
 """
 
 from __future__ import annotations
@@ -149,6 +151,24 @@ def build_parser() -> argparse.ArgumentParser:
     slo.add_argument("--results-dir", default="bench_results")
     slo.add_argument("--seed", type=int, default=7)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="serve a synthetic workload through the sharded gateway "
+        "fleet and print per-worker stats",
+    )
+    fleet.add_argument("--users", type=int, default=400)
+    fleet.add_argument("--requests", type=int, default=400)
+    fleet.add_argument("--workers", type=int, default=2)
+    fleet.add_argument("--k", type=int, default=20)
+    fleet.add_argument(
+        "--mode",
+        choices=("process", "simulated"),
+        default="process",
+        help="real worker processes, or the share-nothing idealization",
+    )
+    fleet.add_argument("--rtt", type=float, default=0.01)
+    fleet.add_argument("--seed", type=int, default=151)
+
     return parser
 
 
@@ -276,6 +296,58 @@ def _cmd_slo_report(args) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_fleet(args) -> int:
+    from .data import uniform_users
+    from .lbs import LBSProvider, generate_pois
+    from .serving import FleetConfig, GatewayConfig, run_fleet
+
+    region = Rect(0, 0, 16384, 16384)
+    db = uniform_users(args.users, region, seed=args.seed)
+    provider = LBSProvider(
+        generate_pois(
+            region, {"rest": 120, "groc": 80, "fuel": 40}, seed=args.seed + 1
+        )
+    )
+    users = db.user_ids()
+    categories = ("rest", "groc", "fuel")
+    workload = [
+        (users[i % len(users)], [("poi", categories[i % len(categories)])])
+        for i in range(args.requests)
+    ]
+    config = FleetConfig(
+        n_workers=args.workers,
+        mode=args.mode,
+        gateway=GatewayConfig(rtt=args.rtt),
+    )
+    results, stats = run_fleet(
+        region, args.k, db, provider, workload, config
+    )
+    failed = sum(1 for r in results if isinstance(r, Exception))
+    totals = stats.totals
+    print(
+        f"fleet: {args.workers} worker(s), mode={args.mode}, "
+        f"k={args.k}, rtt={args.rtt * 1000:g}ms"
+    )
+    for i, (per, seconds, share) in enumerate(
+        zip(stats.per_worker, stats.per_worker_seconds,
+            stats.per_worker_requests)
+    ):
+        print(
+            f"  worker {i}: {share} routed, {per.served} served, "
+            f"{per.coalesced} coalesced, {per.provider_rounds} rounds, "
+            f"{seconds:.3f}s"
+        )
+    wall = stats.wall_seconds
+    rate = totals.served / wall if wall > 0 else float("inf")
+    print(
+        f"  total: {totals.served} served, {failed} failed, "
+        f"{totals.coalesced} coalesced, imbalance "
+        f"{stats.imbalance:.2f}, respawns {stats.respawns}; "
+        f"wall {wall:.3f}s ({rate:.0f} req/s)"
+    )
+    return 0 if failed == 0 else 1
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "anonymize": _cmd_anonymize,
@@ -285,6 +357,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "verify-results": _cmd_verify_results,
     "slo-report": _cmd_slo_report,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -266,6 +266,15 @@ def build_slo_report(scale: str = "default", seed: int = 7) -> Dict[str, object]
                 "measured_shed_rate": measured,
                 "relative_error": error,
                 "within_15pct": error is not None and error <= 0.15,
+                # Queue-pressure gauges, prediction vs measurement: what
+                # a fleet dispatcher would use to size per-worker queues.
+                "predicted_queue_depth_high_water": (
+                    predicted.queue_depth_high_water
+                ),
+                "measured_queue_depth_high_water": (
+                    stats.queue_depth_high_water
+                ),
+                "measured_inflight_high_water": stats.inflight_high_water,
             }
         )
 
@@ -339,6 +348,13 @@ def render_slo_report(report: Dict[str, object]) -> str:
             f"{point['predicted_shed_rate']:.1%}, measured "
             f"{point['measured_shed_rate']:.1%}, error {error_text} "
             f"({'within' if point['within_15pct'] else 'outside'} 15%)"
+        )
+        lines.append(
+            f"  queue depth high-water: predicted "
+            f"{point['predicted_queue_depth_high_water']}, measured "
+            f"{point['measured_queue_depth_high_water']} "
+            f"(inflight high-water "
+            f"{point['measured_inflight_high_water']})"
         )
         within += bool(point["within_15pct"])
     lines.append(

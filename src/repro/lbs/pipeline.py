@@ -201,6 +201,13 @@ class CSP:
         crash-consistently, and :meth:`CSP.restore` resurrects a serving
         CSP from it after a restart without re-running bulk
         anonymization.
+    policy:
+        a precomputed :class:`~repro.core.policy.CloakingPolicy` for
+        ``db`` to adopt instead of running the bulk solve — how fleet
+        workers (:mod:`repro.serving.fleet`) share one dispatcher-side
+        solve.  The DP being deterministic, the adopted policy is
+        bit-identical to what ``fit`` would have produced for the same
+        snapshot.
     """
 
     def __init__(
@@ -220,6 +227,7 @@ class CSP:
         max_stale_snapshots: int = 1,
         engine: str = "flat",
         journal: Optional[Union[PolicyJournal, QuorumJournal]] = None,
+        policy: Optional[CloakingPolicy] = None,
         _recovered: Optional[RecoveredSnapshot] = None,
     ):
         self.region = region
@@ -274,6 +282,15 @@ class CSP:
                     ),
                 )
             )
+        elif policy is not None:
+            # Adopt a precomputed policy for this exact snapshot without
+            # re-running the bulk DP — the fleet path: the dispatcher
+            # solves once (or restores) and every worker CSP adopts the
+            # same deterministic policy, so cloaks are bit-identical to
+            # a locally-fitted CSP's by construction.
+            self.anonymizer.restore(db, policy, solution=None)
+            self._snapshot_index = 0
+            self._journal_commit()
         else:
             self.anonymizer.fit(db)
             self._snapshot_index = 0

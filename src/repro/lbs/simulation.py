@@ -523,6 +523,10 @@ class GatewaySimulationReport:
     coalesced: int = 0
     provider_queries: int = 0
     provider_rounds: int = 0
+    #: predicted high-water mark of queued-but-unfinished requests —
+    #: mirrors ``GatewayStats.queue_depth_high_water`` so capacity plans
+    #: can size per-worker queues before a fleet exists.
+    queue_depth_high_water: int = 0
     latencies: List[float] = field(repr=False, default_factory=list)
 
     @property
@@ -565,6 +569,7 @@ class GatewaySimulationReport:
             f"provider: {self.provider_rounds} rounds carrying "
             f"{self.provider_queries} queries, {self.cache_hits} cache "
             f"hits, {self.coalesced} coalesced",
+            f"queue depth high-water {self.queue_depth_high_water}",
         ]
         causes = ", ".join(
             f"{cause}={count}"
@@ -788,6 +793,8 @@ class GatewaySimulation:
                     continue
                 buckets[user] = (tokens - 1.0, now)
             pending += 1
+            if pending > report.queue_depth_high_water:
+                report.queue_depth_high_water = pending
             key = (self.policy.cloak_for(user), category)
             base = times.cloak_lookup
             if self.use_cache:

@@ -39,12 +39,14 @@ re-solves of lost work are charged to ``ParallelResult.recovery_seconds``
 
 from __future__ import annotations
 
+import pickle
 import time
+from contextlib import contextmanager
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.binary_dp import solve
 from ..core.errors import JurisdictionSolveError, ReproError
@@ -57,7 +59,7 @@ from ..robustness.degrade import fallback_jurisdiction_policy
 from ..robustness.faults import FaultInjector, InjectedFault, InjectedTimeout
 from ..robustness.retry import RetryPolicy
 from ..trees.binarytree import BinaryTree
-from ..trees.flat import FlatTree
+from ..trees.flat import FlatTree, SharedFlatTree, SharedTreeHandle
 from ..trees.partition import Jurisdiction, greedy_partition, load_imbalance
 from .dynamic import assign_adopters, handoff_shards
 from .master import MasterPolicy, ServerPolicy
@@ -102,6 +104,10 @@ class ParallelResult:
     #: (dead jurisdiction, shard, adopter) per hand-off shard; the
     #: adopter is ``-1`` when no survivor could take the shard.
     handoffs: Tuple[Tuple[int, int, int], ...] = ()
+    #: bytes of per-jurisdiction payload the chosen transport would put
+    #: on the wire (pickled task payloads) — the cost ``transport='shm'``
+    #: collapses to a per-jurisdiction handle.
+    dispatch_payload_bytes: int = 0
 
     @property
     def n_servers(self) -> int:
@@ -201,6 +207,33 @@ def _solve_jurisdiction_flat(
     return cloaks, time.perf_counter() - start
 
 
+def _solve_jurisdiction_shm(
+    handle: SharedTreeHandle, k: int, kill: bool = False
+) -> Tuple[Dict[str, Tuple[float, float, float, float]], float]:
+    """One server's work over a *published* flat subtree.
+
+    The worker receives only a :class:`SharedTreeHandle` (a few hundred
+    bytes however large the jurisdiction) and maps the master's numpy
+    blocks read-only — zero copies of the spatial structure cross the
+    process boundary.  The attachment is scoped to the solve: views are
+    dropped before ``close()`` (they dangle afterwards), and only plain
+    cloak tuples leave the function.  ``kill`` as in
+    :func:`_solve_jurisdiction`.
+    """
+    start = time.perf_counter()
+    shared = SharedFlatTree.attach(handle)
+    try:
+        flat = shared.tree
+        vecs = solve_arrays(flat, k)
+        if kill:
+            kill_current_process()
+        cloaks = extract_cloaks(flat, vecs, k)
+        del flat, vecs
+    finally:
+        shared.close()
+    return cloaks, time.perf_counter() - start
+
+
 def _policy_from_cloaks(
     jur: Jurisdiction,
     rows: Sequence[Tuple[str, float, float]],
@@ -214,10 +247,15 @@ def _policy_from_cloaks(
     )
 
 
+#: what a dispatch ships per jurisdiction: compiled arrays, a shared
+#: segment handle, or nothing (raw rows ride alongside regardless).
+TaskPayload = Union[FlatTree, SharedTreeHandle, None]
+
+
 def _attempt_simulated(
     jur: Jurisdiction,
     rows,
-    payload: Optional[FlatTree],
+    payload: TaskPayload,
     k: int,
     max_depth: int,
     attempt: int,
@@ -240,7 +278,9 @@ def _attempt_simulated(
             kind=kind,
         ) from exc
     try:
-        if payload is not None:
+        if isinstance(payload, SharedTreeHandle):
+            cloaks, elapsed = _solve_jurisdiction_shm(payload, k)
+        elif payload is not None:
             cloaks, elapsed = _solve_jurisdiction_flat(payload, k)
         else:
             cloaks, elapsed = _solve_jurisdiction(
@@ -275,11 +315,21 @@ class _ProcessPool:
     pool swapped in mid-run by :meth:`rebuild` (a plain
     ``with ProcessPoolExecutor()`` would keep shutting down the original
     object after a rebuild, leaking the replacement).
+
+    The configured worker count is remembered so quarantine-era
+    rebuilds replace a broken pool with one of the *same* size — a bare
+    ``ProcessPoolExecutor()`` would silently fall back to the cpu-count
+    default mid-run.
     """
 
-    def __init__(self, enabled: bool):
+    def __init__(self, enabled: bool, max_workers: Optional[int] = None):
         self.pool: Optional[ProcessPoolExecutor] = (
-            ProcessPoolExecutor() if enabled else None
+            ProcessPoolExecutor(max_workers=max_workers) if enabled else None
+        )
+        #: resolved size every rebuild reuses (the executor's own
+        #: resolution of ``None`` → cpu count, pinned at construction).
+        self.max_workers: Optional[int] = (
+            self.pool._max_workers if self.pool is not None else max_workers
         )
 
     def __enter__(self) -> "_ProcessPool":
@@ -290,17 +340,31 @@ class _ProcessPool:
         return False
 
     def rebuild(self) -> float:
-        """Replace a broken pool with a fresh one; returns seconds spent."""
+        """Replace a broken pool with a fresh, same-sized one; returns
+        seconds spent."""
         start = time.perf_counter()
         if self.pool is not None:
             self.pool.shutdown(wait=False, cancel_futures=True)
-        self.pool = ProcessPoolExecutor()
+        self.pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return time.perf_counter() - start
 
     def close(self) -> None:
         if self.pool is not None:
             self.pool.shutdown(wait=False, cancel_futures=True)
             self.pool = None
+
+
+@contextmanager
+def _owned_segments(published: List[SharedFlatTree]):
+    """Owner-side lifecycle guard: every segment published for a bulk
+    run is unlinked on *every* exit path — a raised solve error must not
+    leak ``/dev/shm`` entries."""
+    try:
+        yield published
+    finally:
+        for shared in published:
+            shared.unlink()
+            shared.close()
 
 
 def parallel_bulk_anonymize(
@@ -317,6 +381,7 @@ def parallel_bulk_anonymize(
     on_failure: str = "raise",
     transport: str = "flat",
     kill_plan: Optional[KillPlan] = None,
+    pool_workers: Optional[int] = None,
 ) -> ParallelResult:
     """Distribute bulk anonymization of ``db`` over ``n_servers``.
 
@@ -334,11 +399,20 @@ def parallel_bulk_anonymize(
     geometry attached) and ships those; workers run the level-batched DP
     and standalone extraction directly on the arrays.  Compilation is
     master-side prep and is charged to ``partition_seconds``, like the
-    partitioning itself.  With ``'rows'`` each server receives raw
-    ``(uid, x, y)`` rows and rebuilds its own tree over its territory,
-    as in the paper — the reference behaviour, and the fallback for
-    callers that hand in a ``partition_tree`` from a *different*
-    snapshot than ``db``.
+    partitioning itself.  With ``'shm'`` the compiled arrays are instead
+    *published once* into :class:`~repro.trees.flat.SharedFlatTree`
+    segments and workers receive only the few-hundred-byte handles,
+    mapping the master's blocks read-only — zero per-dispatch copies;
+    segments are owner-unlinked on every exit path, and
+    ``ParallelResult.dispatch_payload_bytes`` records what each
+    transport actually puts on the wire.  With ``'rows'`` each server
+    receives raw ``(uid, x, y)`` rows and rebuilds its own tree over its
+    territory, as in the paper — the reference behaviour, and the
+    fallback for callers that hand in a ``partition_tree`` from a
+    *different* snapshot than ``db``.
+
+    ``pool_workers`` pins the process-pool size (``mode='process'``
+    only); rebuilds after a worker death reuse the resolved size.
 
     Robustness knobs (all off by default — the happy path is unchanged):
 
@@ -371,7 +445,7 @@ def parallel_bulk_anonymize(
         raise ReproError(f"unknown execution mode {mode!r}")
     if on_failure not in ("raise", "degrade", "handoff"):
         raise ReproError(f"unknown on_failure mode {on_failure!r}")
-    if transport not in ("flat", "rows"):
+    if transport not in ("flat", "shm", "rows"):
         raise ReproError(f"unknown transport {transport!r}")
     if kill_plan is not None and mode != "process":
         raise ReproError(
@@ -399,15 +473,34 @@ def parallel_bulk_anonymize(
             (uid, db.location_of(uid).x, db.location_of(uid).y)
             for uid in users
         ]
-        payload = None
-        if transport == "flat" and rows:
+        payload: TaskPayload = None
+        if transport in ("flat", "shm") and rows:
             payload = FlatTree.compile(
                 partition_tree,
                 root=partition_tree.nodes[jur.node_id],
                 with_payload=True,
             )
         tasks.append((jur, rows, payload))
+    published: List[SharedFlatTree] = []
+    if transport == "shm":
+        try:
+            for i, (jur, rows, payload) in enumerate(tasks):
+                if isinstance(payload, FlatTree):
+                    shared = SharedFlatTree.publish(payload)
+                    published.append(shared)
+                    tasks[i] = (jur, rows, shared.handle)
+        except BaseException:
+            for shared in published:
+                shared.unlink()
+                shared.close()
+            raise
     partition_seconds = time.perf_counter() - t0
+    # What this transport would put on the wire per dispatch (measured
+    # outside the timed sections: it is bookkeeping, not solve work).
+    dispatch_payload_bytes = sum(
+        len(pickle.dumps(payload if payload is not None else rows))
+        for __, rows, payload in tasks
+    )
 
     max_attempts = retry_policy.max_attempts if retry_policy else 1
     policies: Dict[int, Optional[CloakingPolicy]] = {}
@@ -428,11 +521,13 @@ def parallel_bulk_anonymize(
         else:
             policies[jur.node_id] = None
 
-    with _ProcessPool(mode == "process") as pool:
+    with _owned_segments(published), _ProcessPool(
+        mode == "process", max_workers=pool_workers
+    ) as pool:
         round_no = 0
         isolate_round = False
         while pending and round_no < max_attempts:
-            still_failing: List[Tuple[Jurisdiction, list, Optional[FlatTree]]] = []
+            still_failing: List[Tuple[Jurisdiction, list, TaskPayload]] = []
             last_errors: Dict[int, JurisdictionSolveError] = {}
             if mode == "process":
                 outcomes, breaks, rebuild_seconds = _process_round(
@@ -636,6 +731,7 @@ def parallel_bulk_anonymize(
         recoveries=recoveries,
         recovery_seconds=recovery_seconds,
         handoffs=tuple(handoffs),
+        dispatch_payload_bytes=dispatch_payload_bytes,
     )
 
 
@@ -654,7 +750,7 @@ def _crash_error(
 
 def _process_round(
     pool: _ProcessPool,
-    pending: Sequence[Tuple[Jurisdiction, list, Optional[FlatTree]]],
+    pending: Sequence[Tuple[Jurisdiction, list, TaskPayload]],
     k: int,
     max_depth: int,
     attempt: int,
@@ -690,6 +786,8 @@ def _process_round(
     rebuild_seconds = 0.0
 
     def submit(jur, rows, payload, kill):
+        if isinstance(payload, SharedTreeHandle):
+            return pool.pool.submit(_solve_jurisdiction_shm, payload, k, kill)
         if payload is not None:
             return pool.pool.submit(_solve_jurisdiction_flat, payload, k, kill)
         return pool.pool.submit(

@@ -5,6 +5,14 @@ pooled non-blocking LBS provider client in front of the synchronous CSP
 from .admission import AdmissionConfig, AdmissionController
 from .aio_provider import AsyncProviderClient, ClientStats, PooledConnection
 from .batcher import BatcherStats, CoalescingBatcher
+from .fleet import (
+    FleetConfig,
+    FleetDispatcher,
+    FleetStats,
+    HashRing,
+    merge_gateway_stats,
+    run_fleet,
+)
 from .gateway import (
     AsyncGateway,
     GatewayConfig,
@@ -22,10 +30,15 @@ __all__ = [
     "BatcherStats",
     "ClientStats",
     "CoalescingBatcher",
+    "FleetConfig",
+    "FleetDispatcher",
+    "FleetStats",
     "GatewayConfig",
     "GatewayStats",
+    "HashRing",
     "PooledConnection",
-    "run_gateway",
+    "merge_gateway_stats",
+    "run_fleet",
     "run_gateway_scheduled",
     "serve_scheduled",
 ]

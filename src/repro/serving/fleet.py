@@ -1,0 +1,896 @@
+"""Sharded gateway fleet: multi-core serving over one shared FlatTree.
+
+The asyncio gateway (:mod:`repro.serving.gateway`) is a single event
+loop pinned to one core.  This module runs **N gateway worker
+processes** behind a :class:`FleetDispatcher` that consistent-hashes
+every submission by the user's *cloak* — the same key the coalescing
+batcher windows on — so identical (cloak, payload) requests always land
+on the same worker and keep collapsing into shared provider rounds.
+The dispatch invariant:
+
+    **one cloak key → one worker** — sharding never splits a
+    coalescing opportunity across processes, so fleet amortization
+    (queries/request) matches the single-gateway batcher's.
+
+The compiled spatial structure crosses the process boundary exactly
+once: the dispatcher publishes the payload-carrying
+:class:`~repro.trees.flat.FlatTree` into a
+:class:`~repro.trees.flat.SharedFlatTree` segment, and every worker maps
+the numpy blocks read-only (zero copies, zero pickling) and re-derives
+the policy with the deterministic level-batched DP — bit-identical to
+the dispatcher's own, so every worker serves the *same* cloaks as the
+single-process sync oracle.
+
+Worker lifecycle rides the PR-3 quarantine idiom: per-worker SPSC
+message queues over :func:`multiprocessing.Pipe`, graceful drain at
+close, and dead-worker detection (EOF / poll-timeout on the pipe) with
+in-place respawn — the replacement worker re-adopts the shared segment
+and re-serves exactly the submissions its predecessor left unanswered.
+A slot that exhausts its respawn budget fails its in-flight submissions
+**closed** (:class:`~repro.core.errors.ServiceUnavailableError`,
+``reason="worker-lost"``) and leaves the ring — never a weaker cloak,
+never a silent drop.
+
+Execution modes mirror :mod:`repro.parallel.engine`:
+
+* ``mode="process"`` — real worker processes, end-to-end plumbing;
+* ``mode="simulated"`` — the share-nothing idealization: each worker's
+  share runs sequentially through :func:`~repro.serving.gateway
+  .run_gateway` (attaching the published segment in-process) and is
+  timed individually, so ``FleetStats.wall_seconds`` is the slowest
+  worker — the same accounting ``ParallelResult`` uses for jurisdiction
+  servers, and the right model on hosts with fewer cores than workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import Pipe, Process
+from multiprocessing.connection import Connection
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core import errors as _errors
+from ..core.errors import ReproError, ServiceUnavailableError
+from ..core.flat_dp import extract_cloaks, solve_arrays
+from ..core.geometry import Rect
+from ..core.locationdb import LocationDatabase
+from ..core.policy import CloakingPolicy
+from ..robustness.chaos import kill_current_process
+from ..trees.binarytree import BinaryTree
+from ..trees.flat import FlatTree, SharedFlatTree, SharedTreeHandle
+from .gateway import AsyncGateway, GatewayConfig, GatewayStats, run_gateway
+
+__all__ = [
+    "FleetConfig",
+    "FleetDispatcher",
+    "FleetStats",
+    "HashRing",
+    "merge_gateway_stats",
+    "run_fleet",
+]
+
+
+class HashRing:
+    """Consistent-hash ring: cloak keys → worker indices.
+
+    ``replicas`` virtual nodes per worker keep shares balanced; when a
+    worker joins or leaves, only the keys in its arcs move (~1/N of the
+    keyspace), so a respawned fleet keeps almost every cloak's coalescing
+    history on its original worker.
+    """
+
+    def __init__(self, workers: Sequence[int], replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ReproError("hash ring needs at least 1 replica per worker")
+        self.replicas = replicas
+        self._points: List[Tuple[int, int]] = []
+        self._workers: Set[int] = set()
+        for worker in workers:
+            self.add(int(worker))
+
+    @staticmethod
+    def _hash(data: bytes) -> int:
+        return int.from_bytes(
+            hashlib.blake2b(data, digest_size=8).digest(), "big"
+        )
+
+    @property
+    def workers(self) -> FrozenSet[int]:
+        return frozenset(self._workers)
+
+    def add(self, worker: int) -> None:
+        if worker in self._workers:
+            return
+        self._workers.add(worker)
+        for replica in range(self.replicas):
+            point = self._hash(f"worker:{worker}:{replica}".encode("utf-8"))
+            self._points.append((point, worker))
+        self._points.sort()
+
+    def remove(self, worker: int) -> None:
+        if worker not in self._workers:
+            return
+        self._workers.discard(worker)
+        self._points = [(h, w) for h, w in self._points if w != worker]
+
+    def worker_for(self, key: bytes) -> int:
+        """The worker owning ``key``: first ring point clockwise of its
+        hash (wrapping past the top)."""
+        for worker in self.candidates(key):
+            return worker
+        raise ReproError("hash ring has no workers left")
+
+    def candidates(self, key: bytes) -> Iterator[int]:
+        """All workers in clockwise preference order from ``key``'s
+        point (deduplicated) — the probe sequence bounded-load
+        assignment walks when the first choice is saturated."""
+        if not self._points:
+            raise ReproError("hash ring has no workers left")
+        h = self._hash(key)
+        start = bisect.bisect_left(self._points, (h, -1))
+        n = len(self._points)
+        seen: Set[int] = set()
+        for i in range(n):
+            worker = self._points[(start + i) % n][1]
+            if worker not in seen:
+                seen.add(worker)
+                yield worker
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Topology and lifecycle knobs of one gateway fleet."""
+
+    #: gateway worker processes (shards of the cloak keyspace).
+    n_workers: int = 2
+    #: ``"process"`` (real workers) or ``"simulated"`` (share-nothing
+    #: idealization — per-worker shares timed sequentially).
+    mode: str = "process"
+    #: per-worker gateway knobs (admission, batching, pool, RTT).
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
+    #: virtual nodes per worker on the consistent-hash ring.
+    ring_replicas: int = 64
+    #: times a dead worker slot is respawned before its in-flight
+    #: submissions fail closed and the slot leaves the ring.
+    max_respawns: int = 2
+    #: seconds of pipe silence (with work outstanding) before a worker
+    #: is declared dead; also bounds drain and result waits.
+    worker_timeout: float = 60.0
+    #: chaos hook: worker index → SIGKILL itself after receiving this
+    #: many submissions.  Respawned workers are *not* re-armed.
+    kill_after: Optional[Mapping[int, int]] = None
+
+    def validate(self) -> None:
+        if self.n_workers < 1:
+            raise ReproError("fleet needs at least 1 worker")
+        if self.mode not in ("process", "simulated"):
+            raise ReproError(f"unknown fleet mode {self.mode!r}")
+        if self.worker_timeout <= 0:
+            raise ReproError("worker_timeout must be > 0")
+        if self.max_respawns < 0:
+            raise ReproError("max_respawns must be ≥ 0")
+        self.gateway.validate()
+
+
+def merge_gateway_stats(a: GatewayStats, b: GatewayStats) -> GatewayStats:
+    """Fold two gateway counters: sums for counts, max for gauges."""
+    return GatewayStats(
+        submitted=a.submitted + b.submitted,
+        served=a.served + b.served,
+        shed=a.shed + b.shed,
+        shed_high_water=a.shed_high_water + b.shed_high_water,
+        shed_adaptive=a.shed_adaptive + b.shed_adaptive,
+        shed_breaker=a.shed_breaker + b.shed_breaker,
+        throttled=a.throttled + b.throttled,
+        errors=a.errors + b.errors,
+        cancelled=a.cancelled + b.cancelled,
+        cache_hits=a.cache_hits + b.cache_hits,
+        coalesced=a.coalesced + b.coalesced,
+        provider_queries=a.provider_queries + b.provider_queries,
+        provider_rounds=a.provider_rounds + b.provider_rounds,
+        queue_depth_high_water=max(
+            a.queue_depth_high_water, b.queue_depth_high_water
+        ),
+        inflight_high_water=max(a.inflight_high_water, b.inflight_high_water),
+    )
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Aggregated serving outcome of one fleet run."""
+
+    n_workers: int
+    mode: str
+    #: per-slot gateway counters, in worker-index order (summed across a
+    #: slot's incarnations where a respawn re-served lost submissions).
+    per_worker: Tuple[GatewayStats, ...]
+    #: per-slot serve wall time (first submission → drain complete).
+    per_worker_seconds: Tuple[float, ...]
+    #: per-slot routed submissions (ring share actually observed).
+    per_worker_requests: Tuple[int, ...]
+    #: dead-worker respawns performed by the dispatcher.
+    respawns: int = 0
+    #: slots that exhausted the respawn budget and left the ring.
+    lost_workers: int = 0
+    #: dispatcher-side wall clock across all serve() calls.
+    dispatch_wall_seconds: float = 0.0
+
+    @property
+    def wall_seconds(self) -> float:
+        """Share-nothing idealized wall clock: the slowest worker — the
+        same accounting :class:`~repro.parallel.engine.ParallelResult`
+        uses for jurisdiction servers."""
+        return max(self.per_worker_seconds, default=0.0)
+
+    @property
+    def totals(self) -> GatewayStats:
+        out = GatewayStats()
+        for stats in self.per_worker:
+            out = merge_gateway_stats(out, stats)
+        return out
+
+    @property
+    def shed_by_cause(self) -> Dict[str, int]:
+        return self.totals.shed_by_cause
+
+    @property
+    def imbalance(self) -> float:
+        """Max over mean routed share — 1.0 is a perfectly even ring."""
+        shares = [r for r in self.per_worker_requests]
+        if not shares or sum(shares) == 0:
+            return 1.0
+        return max(shares) / (sum(shares) / len(shares))
+
+
+# -- worker side -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FleetSpec:
+    """Everything a worker needs to rebuild its CSP, in picklable terms.
+
+    The spatial structure itself is *not* here — only the
+    :class:`SharedTreeHandle` naming the published segment.
+    """
+
+    region: Tuple[float, float, float, float]
+    k: int
+    rows: Tuple[Tuple[str, float, float], ...]
+    provider: Any
+    handle: SharedTreeHandle
+    use_cache: bool
+    max_depth: int
+
+
+def _build_worker_csp(spec: _FleetSpec) -> Any:
+    """Attach the published tree and derive this worker's CSP.
+
+    The DP is deterministic, so solving over the mapped (read-only)
+    arrays yields exactly the policy the dispatcher extracted — every
+    worker adopts bit-identical cloaks without a single array crossing
+    the pipe.  Views are dropped before the segment is closed.
+    """
+    from ..lbs.pipeline import CSP
+
+    shared = SharedFlatTree.attach(spec.handle)
+    try:
+        flat = shared.tree
+        vecs = solve_arrays(flat, spec.k)
+        cloaks = extract_cloaks(flat, vecs, spec.k)
+        del flat, vecs
+    finally:
+        shared.close()
+    db = LocationDatabase(list(spec.rows))
+    policy = CloakingPolicy(
+        {uid: Rect(*tup) for uid, tup in cloaks.items()},
+        db,
+        name="fleet-worker",
+    )
+    return CSP(
+        Rect(*spec.region),
+        spec.k,
+        db,
+        spec.provider,
+        spec.use_cache,
+        spec.max_depth,
+        policy=policy,
+    )
+
+
+def _encode_error(exc: BaseException) -> Tuple[str, str, Optional[str]]:
+    """Typed errors cross the pipe as (class name, message, reason) —
+    exception instances with keyword-only constructors do not survive
+    pickling round trips."""
+    return (type(exc).__name__, str(exc), getattr(exc, "reason", None))
+
+
+def _decode_error(encoded: Tuple[str, str, Optional[str]]) -> ReproError:
+    name, message, reason = encoded
+    cls = getattr(_errors, name, None)
+    if cls is ServiceUnavailableError:
+        return ServiceUnavailableError(message, reason=reason or "worker")
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(message)
+        except TypeError:
+            # Constructor wants more than a message: degrade to the
+            # generic typed rejection rather than lose the failure.
+            return ServiceUnavailableError(
+                message, reason=reason or "worker"
+            )
+    return ServiceUnavailableError(message, reason=reason or "worker")
+
+
+def _send_failure(conn: Connection, seq: int, exc: BaseException) -> None:
+    """Propagate a typed failure to the dispatcher's waiter — the
+    cross-process analogue of ``Future.set_exception``."""
+    with contextlib.suppress(BrokenPipeError, OSError):
+        conn.send(("res", seq, None, _encode_error(exc)))
+
+
+async def _serve_one(
+    gateway: AsyncGateway, conn: Connection, seq: int, user_id: str, payload: Any
+) -> None:
+    try:
+        served = await gateway.submit(user_id, payload)
+    except asyncio.CancelledError:
+        raise
+    except ReproError as exc:
+        _send_failure(conn, seq, exc)
+        return
+    except Exception as exc:
+        _send_failure(
+            conn,
+            seq,
+            ServiceUnavailableError(
+                f"gateway worker failed unexpectedly: {exc}", reason="worker"
+            ),
+        )
+        return
+    with contextlib.suppress(BrokenPipeError, OSError):
+        conn.send(("res", seq, served, None))
+
+
+async def _worker_serve(
+    csp: Any,
+    config: GatewayConfig,
+    conn: Connection,
+    kill_after: Optional[int],
+) -> None:
+    """One worker's event loop: pipe submissions → the unchanged
+    :class:`AsyncGateway` → pipe results, then stats at drain."""
+    gateway = AsyncGateway(csp, config)
+    loop = asyncio.get_running_loop()
+    tasks: Set["asyncio.Task[None]"] = set()
+    received = 0
+    started = time.perf_counter()
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            msg = await loop.run_in_executor(None, conn.recv)
+        # The dispatcher hung up: no waiter is left to answer, so
+        # draining and exiting IS the degradation.  # analysis: ok[FC002]
+        except (EOFError, OSError):
+            break
+        if msg[0] == "drain":
+            break
+        __, seq, user_id, payload = msg
+        received += 1
+        if kill_after is not None and received >= kill_after:
+            # Chaos hook: die *before* answering, so this submission is
+            # exactly what the dispatcher must recover.
+            kill_current_process()
+        task = asyncio.ensure_future(
+            _serve_one(gateway, conn, seq, user_id, payload)
+        )
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    await gateway.close()
+    serve_seconds = time.perf_counter() - started
+    with contextlib.suppress(BrokenPipeError, OSError):
+        conn.send(("stats", gateway.stats, serve_seconds))
+    conn.close()
+
+
+def _fleet_worker_main(
+    spec: _FleetSpec,
+    config: GatewayConfig,
+    conn: Connection,
+    kill_after: Optional[int],
+) -> None:
+    csp = _build_worker_csp(spec)
+    asyncio.run(_worker_serve(csp, config, conn, kill_after))
+
+
+# -- dispatcher side ---------------------------------------------------------
+
+
+class _WorkerSlot:
+    """One ring position: its process, pipe, and in-flight ledger."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.conn: Optional[Connection] = None
+        self.process: Optional[Process] = None
+        self.reader: Optional[threading.Thread] = None
+        #: guards conn swaps and the outstanding ledger (sender thread
+        #: vs. the slot's reader thread performing a respawn).
+        self.lock = threading.Lock()
+        #: seq → (user_id, payload) sent but not yet answered; exactly
+        #: what a respawned worker must re-serve.
+        self.outstanding: Dict[int, Tuple[str, Any]] = {}
+        self.requests = 0
+        self.respawns = 0
+        self.draining = False
+        self.lost = False
+        self.stats = GatewayStats()
+        self.serve_seconds = 0.0
+
+
+class FleetDispatcher:
+    """Consistent-hash front of N gateway workers over one shared tree.
+
+    Construction publishes the compiled FlatTree (the dispatcher is the
+    segment owner and unlinks it in :meth:`close` on every path) and
+    solves the policy once for routing.  :meth:`serve` routes a workload
+    by cloak key and blocks until every submission has a result — a
+    :class:`~repro.lbs.pipeline.ServedRequest` or the typed error that
+    rejected it, aligned with the input.  :meth:`close` drains workers
+    gracefully and returns the aggregated :class:`FleetStats`.
+    """
+
+    def __init__(
+        self,
+        region: Rect,
+        k: int,
+        db: LocationDatabase,
+        provider: Any,
+        config: Optional[FleetConfig] = None,
+        *,
+        use_cache: bool = True,
+        max_depth: int = 40,
+    ) -> None:
+        self.config = config or FleetConfig()
+        self.config.validate()
+        self.region = region
+        self.k = k
+        self.db = db
+        tree = BinaryTree.build(region, db, k, max_depth=max_depth)
+        flat = FlatTree.compile(tree, with_payload=True)
+        #: uid → cloak tuple, the routing key table (and the oracle the
+        #: workers independently re-derive from the shared arrays).
+        self._cloaks = extract_cloaks(flat, solve_arrays(flat, k), k)
+        self.shared = SharedFlatTree.publish(flat)
+        try:
+            rows = tuple(
+                (uid, db.location_of(uid).x, db.location_of(uid).y)
+                for uid in db.user_ids()
+            )
+            self._spec = _FleetSpec(
+                region=region.as_tuple(),
+                k=k,
+                rows=rows,
+                provider=provider,
+                handle=self.shared.handle,
+                use_cache=use_cache,
+                max_depth=max_depth,
+            )
+            self.ring = HashRing(
+                range(self.config.n_workers),
+                replicas=self.config.ring_replicas,
+            )
+            self._ring_lock = threading.Lock()
+            self._slots = [
+                _WorkerSlot(i) for i in range(self.config.n_workers)
+            ]
+            self._routing = self._build_routing()
+        except BaseException:
+            self.shared.unlink()
+            self.shared.close()
+            raise
+        self._seq = 0
+        self._results: Dict[int, object] = {}
+        self._cv = threading.Condition()
+        self._respawn_total = 0
+        self._dispatch_wall = 0.0
+        self._started = False
+        self._closed = False
+        self._final_stats: Optional[FleetStats] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "FleetDispatcher":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+    def start(self) -> None:
+        """Spawn the worker processes (no-op in simulated mode)."""
+        if self._started:
+            return
+        self._started = True
+        if self.config.mode != "process":
+            return
+        kill_plan = self.config.kill_after or {}
+        for slot in self._slots:
+            conn, proc = self._launch(kill_plan.get(slot.index))
+            slot.conn = conn
+            slot.process = proc
+            slot.reader = threading.Thread(
+                target=self._read_loop,
+                args=(slot,),
+                name=f"fleet-reader-{slot.index}",
+                daemon=True,
+            )
+            slot.reader.start()
+
+    def _launch(
+        self, kill_after: Optional[int]
+    ) -> Tuple[Connection, Process]:
+        parent, child = Pipe()
+        proc = Process(
+            target=_fleet_worker_main,
+            args=(self._spec, self.config.gateway, child, kill_after),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        return parent, proc
+
+    def close(self) -> FleetStats:
+        """Drain every worker, join, unlink the segment, aggregate."""
+        if self._final_stats is not None:
+            return self._final_stats
+        self._closed = True
+        try:
+            if self.config.mode == "process" and self._started:
+                budget = self.config.worker_timeout * (
+                    self.config.max_respawns + 2
+                )
+                for slot in self._slots:
+                    if slot.lost:
+                        continue
+                    with slot.lock:
+                        slot.draining = True
+                        if slot.conn is not None:
+                            with contextlib.suppress(BrokenPipeError, OSError):
+                                slot.conn.send(("drain",))
+                for slot in self._slots:
+                    if slot.reader is not None:
+                        slot.reader.join(timeout=budget)
+                    if slot.process is not None:
+                        slot.process.join(timeout=5.0)
+                        if slot.process.is_alive():
+                            slot.process.terminate()
+                            slot.process.join(timeout=5.0)
+                    if slot.conn is not None:
+                        slot.conn.close()
+        finally:
+            self.shared.unlink()
+            self.shared.close()
+        self._final_stats = FleetStats(
+            n_workers=self.config.n_workers,
+            mode=self.config.mode,
+            per_worker=tuple(slot.stats for slot in self._slots),
+            per_worker_seconds=tuple(
+                slot.serve_seconds for slot in self._slots
+            ),
+            per_worker_requests=tuple(slot.requests for slot in self._slots),
+            respawns=self._respawn_total,
+            lost_workers=sum(1 for slot in self._slots if slot.lost),
+            dispatch_wall_seconds=self._dispatch_wall,
+        )
+        return self._final_stats
+
+    # -- routing -------------------------------------------------------------
+
+    def _build_routing(self) -> Dict[str, int]:
+        """Assign every cloak key to a worker: consistent hashing with
+        bounded loads.
+
+        Each distinct cloak hashes onto the ring and walks clockwise to
+        the first worker whose accumulated share (weighted by the
+        cloak's user count) stays under ~1.05× the even split (or one
+        whole cloak group, whichever is larger — groups are
+        indivisible).  The
+        spill is deterministic — keys are visited in sorted order — and
+        all users of one cloak land together, so the dispatch invariant
+        (one cloak key → one worker) survives the rebalancing.  Plain
+        first-choice hashing is badly lumpy here: a k-anonymous policy
+        has only ≈ n/k distinct cloaks, far too few for the law of
+        large numbers to even shares out.
+        """
+        groups: Dict[Tuple[float, ...], List[str]] = {}
+        for uid, cloak in self._cloaks.items():
+            groups.setdefault(cloak, []).append(uid)
+        with self._ring_lock:
+            workers = sorted(self.ring.workers)
+            if not workers:
+                raise ReproError("no live workers left to route to")
+            total = len(self._cloaks)
+            heaviest = max((len(v) for v in groups.values()), default=0)
+            cap = max(-(-total * 105 // (100 * len(workers))), heaviest)
+            load = {w: 0 for w in workers}
+            table: Dict[str, int] = {}
+            for cloak in sorted(groups):
+                uids = groups[cloak]
+                chosen: Optional[int] = None
+                for cand in self.ring.candidates(
+                    repr(cloak).encode("utf-8")
+                ):
+                    if load[cand] + len(uids) <= cap:
+                        chosen = cand
+                        break
+                if chosen is None:
+                    chosen = min(workers, key=lambda w: (load[w], w))
+                load[chosen] += len(uids)
+                for uid in uids:
+                    table[uid] = chosen
+            return table
+
+    def route(self, user_id: str) -> int:
+        """The worker index owning ``user_id``'s cloak key.
+
+        Unknown users route by their id — the owning worker's gateway
+        raises the proper typed error through the normal path.
+        """
+        widx = self._routing.get(user_id)
+        if widx is None:
+            with self._ring_lock:
+                return self.ring.worker_for(
+                    f"user:{user_id}".encode("utf-8")
+                )
+        if self._slots[widx].lost:
+            # The owner left the ring (respawn budget exhausted):
+            # rebuild the table over the surviving workers.
+            self._routing = self._build_routing()
+            widx = self._routing[user_id]
+        return widx
+
+    # -- serving -------------------------------------------------------------
+
+    def serve(
+        self, workload: Sequence[Tuple[str, Any]]
+    ) -> List[object]:
+        """Serve one workload; results align with the input order."""
+        if self._closed:
+            raise ReproError("fleet dispatcher is closed")
+        if not self._started:
+            self.start()
+        started = time.perf_counter()
+        try:
+            if self.config.mode == "simulated":
+                return self._serve_simulated(workload)
+            return self._serve_process(workload)
+        finally:
+            self._dispatch_wall += time.perf_counter() - started
+
+    def _serve_process(
+        self, workload: Sequence[Tuple[str, Any]]
+    ) -> List[object]:
+        seqs: List[int] = []
+        for user_id, payload in workload:
+            seq = self._seq
+            self._seq += 1
+            seqs.append(seq)
+            slot = self._slots[self.route(user_id)]
+            if slot.lost or slot.conn is None:
+                # Routed to a slot in the act of leaving the ring (its
+                # removal races this send): fail closed, never drop.
+                with self._cv:
+                    self._results[seq] = ServiceUnavailableError(
+                        f"gateway worker {slot.index} is lost; "
+                        "submission rejected fail-closed",
+                        reason="worker-lost",
+                    )
+                    self._cv.notify_all()
+                continue
+            with slot.lock:
+                slot.outstanding[seq] = (user_id, payload)
+                slot.requests += 1
+                with contextlib.suppress(BrokenPipeError, OSError):
+                    # A broken pipe here means the reader thread is
+                    # about to observe the death and re-send the
+                    # outstanding ledger to the respawned worker.
+                    slot.conn.send(("req", seq, user_id, payload))
+        deadline = time.monotonic() + self.config.worker_timeout * (
+            self.config.max_respawns + 2
+        )
+        with self._cv:
+            while any(seq not in self._results for seq in seqs):
+                if not self._cv.wait(timeout=1.0) and (
+                    time.monotonic() > deadline
+                ):
+                    raise ReproError(
+                        "fleet serve timed out waiting for worker results"
+                    )
+            return [self._results.pop(seq) for seq in seqs]
+
+    def _serve_simulated(
+        self, workload: Sequence[Tuple[str, Any]]
+    ) -> List[object]:
+        shares: Dict[int, List[Tuple[int, str, Any]]] = {}
+        for i, (user_id, payload) in enumerate(workload):
+            shares.setdefault(self.route(user_id), []).append(
+                (i, user_id, payload)
+            )
+        results: List[object] = [None] * len(workload)
+        for index in sorted(shares):
+            share = shares[index]
+            slot = self._slots[index]
+            # Worker startup (attach + deterministic policy derivation)
+            # is charged separately from serving, like partition_seconds
+            # in the parallel engine.
+            csp = _build_worker_csp(self._spec)
+            started = time.perf_counter()
+            share_results, stats = run_gateway(
+                csp,
+                [(user_id, payload) for __, user_id, payload in share],
+                self.config.gateway,
+            )
+            slot.serve_seconds += time.perf_counter() - started
+            slot.requests += len(share)
+            slot.stats = merge_gateway_stats(slot.stats, stats)
+            for (i, __, ___), result in zip(share, share_results):
+                results[i] = result
+        return results
+
+    # -- worker death handling ----------------------------------------------
+
+    def _read_loop(self, slot: _WorkerSlot) -> None:
+        """Drain one slot's pipe: results, then stats; respawn on death."""
+        while True:
+            conn = slot.conn
+            assert conn is not None
+            msg: Any = None
+            silent = 0.0
+            while msg is None:
+                try:
+                    if conn.poll(0.25):
+                        msg = conn.recv()
+                        break
+                except (EOFError, OSError) as exc:
+                    if not self._handle_worker_death(slot, exc):
+                        return
+                    conn = slot.conn
+                    assert conn is not None
+                    silent = 0.0
+                    continue
+                with slot.lock:
+                    busy = bool(slot.outstanding) or slot.draining
+                if not busy:
+                    continue  # idle worker: infinite patience
+                silent += 0.25
+                if silent >= self.config.worker_timeout:
+                    if not self._handle_worker_death(
+                        slot,
+                        ReproError(
+                            f"worker {slot.index} silent for "
+                            f"{self.config.worker_timeout:g}s with work "
+                            "outstanding"
+                        ),
+                    ):
+                        return
+                    conn = slot.conn
+                    assert conn is not None
+                    silent = 0.0
+            kind = msg[0]
+            if kind == "ready":
+                continue
+            if kind == "res":
+                __, seq, served, err = msg
+                with slot.lock:
+                    slot.outstanding.pop(seq, None)
+                outcome: object = (
+                    served if err is None else _decode_error(err)
+                )
+                with self._cv:
+                    self._results[seq] = outcome
+                    self._cv.notify_all()
+                continue
+            if kind == "stats":
+                slot.stats = merge_gateway_stats(slot.stats, msg[1])
+                slot.serve_seconds += msg[2]
+                return
+
+    def _handle_worker_death(
+        self, slot: _WorkerSlot, exc: BaseException
+    ) -> bool:
+        """Respawn the slot (True) or retire it fail-closed (False)."""
+        if slot.process is not None:
+            slot.process.join(timeout=1.0)
+        if slot.respawns >= self.config.max_respawns:
+            with slot.lock:
+                dead = dict(slot.outstanding)
+                slot.outstanding.clear()
+                slot.lost = True
+            with self._ring_lock:
+                self.ring.remove(slot.index)
+            error = ServiceUnavailableError(
+                f"gateway worker {slot.index} lost after "
+                f"{slot.respawns} respawn(s): {exc}; its in-flight "
+                "submissions are rejected fail-closed",
+                reason="worker-lost",
+            )
+            with self._cv:
+                for seq in dead:
+                    self._results[seq] = error
+                self._cv.notify_all()
+            return False
+        slot.respawns += 1
+        with self._cv:
+            self._respawn_total += 1
+        with slot.lock:
+            if slot.conn is not None:
+                with contextlib.suppress(OSError):
+                    slot.conn.close()
+            # The replacement re-adopts the shared segment and re-serves
+            # exactly the unanswered ledger (kill chaos is not re-armed).
+            conn, proc = self._launch(None)
+            slot.conn = conn
+            slot.process = proc
+            with contextlib.suppress(BrokenPipeError, OSError):
+                for seq, (user_id, payload) in sorted(
+                    slot.outstanding.items()
+                ):
+                    conn.send(("req", seq, user_id, payload))
+                if slot.draining:
+                    conn.send(("drain",))
+        return True
+
+
+def run_fleet(
+    region: Rect,
+    k: int,
+    db: LocationDatabase,
+    provider: Any,
+    workload: Sequence[Tuple[str, Any]],
+    config: Optional[FleetConfig] = None,
+    *,
+    use_cache: bool = True,
+    max_depth: int = 40,
+) -> Tuple[List[object], FleetStats]:
+    """Sync façade: one workload through a fresh fleet to completion.
+
+    Builds the dispatcher (publishing the shared tree), serves the
+    workload, drains, and returns ``(results, stats)`` — segment
+    unlinked on every exit path.
+    """
+    dispatcher = FleetDispatcher(
+        region,
+        k,
+        db,
+        provider,
+        config,
+        use_cache=use_cache,
+        max_depth=max_depth,
+    )
+    try:
+        dispatcher.start()
+        results = dispatcher.serve(workload)
+    finally:
+        stats = dispatcher.close()
+    return results, stats

@@ -135,6 +135,12 @@ class GatewayStats:
     provider_queries: int = 0
     #: provider rounds (batched exchanges, one RTT each).
     provider_rounds: int = 0
+    #: high-water mark of queued-but-unfinished requests (the admission
+    #: gauge the static/adaptive limits act on).
+    queue_depth_high_water: int = 0
+    #: high-water mark of requests concurrently past the in-flight
+    #: semaphore (how much of ``max_inflight`` was actually used).
+    inflight_high_water: int = 0
 
     @property
     def queries_per_request(self) -> float:
@@ -221,6 +227,7 @@ class AsyncGateway:
         self.stats = GatewayStats()
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._pending = 0
+        self._inflight = 0
         self._buckets: Dict[str, _TokenBucket] = {}
 
     # -- admission -----------------------------------------------------------
@@ -364,9 +371,17 @@ class AsyncGateway:
         self.stats.submitted += 1
         self._admit(str(user_id))
         self._pending += 1
+        if self._pending > self.stats.queue_depth_high_water:
+            self.stats.queue_depth_high_water = self._pending
         try:
             async with self._sem():
-                return await self._process(user_id, payload)
+                self._inflight += 1
+                if self._inflight > self.stats.inflight_high_water:
+                    self.stats.inflight_high_water = self._inflight
+                try:
+                    return await self._process(user_id, payload)
+                finally:
+                    self._inflight -= 1
         except asyncio.CancelledError:
             self.stats.cancelled += 1
             raise

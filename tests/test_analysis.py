@@ -373,6 +373,107 @@ class TestDeterminism:
 
 
 # ---------------------------------------------------------------------------
+# RS: resource safety
+# ---------------------------------------------------------------------------
+
+
+class TestResourceSafety:
+    def test_unreleased_shared_memory_fires(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "trees/leaky.py": """
+                from multiprocessing import shared_memory
+
+                def publish(size):
+                    shm = shared_memory.SharedMemory(create=True, size=size)
+                    return shm.name
+                """
+            },
+        )
+        assert "RS001" in rules_fired(report)
+        (finding,) = [f for f in report.new_findings if f.rule == "RS001"]
+        assert finding.symbol == "publish"
+
+    def test_with_block_is_clean(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "trees/ctx.py": """
+                from multiprocessing import shared_memory
+
+                def peek(name):
+                    with shared_memory.SharedMemory(name=name) as shm:
+                        return bytes(shm.buf[:4])
+                """
+            },
+        )
+        assert rules_fired(report) == []
+
+    def test_try_handler_release_is_clean(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "trees/guarded.py": """
+                from multiprocessing import shared_memory
+
+                def publish(blocks, size):
+                    shm = shared_memory.SharedMemory(create=True, size=size)
+                    try:
+                        for offset, data in blocks:
+                            shm.buf[offset : offset + len(data)] = data
+                    except BaseException:
+                        shm.close()
+                        shm.unlink()
+                        raise
+                    return shm
+                """
+            },
+        )
+        assert rules_fired(report) == []
+
+    def test_owner_class_is_clean(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "trees/owner.py": """
+                from multiprocessing import shared_memory
+
+                class Segment:
+                    @classmethod
+                    def attach(cls, name):
+                        shm = shared_memory.SharedMemory(name=name)
+                        return cls(shm)
+
+                    def __init__(self, shm):
+                        self._shm = shm
+
+                    def close(self):
+                        self._shm.close()
+
+                    def unlink(self):
+                        self._shm.unlink()
+                """
+            },
+        )
+        assert rules_fired(report) == []
+
+    def test_out_of_scope_creation_is_ignored(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "experiments/scratch.py": """
+                from multiprocessing import shared_memory
+
+                def grab(size):
+                    return shared_memory.SharedMemory(create=True, size=size)
+                """
+            },
+        )
+        assert rules_fired(report) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions, baselines, CLI
 # ---------------------------------------------------------------------------
 

@@ -168,3 +168,29 @@ class TestSLOReportCommand:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["slo-report", "--scale", "enormous"])
+
+
+class TestFleetCommand:
+    def test_simulated_fleet_prints_per_worker_stats(self, capsys):
+        code = main(
+            ["fleet", "--users", "80", "--requests", "60",
+             "--workers", "3", "--k", "8", "--rtt", "0.0",
+             "--mode", "simulated"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet: 3 worker(s), mode=simulated" in out
+        assert "worker 0:" in out and "worker 2:" in out
+        assert "60 served, 0 failed" in out
+
+    def test_process_fleet_exits_zero(self, capsys):
+        code = main(
+            ["fleet", "--users", "60", "--requests", "40",
+             "--workers", "2", "--k", "8", "--rtt", "0.001"]
+        )
+        assert code == 0
+        assert "respawns 0" in capsys.readouterr().out
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--mode", "threads"])

@@ -1,0 +1,416 @@
+"""The sharded gateway fleet: ring routing, shared-segment lifecycle,
+and multi-worker serving against the single-process sync oracle.
+
+The privacy acceptance bar is unchanged from the single gateway: every
+cloak any fleet worker emits must be identical to what the synchronous
+``CSP.request`` oracle emits for the same user — sharding buys cores,
+never a different anonymity decision.  The dispatch invariant under
+test: one cloak key → one worker, so coalescing still collapses
+duplicates inside the owning worker.
+"""
+
+import pathlib
+import pickle
+
+import pytest
+
+from repro import Rect, ReproError, ServiceUnavailableError
+from repro.core.errors import TreeError
+from repro.data import uniform_users
+from repro.lbs import CSP, LBSProvider, generate_pois
+from repro.lbs.pipeline import ServedRequest
+from repro.serving import (
+    FleetConfig,
+    FleetDispatcher,
+    GatewayConfig,
+    GatewayStats,
+    HashRing,
+    merge_gateway_stats,
+    run_fleet,
+    run_gateway,
+)
+from repro.trees.binarytree import BinaryTree
+from repro.trees.flat import FlatTree, SharedFlatTree
+
+K = 8
+REGION = Rect(0, 0, 4096, 4096)
+DEV_SHM = pathlib.Path("/dev/shm")
+
+
+@pytest.fixture
+def db():
+    return uniform_users(160, REGION, seed=71)
+
+
+@pytest.fixture
+def provider():
+    pois = generate_pois(REGION, {"rest": 80, "groc": 40}, seed=72)
+    return LBSProvider(pois)
+
+
+def workload_for(db, n, categories=("rest", "groc")):
+    users = db.user_ids()
+    return [
+        (users[i % len(users)], [("poi", categories[i % len(categories)])])
+        for i in range(n)
+    ]
+
+
+def cloak_of(result):
+    assert isinstance(result, ServedRequest), result
+    return result.anonymized.cloak
+
+
+def shm_segments():
+    if not DEV_SHM.is_dir():
+        return set()
+    return {p.name for p in DEV_SHM.iterdir() if p.name.startswith("psm_")}
+
+
+def compiled(db, with_payload=True):
+    tree = BinaryTree.build(REGION, db, K, max_depth=40)
+    return FlatTree.compile(tree, with_payload=with_payload)
+
+
+def _group_by_cloak(cloaks):
+    groups = {}
+    for uid, cloak in cloaks.items():
+        groups.setdefault(cloak, []).append(uid)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring
+# ---------------------------------------------------------------------------
+
+
+class TestHashRing:
+    KEYS = [f"key-{i}".encode() for i in range(2000)]
+
+    def test_deterministic_and_total(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        owners = [a.worker_for(k) for k in self.KEYS]
+        assert owners == [b.worker_for(k) for k in self.KEYS]
+        assert set(owners) == {0, 1, 2, 3}
+
+    def test_join_moves_about_one_nth_and_only_steals(self):
+        ring = HashRing(range(4))
+        before = {k: ring.worker_for(k) for k in self.KEYS}
+        ring.add(4)
+        moved = 0
+        for k, old in before.items():
+            new = ring.worker_for(k)
+            if new != old:
+                moved += 1
+                # a joining worker only *steals* keys; none shuffle
+                # between the incumbents.
+                assert new == 4
+        expected = len(self.KEYS) / 5
+        assert moved <= 2.5 * expected
+        assert moved > 0
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        ring = HashRing(range(4))
+        before = {k: ring.worker_for(k) for k in self.KEYS}
+        ring.remove(2)
+        for k, old in before.items():
+            new = ring.worker_for(k)
+            if old != 2:
+                assert new == old
+            else:
+                assert new != 2
+
+    def test_join_then_leave_roundtrips(self):
+        ring = HashRing(range(3))
+        before = {k: ring.worker_for(k) for k in self.KEYS}
+        ring.add(7)
+        ring.remove(7)
+        assert {k: ring.worker_for(k) for k in self.KEYS} == before
+
+    def test_empty_ring_fails_closed(self):
+        ring = HashRing(range(1))
+        ring.remove(0)
+        with pytest.raises(ReproError):
+            ring.worker_for(b"anything")
+
+    def test_replicas_validated(self):
+        with pytest.raises(ReproError):
+            HashRing(range(2), replicas=0)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory FlatTree lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestSharedFlatTree:
+    def test_publish_attach_roundtrip_and_tiny_handle(self, db):
+        flat = compiled(db)
+        with SharedFlatTree.publish(flat) as shared:
+            assert len(pickle.dumps(shared.handle)) < 2048
+            attached = SharedFlatTree.attach(shared.handle)
+            try:
+                other = attached.tree
+                assert other.n_nodes == flat.n_nodes
+                assert other.user_ids == flat.user_ids
+                assert (other.ids == flat.ids).all()
+                assert (other.rects == flat.rects).all()
+            finally:
+                attached.close()
+
+    def test_attach_after_unlink_fails_closed(self, db):
+        shared = SharedFlatTree.publish(compiled(db))
+        handle = shared.handle
+        shared.unlink()
+        shared.close()
+        with pytest.raises(TreeError):
+            SharedFlatTree.attach(handle)
+
+    def test_only_the_owner_may_unlink(self, db):
+        with SharedFlatTree.publish(compiled(db)) as shared:
+            attached = SharedFlatTree.attach(shared.handle)
+            try:
+                with pytest.raises(TreeError):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+    def test_context_exit_leaves_no_segment_behind(self, db):
+        before = shm_segments()
+        with SharedFlatTree.publish(compiled(db)) as shared:
+            during = shm_segments()
+            assert shared.handle.segment.lstrip("/") in during - before
+        assert shm_segments() <= before
+
+    def test_closed_views_fail_closed(self, db):
+        shared = SharedFlatTree.publish(compiled(db))
+        try:
+            shared_tree = shared.tree
+            assert shared_tree.n_nodes > 0
+            del shared_tree
+        finally:
+            shared.unlink()
+            shared.close()
+        with pytest.raises(TreeError):
+            __ = shared.tree
+
+
+# ---------------------------------------------------------------------------
+# Fleet serving vs the sync oracle
+# ---------------------------------------------------------------------------
+
+
+class TestFleetOracleIdentity:
+    def _oracle(self, db, provider, workload):
+        results, __ = run_gateway(
+            CSP(REGION, K, db, provider), workload, GatewayConfig(rtt=0.0)
+        )
+        return [cloak_of(r) for r in results]
+
+    def test_simulated_fleet_matches_oracle(self, db, provider):
+        workload = workload_for(db, 120)
+        oracle = self._oracle(db, provider, workload)
+        pois = generate_pois(REGION, {"rest": 80, "groc": 40}, seed=72)
+        results, stats = run_fleet(
+            REGION,
+            K,
+            db,
+            LBSProvider(pois),
+            workload,
+            FleetConfig(
+                n_workers=3, mode="simulated", gateway=GatewayConfig(rtt=0.0)
+            ),
+        )
+        assert [cloak_of(r) for r in results] == oracle
+        assert stats.totals.served == len(workload)
+        assert sum(stats.per_worker_requests) == len(workload)
+        assert stats.wall_seconds == max(stats.per_worker_seconds)
+
+    def test_process_fleet_matches_oracle(self, db, provider):
+        workload = workload_for(db, 60)
+        oracle = self._oracle(db, provider, workload)
+        pois = generate_pois(REGION, {"rest": 80, "groc": 40}, seed=72)
+        before = shm_segments()
+        results, stats = run_fleet(
+            REGION,
+            K,
+            db,
+            LBSProvider(pois),
+            workload,
+            FleetConfig(
+                n_workers=2, mode="process", gateway=GatewayConfig(rtt=0.0)
+            ),
+        )
+        assert [cloak_of(r) for r in results] == oracle
+        assert stats.totals.served == len(workload)
+        assert stats.respawns == 0 and stats.lost_workers == 0
+        assert shm_segments() <= before  # segment unlinked at close
+
+    def test_duplicates_coalesce_inside_the_owning_worker(self, db, provider):
+        # Every submission is the same (user, payload): one cloak key,
+        # therefore ONE worker owns the whole burst and the batcher
+        # collapses it — the dispatch invariant in action.
+        uid = db.user_ids()[0]
+        workload = [(uid, [("poi", "rest")])] * 40
+        results, stats = run_fleet(
+            REGION,
+            K,
+            db,
+            provider,
+            workload,
+            FleetConfig(
+                n_workers=4,
+                mode="simulated",
+                gateway=GatewayConfig(rtt=0.0, max_batch=64, max_wait=0.005),
+            ),
+        )
+        assert stats.totals.served == 40
+        busy = [n for n in stats.per_worker_requests if n > 0]
+        assert busy == [40]  # a single owner, not a spread
+        assert stats.totals.coalesced > 0
+
+    def test_bounded_load_keeps_shares_even(self, db, provider):
+        # With only ~n/k distinct cloak keys, first-choice hashing is
+        # lumpy; bounded-load assignment must keep every worker's user
+        # share under ~1.15x the even split (plus one whole cloak group
+        # of slack, since groups are indivisible).
+        dispatcher = FleetDispatcher(
+            REGION,
+            K,
+            db,
+            provider,
+            FleetConfig(n_workers=4, mode="simulated"),
+        )
+        try:
+            shares = {}
+            for uid in db.user_ids():
+                widx = dispatcher.route(uid)
+                shares[widx] = shares.get(widx, 0) + 1
+            even = len(db) / 4
+            heaviest = max(
+                len(g)
+                for g in _group_by_cloak(dispatcher._cloaks).values()
+            )
+            assert max(shares.values()) <= max(
+                1.15 * even + heaviest, heaviest
+            )
+            assert len(shares) == 4  # nobody idles
+        finally:
+            dispatcher.close()
+
+    def test_same_cloak_routes_to_same_worker(self, db, provider):
+        dispatcher = FleetDispatcher(
+            REGION,
+            K,
+            db,
+            provider,
+            FleetConfig(n_workers=4, mode="simulated"),
+        )
+        try:
+            cloaks = dispatcher._cloaks
+            by_cloak = {}
+            for uid, cloak in cloaks.items():
+                by_cloak.setdefault(cloak, set()).add(
+                    dispatcher.route(uid)
+                )
+            assert all(len(owners) == 1 for owners in by_cloak.values())
+        finally:
+            dispatcher.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker death: respawn and fail-closed retirement
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_respawned_and_reserves(self, db, provider):
+        workload = workload_for(db, 40)
+        results, stats = run_fleet(
+            REGION,
+            K,
+            db,
+            provider,
+            workload,
+            FleetConfig(
+                n_workers=2,
+                mode="process",
+                gateway=GatewayConfig(rtt=0.0),
+                kill_after={0: 5},
+                worker_timeout=30.0,
+            ),
+        )
+        assert all(isinstance(r, ServedRequest) for r in results)
+        assert stats.respawns == 1
+        assert stats.lost_workers == 0
+
+    def test_exhausted_respawns_fail_closed(self, db, provider):
+        workload = workload_for(db, 40)
+        results, stats = run_fleet(
+            REGION,
+            K,
+            db,
+            provider,
+            workload,
+            FleetConfig(
+                n_workers=2,
+                mode="process",
+                gateway=GatewayConfig(rtt=0.0),
+                kill_after={0: 5},
+                max_respawns=0,
+                worker_timeout=30.0,
+            ),
+        )
+        rejected = [r for r in results if not isinstance(r, ServedRequest)]
+        assert rejected, "the dead shard's in-flight work must surface"
+        assert all(
+            isinstance(r, ServiceUnavailableError)
+            and r.reason == "worker-lost"
+            for r in rejected
+        )
+        assert stats.lost_workers == 1
+        served = [r for r in results if isinstance(r, ServedRequest)]
+        assert len(served) + len(rejected) == len(workload)
+
+
+# ---------------------------------------------------------------------------
+# Stats plumbing and config validation
+# ---------------------------------------------------------------------------
+
+
+class TestFleetStats:
+    def test_merge_sums_counters_and_maxes_gauges(self):
+        a = GatewayStats(
+            submitted=3,
+            served=2,
+            shed=1,
+            shed_high_water=1,
+            queue_depth_high_water=5,
+            inflight_high_water=2,
+        )
+        b = GatewayStats(
+            submitted=4,
+            served=4,
+            coalesced=3,
+            queue_depth_high_water=3,
+            inflight_high_water=6,
+        )
+        merged = merge_gateway_stats(a, b)
+        assert merged.submitted == 7
+        assert merged.served == 6
+        assert merged.shed == 1 and merged.shed_high_water == 1
+        assert merged.coalesced == 3
+        assert merged.queue_depth_high_water == 5
+        assert merged.inflight_high_water == 6
+        assert merged.shed_by_cause["high_water"] == 1
+
+    def test_config_validation(self):
+        for bad in (
+            dict(n_workers=0),
+            dict(mode="threads"),
+            dict(worker_timeout=0.0),
+            dict(max_respawns=-1),
+        ):
+            with pytest.raises(ReproError):
+                FleetConfig(**bad).validate()

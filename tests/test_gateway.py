@@ -387,3 +387,22 @@ class TestFacade:
         assert [r.request.user_id for r in results] == [
             uid for uid, __ in workload
         ]
+
+
+class TestGauges:
+    def test_queue_and_inflight_high_water_tracked(self, db, provider):
+        config = GatewayConfig(max_inflight=4, rtt=0.005)
+        __, stats = run_gateway(
+            make_csp(db, provider), workload_for(db, 40), config
+        )
+        assert stats.queue_depth_high_water >= 1
+        assert 1 <= stats.inflight_high_water <= config.max_inflight
+        # A 40-deep burst against 4 inflight slots must actually queue.
+        assert stats.queue_depth_high_water > config.max_inflight
+
+    def test_gauges_zero_on_idle_gateway(self, db, provider):
+        __, stats = run_gateway(
+            make_csp(db, provider), [], GatewayConfig()
+        )
+        assert stats.queue_depth_high_water == 0
+        assert stats.inflight_high_water == 0

@@ -70,6 +70,65 @@ class TestParallelBulk:
         assert a.cost == pytest.approx(b.cost)
 
 
+class TestShmTransport:
+    def test_shm_bit_identical_to_flat(self, region, db):
+        flat = parallel_bulk_anonymize(region, db, 10, 4, transport="flat")
+        shm = parallel_bulk_anonymize(region, db, 10, 4, transport="shm")
+        assert shm.cost == flat.cost  # bit-identical, not approx
+        assert {
+            u: shm.master.cloak_for(u) for u in db.user_ids()
+        } == {u: flat.master.cloak_for(u) for u in db.user_ids()}
+
+    def test_shm_payload_is_an_order_smaller(self, region, db):
+        flat = parallel_bulk_anonymize(region, db, 10, 4, transport="flat")
+        shm = parallel_bulk_anonymize(region, db, 10, 4, transport="shm")
+        assert shm.dispatch_payload_bytes > 0
+        assert (
+            flat.dispatch_payload_bytes
+            >= 10 * shm.dispatch_payload_bytes
+        )
+
+    def test_shm_process_mode_matches_simulated(self, region):
+        small = uniform_users(120, region, seed=102)
+        sim = parallel_bulk_anonymize(
+            region, small, 8, 2, mode="simulated", transport="shm"
+        )
+        proc = parallel_bulk_anonymize(
+            region, small, 8, 2, mode="process", transport="shm"
+        )
+        assert proc.cost == sim.cost
+
+    def test_unknown_transport_rejected(self, region, db):
+        with pytest.raises(ReproError, match="transport"):
+            parallel_bulk_anonymize(region, db, 10, 2, transport="carrier")
+
+    def test_no_segment_leaks(self, region, db):
+        import pathlib
+
+        shm_dir = pathlib.Path("/dev/shm")
+        if not shm_dir.is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        before = {p.name for p in shm_dir.iterdir()}
+        parallel_bulk_anonymize(region, db, 10, 4, transport="shm")
+        after = {p.name for p in shm_dir.iterdir()}
+        assert after <= before
+
+
+class TestProcessPoolRebuild:
+    def test_rebuild_keeps_configured_width(self):
+        from repro.parallel.engine import _ProcessPool
+
+        pool = _ProcessPool(True, max_workers=3)
+        try:
+            assert pool.max_workers == 3
+            pool.rebuild()
+            assert pool.pool is not None
+            assert pool.pool._max_workers == 3
+        finally:
+            if pool.pool is not None:
+                pool.pool.shutdown()
+
+
 class TestMasterPolicy:
     def test_dispatch_and_anonymize(self, region, db):
         result = parallel_bulk_anonymize(region, db, 10, 4)

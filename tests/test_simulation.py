@@ -320,6 +320,8 @@ class TestGatewaySimulation:
         assert report.provider_rounds <= report.provider_queries
         assert len(report.latencies) == report.served
         assert "shed" in report.slo_summary()
+        assert report.queue_depth_high_water >= 1
+        assert "queue depth high-water" in report.slo_summary()
 
     def test_token_bucket_throttles_chatty_user(self):
         from repro.lbs import GatewaySimulation
