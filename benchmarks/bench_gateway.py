@@ -35,6 +35,11 @@ import time
 from repro.core.geometry import Rect
 from repro.data import uniform_users
 from repro.experiments import Table
+from repro.experiments.churn import (
+    CHURN_SCALES,
+    MOVE_FRACTION,
+    live_churn_run,
+)
 from repro.lbs import CSP, LBSProvider, generate_pois
 from repro.serving import FleetConfig, GatewayConfig, run_fleet
 
@@ -281,3 +286,56 @@ def test_gateway_throughput(benchmark, record_table, profile):
         assert (
             fleet_speedup_4 >= 3.0
         ), f"4-worker fleet {fleet_speedup_4:.2f}x"
+
+
+# ---------------------------------------------------------------------------
+# Live policy churn: blackout twin vs epoch-pinned swap (DESIGN §12)
+# ---------------------------------------------------------------------------
+
+
+def _run_gateway_churn(scale):
+    params = CHURN_SCALES.get(scale.name, CHURN_SCALES["default"])
+    table = Table(
+        "Live churn — serving latency while a repairer thread ingests "
+        f"{100 * MOVE_FRACTION:g}% movement and swaps epochs",
+        [
+            "path",
+            "requests",
+            "p50_ms",
+            "p99_ms",
+            "max_ms",
+            "epochs_promoted",
+            "bit_identical",
+        ],
+    )
+    for double_buffered in (False, True):
+        row = live_churn_run(double_buffered, params, seed=7)
+        table.add(
+            path=(
+                "epoch swap"
+                if double_buffered
+                else "blackout twin (world lock)"
+            ),
+            requests=row["requests"],
+            p50_ms=round(row["p50_ms"], 3),
+            p99_ms=round(row["p99_ms"], 3),
+            max_ms=round(row["max_ms"], 3),
+            epochs_promoted=row["epochs_promoted"],
+            bit_identical=row["bit_identical"],
+        )
+    return table
+
+
+def test_gateway_churn_tail(benchmark, record_table, profile):
+    table = run_once(benchmark, _run_gateway_churn, profile)
+    record_table("gateway_churn", table)
+    rows = {r["path"]: r for r in table.rows}
+    blackout = rows["blackout twin (world lock)"]
+    swap = rows["epoch swap"]
+    # Both paths end on cloaks bit-identical to the from-scratch oracle
+    # of their final snapshot — the swap buys latency, never anonymity.
+    assert all(r["bit_identical"] for r in table.rows)
+    assert swap["epochs_promoted"] >= 1
+    # The wall-clock gate: serving pinned to the active epoch never
+    # exceeds the blackout twin's p99.
+    assert swap["p99_ms"] <= blackout["p99_ms"]

@@ -151,6 +151,19 @@ class AnalysisConfig:
     #: attribute calls that count as releasing such a resource.
     resource_release_calls: FrozenSet[str] = _fs("close", "unlink")
 
+    # -- epoch integrity (EP) ------------------------------------------------
+
+    #: path fragments allowed to mutate flat-tree arrays: compilation
+    #: (``trees/``) and the double-buffered shadow repair that the next
+    #: epoch swap republishes (``streaming/``).
+    epoch_owner_scope: Tuple[str, ...] = ("trees/", "streaming/")
+    #: attribute names of the flat-tree array blocks (structure and
+    #: standalone payload) whose element stores EP001 audits.
+    epoch_array_fields: FrozenSet[str] = _fs(
+        "ids", "left", "right", "count", "area", "depth", "level_offsets",
+        "rects", "leaf_ptr", "leaf_rows", "user_ids",
+    )
+
     # -- shared --------------------------------------------------------------
 
     #: directories never scanned.

@@ -10,6 +10,8 @@
   (``determinism.py``).
 * ``RS***`` — lifecycle discipline for kernel-backed shared resources
   such as ``SharedMemory`` segments (``resources.py``).
+* ``EP***`` — epoch integrity: flat-tree arrays are frozen outside the
+  owning compilation/streaming layers (``epochs.py``).
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from typing import List
 from ..engine import Rule
 from .asyncsafety import AsyncSafetyRule
 from .determinism import DeterminismRule
+from .epochs import EpochIntegrityRule
 from .failclosed import FailClosedRule
 from .resources import ResourceSafetyRule
 from .taint import PrivacyTaintRule
@@ -29,6 +32,7 @@ __all__ = [
     "AsyncSafetyRule",
     "DeterminismRule",
     "ResourceSafetyRule",
+    "EpochIntegrityRule",
     "default_rules",
 ]
 
@@ -41,4 +45,5 @@ def default_rules() -> List[Rule]:
         AsyncSafetyRule(),
         DeterminismRule(),
         ResourceSafetyRule(),
+        EpochIntegrityRule(),
     ]

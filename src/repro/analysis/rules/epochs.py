@@ -1,0 +1,71 @@
+"""EP: epoch integrity of the shared flat-tree arrays.
+
+A promoted epoch's :class:`~repro.trees.flat.FlatTree` is an immutable
+artifact: workers map its arrays read-only and re-derive bit-identical
+policies from them, and the anonymity referee compares served cloaks
+against a from-scratch solve of *that exact* array state.  Writing into
+the arrays anywhere outside the owning layers — the tree compilers in
+``trees/`` and the epoch machinery in ``streaming/`` — would silently
+fork the active epoch away from its journalled policy: the served
+cloaks would no longer be the cloaks any oracle can reproduce, which is
+a privacy bug, not a performance one.
+
+Findings:
+
+* ``EP001`` — an element store (``t.count[i] = …``, ``t.area[i] += …``,
+  ``del t.ids[i]``) into a flat-tree array field outside the owning
+  layers.  Mutation belongs in ``trees/`` (compilation) or
+  ``streaming/`` (the shadow repair that the next epoch swap
+  republishes); everywhere else the arrays are a frozen epoch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..engine import ModuleInfo, Project, Rule
+from ..model import Finding
+
+__all__ = ["EpochIntegrityRule"]
+
+
+class EpochIntegrityRule(Rule):
+    rule_id = "EP001"
+    name = "epoch-integrity"
+    description = (
+        "flat-tree array fields are frozen epochs outside trees/ and "
+        "streaming/: element stores there fork the served policy away "
+        "from its journalled oracle"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        config = project.config
+        if config.in_scope(module.relpath, config.epoch_owner_scope):
+            return  # the owning layers: compilation and shadow repair
+        for node in ast.walk(module.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr in config.epoch_array_fields
+                ):
+                    continue
+                yield module.finding(
+                    "EP001",
+                    target,
+                    f"element store into flat-tree array "
+                    f"`.{target.value.attr}[…]` outside trees/ or "
+                    "streaming/ — a published epoch's arrays are frozen; "
+                    "mutate the shadow in the epoch manager and republish "
+                    "via the swap instead",
+                )

@@ -9,6 +9,8 @@ Operational front door for the library:
 * ``experiment`` — run one of the paper's tables/figures and print it;
 * ``slo-report`` — the closed-loop SLO artifact (durability MTTR,
   capacity sweep, DES cross-validation);
+* ``churn``      — the zero-blackout churn artifact (stop-the-world
+  repair vs double-buffered epoch swap, DES + live, oracle gates);
 * ``fleet``      — serve a synthetic workload through the sharded
   gateway fleet and print per-worker stats.
 """
@@ -150,6 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     slo.add_argument("--results-dir", default="bench_results")
     slo.add_argument("--seed", type=int, default=7)
+
+    churn = sub.add_parser(
+        "churn",
+        help="churn report: stop-the-world blackout vs double-buffered "
+        "epoch swap, DES + live EpochManager, with oracle identity gates",
+    )
+    churn.add_argument(
+        "--scale",
+        default="default",
+        choices=("quick", "default", "full"),
+        help="workload size (quick is CI-sized)",
+    )
+    churn.add_argument("--results-dir", default="bench_results")
+    churn.add_argument("--seed", type=int, default=7)
 
     fleet = sub.add_parser(
         "fleet",
@@ -296,6 +312,21 @@ def _cmd_slo_report(args) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_churn(args) -> int:
+    from .experiments.churn import write_churn_report
+
+    json_path, txt_path = write_churn_report(
+        scale=args.scale, results_dir=args.results_dir, seed=args.seed
+    )
+    with open(txt_path, "r", encoding="utf-8") as handle:
+        print(handle.read().rstrip())
+    print(f"\nchurn report -> {json_path}, {txt_path}")
+    # Fail visibly when the zero-blackout gates did not hold.
+    with open(json_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    return 0 if report["all_gates_pass"] else 1
+
+
 def _cmd_fleet(args) -> int:
     from .data import uniform_users
     from .lbs import LBSProvider, generate_pois
@@ -357,6 +388,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "verify-results": _cmd_verify_results,
     "slo-report": _cmd_slo_report,
+    "churn": _cmd_churn,
     "fleet": _cmd_fleet,
 }
 

@@ -270,7 +270,11 @@ class CSP:
             self.anonymizer.solution = rehydrate_flat_solution(
                 self.anonymizer.tree, _recovered, k, prune=True
             )
-            self._snapshot_index = _recovered.serial
+            # The committed state block is authoritative for staleness:
+            # _snapshot_index tracks the *world* serial, which at commit
+            # time was policy serial + accumulated age.
+            self.policy_age = _recovered.policy_age
+            self._snapshot_index = _recovered.serial + _recovered.policy_age
             self.restored = True
             self.events.append(
                 DegradationEvent(
@@ -278,6 +282,7 @@ class CSP:
                     reason="restart",
                     detail=(
                         f"serial {_recovered.serial}, "
+                        f"age {_recovered.policy_age}, "
                         f"dp={'warm' if self.anonymizer.solution else 'cold'}"
                     ),
                 )
@@ -308,8 +313,26 @@ class CSP:
             "region": list(self.region.as_tuple()),
         }
 
+    def _serving_rung(self) -> str:
+        """The rung a request admitted right now would be labelled with."""
+        if self.policy_age > self.max_stale_snapshots:
+            return "rejected"
+        if self.policy_age > 0:
+            return "stale"
+        if self.restored:
+            return "recovered"
+        return "fresh"
+
     def _journal_commit(self) -> None:
         """Commit the current (policy, db-serial) pair, fail-visible.
+
+        The committed serial is the one the policy actually matches
+        (``_snapshot_index - policy_age``): after a failed repair the
+        world has advanced but the policy has not, and journalling the
+        world's serial would let a restore adopt a policy under a serial
+        it was never solved for.  The accumulated ``policy_age`` and the
+        serving rung ride along in the checksummed state block so a
+        restore cannot silently reset staleness to fresh.
 
         A journal write failure must not take serving down (durability
         degraded ≠ privacy degraded), but it is recorded as an event so
@@ -320,9 +343,13 @@ class CSP:
         try:
             self.journal.commit(
                 self.anonymizer.policy,
-                self._snapshot_index,
+                self._snapshot_index - self.policy_age,
                 self._fingerprint(),
                 solution=self.anonymizer.solution,
+                state={
+                    "policy_age": self.policy_age,
+                    "rung": self._serving_rung(),
+                },
             )
         except OSError as exc:
             self.events.append(
@@ -382,7 +409,13 @@ class CSP:
             _recovered=snapshot,
         )
         if current_serial is not None:
-            csp.policy_age = max(0, current_serial - snapshot.serial)
+            # The world may have moved on while we were down; staleness
+            # is whichever is worse — the journalled age or the distance
+            # to the world's serial now.
+            csp.policy_age = max(
+                snapshot.policy_age, current_serial - snapshot.serial, 0
+            )
+            csp._snapshot_index = snapshot.serial + csp.policy_age
         report = getattr(journal, "last_recovery", None)
         if report is not None and report.repaired:
             # Quorum restore rebuilt one or more replicas from the
@@ -669,6 +702,10 @@ class CSP:
                         detail=str(exc),
                     )
                 )
+                # Re-commit the unchanged policy with its grown age: a
+                # crash-restart mid-degradation must restore knowing it
+                # is stale, not believing the old policy is fresh.
+                self._journal_commit()
                 return UpdateReport(
                     moved_users=0,
                     dirty_nodes=0,

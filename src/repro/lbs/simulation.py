@@ -103,6 +103,19 @@ class SimulationReport:
     #: total simulated blackout spent in journal restores — the measured
     #: restore latency, replayed once per restart.
     restart_seconds: float = 0.0
+    #: arrivals that had to queue behind an in-flight repair or restart
+    #: blackout (queue delay > 0).  The zero-blackout property of the
+    #: double-buffered swap is exactly ``repair_waits == 0`` in a
+    #: restart-free run.
+    repair_waits: int = 0
+    #: arrivals served from the previous epoch while a shadow repair was
+    #: in flight — the requests the blackout mode would have stalled.
+    served_while_repairing: int = 0
+    #: served cloaks that differed from the per-epoch oracle (a bulk
+    #: re-solve of the epoch's exact snapshot); only counted when the
+    #: simulation was built with ``oracle_check=True``.  Must be 0: the
+    #: anonymity invariant across swaps.
+    oracle_mismatches: int = 0
 
     @property
     def throughput(self) -> float:
@@ -165,6 +178,12 @@ class SimulationReport:
             )
         if self.rejected:
             lines.append(f"rejected: {self.rejected}")
+        if self.served_while_repairing or self.repair_waits:
+            lines.append(
+                f"served-while-repairing: {self.served_while_repairing}, "
+                f"repair waits: {self.repair_waits}, "
+                f"oracle mismatches: {self.oracle_mismatches}"
+            )
         if self.restarts:
             lines.append(
                 f"restarts: {self.restarts}, journal-restore blackout "
@@ -194,9 +213,10 @@ class SimulationReport:
 
 # Event kinds, ordered so ties at equal timestamps resolve snapshots
 # first, then restarts (a restart scheduled exactly at the tick restores
-# the just-repaired policy), then requests (arrivals at the tick see the
-# new snapshot).
-_SNAPSHOT, _RESTART, _ARRIVAL = 0, 1, 2
+# the just-repaired policy), then epoch swaps (a double-buffered repair
+# completing exactly at an arrival's timestamp serves it the new epoch),
+# then requests (arrivals at the tick see the new snapshot).
+_SNAPSHOT, _RESTART, _SWAP, _ARRIVAL = 0, 1, 2, 3
 
 
 class LBSSimulation:
@@ -227,6 +247,8 @@ class LBSSimulation:
         max_stale_snapshots: int = 1,
         restart_at: Tuple[float, ...] = (),
         restart_blackout: float = 0.0,
+        double_buffered: bool = False,
+        oracle_check: bool = False,
     ):
         if request_rate_per_user <= 0:
             raise WorkloadError("request_rate_per_user must be > 0")
@@ -271,6 +293,18 @@ class LBSSimulation:
         #: answer cache is process memory, so it does not survive.
         self.restart_at = tuple(sorted(float(t) for t in restart_at))
         self.restart_blackout = float(restart_blackout)
+        #: double-buffered epoch swap (the streaming layer's timing
+        #: model): a snapshot repair runs on the shadow while arrivals
+        #: keep being served from the previous epoch, and the repaired
+        #: policy is installed atomically ``reanonymization/n_servers``
+        #: later — no arrival ever queues behind a repair.  False keeps
+        #: the historical blackout model (arrivals wait for the repair).
+        self.double_buffered = bool(double_buffered)
+        #: when True, every epoch install also runs a from-scratch bulk
+        #: solve of that exact snapshot and served cloaks are compared
+        #: bit-for-bit (the anonymity invariant across swaps); costs one
+        #: bulk solve per snapshot, so it is opt-in for tests/benches.
+        self.oracle_check = bool(oracle_check)
         self.rng = np.random.default_rng(seed)
 
         from ..core.anonymizer import IncrementalAnonymizer
@@ -324,8 +358,16 @@ class LBSSimulation:
         # from a freshly repaired policy, not a continuously fresh one).
         recovered_window = False
         arrival_serial = 0
+        # Double-buffered state: the repaired-but-not-yet-installed
+        # (policy, oracle) pair, how many snapshots it is ahead of the
+        # serving policy, and a generation counter so a superseded swap
+        # never installs.
+        pending = None
+        pending_age = 0
+        swap_gen = 0
+        oracle = self._oracle_for_current()
         while events:
-            now, kind, __, ___ = heapq.heappop(events)
+            now, kind, __, payload = heapq.heappop(events)
             if kind == _SNAPSHOT:
                 report.snapshots += 1
                 if self.injector is not None:
@@ -348,13 +390,47 @@ class LBSSimulation:
                     seed=self.rng,
                 )
                 self.anonymizer.update(moves)
+                if self.double_buffered:
+                    # Shadow repair: the previous epoch keeps serving
+                    # (no blackout); the repaired policy installs
+                    # atomically when the virtual repair completes.  A
+                    # tick landing while an older repair is still in
+                    # flight supersedes it — the newer epoch absorbs it.
+                    swap_gen += 1
+                    pending = (
+                        self.anonymizer.policy,
+                        self._oracle_for_current(),
+                    )
+                    pending_age += 1
+                    push(
+                        now + self.times.reanonymization / self.n_servers,
+                        _SWAP,
+                        str(swap_gen),
+                    )
+                    continue
                 self._policy = self.anonymizer.policy
+                oracle = self._oracle_for_current()
                 cache.clear()  # cloaks changed; cached keys are stale
                 policy_ready_at = (
                     now + self.times.reanonymization / self.n_servers
                 )
                 recovered_window = stale_age > 0
                 stale_age = 0
+                continue
+
+            if kind == _SWAP:
+                if payload != str(swap_gen) or pending is None:
+                    continue  # superseded by a newer in-flight repair
+                # Atomic epoch swap: pointer flip + cache invalidation.
+                # Requests already being "served" at this timestamp kept
+                # their admission-time cloaks (ties order _SWAP first
+                # only for *new* arrivals at the same instant).
+                self._policy, oracle = pending
+                pending = None
+                cache.clear()
+                recovered_window = stale_age > 0
+                stale_age = 0
+                pending_age = 0
                 continue
 
             if kind == _RESTART:
@@ -375,18 +451,25 @@ class LBSSimulation:
 
             # Request arrival.
             arrival_serial += 1
-            if stale_age > self.max_stale_snapshots:
+            # The serving policy's true age: failed repairs plus any
+            # snapshots absorbed by an in-flight shadow repair.
+            serving_age = stale_age + pending_age
+            if serving_age > self.max_stale_snapshots:
                 # Reject rung: the policy aged out of its stale budget;
                 # serving it further would trade privacy for uptime.
                 report.rejected += 1
                 continue
             start = max(now, policy_ready_at)
             queue_delay = start - now
+            if queue_delay > 0:
+                report.repair_waits += 1
             user = users[int(self.rng.integers(len(users)))]
             category = self.categories[
                 int(self.rng.integers(len(self.categories)))
             ]
             cloak = self._policy.cloak_for(user)
+            if oracle is not None and cloak != oracle.get(user):
+                report.oracle_mismatches += 1
             service = self.times.cloak_lookup
             coarsened = False
             if self.injector is not None:
@@ -420,9 +503,11 @@ class LBSSimulation:
                     cache[key] = True
             finish = start + service
             report.served += 1
-            if stale_age > 0:
+            if serving_age > 0:
                 report.stale_served += 1
                 rung = "stale"
+                if pending_age > 0:
+                    report.served_while_repairing += 1
             elif coarsened:
                 rung = "coarsened"
             elif recovered_window:
@@ -433,6 +518,19 @@ class LBSSimulation:
             report.latencies_by_rung.setdefault(rung, []).append(finish - now)
             report.queue_delays.append(queue_delay)
         return report
+
+    def _oracle_for_current(self) -> Optional[Dict[str, object]]:
+        """Bulk-solved cloaks for the shadow's current snapshot, or
+        ``None`` when oracle checking is off.  This is the anonymity
+        referee: the incrementally repaired epoch must serve cloaks
+        bit-identical to a from-scratch solve of its exact snapshot."""
+        if not self.oracle_check:
+            return None
+        from ..core.anonymizer import PolicyAwareAnonymizer
+
+        referee = PolicyAwareAnonymizer(self.region, self.k)
+        referee.fit(self.anonymizer.current_db)
+        return {uid: cloak for uid, cloak in referee.policy.items()}
 
     def _provider_call(self, serial: int, report: SimulationReport):
         """Model one LBS provider interaction under the chaos schedule.

@@ -114,6 +114,15 @@ class RecoveredSnapshot:
     #: identity quorum recovery votes on (same serial + same checksum
     #: means bit-identical committed state).
     checksum: Optional[str] = None
+    #: accumulated staleness at commit time: how many snapshots the
+    #: committed policy was already behind the world when it was last
+    #: journalled.  A restore that ignored this would resume serving a
+    #: stale policy as if fresh — the silent-staleness-reset bug the
+    #: persisted state block exists to prevent.
+    policy_age: int = 0
+    #: the degradation rung the committer was serving on ("fresh",
+    #: "stale", "recovered", ...) when the state was journalled.
+    rung: str = "fresh"
 
 
 def _relabel_tree(tree, ids, left, right) -> bool:
@@ -240,6 +249,7 @@ class PolicyJournal:
         serial: int,
         fingerprint: Mapping[str, object],
         solution=None,
+        state: Optional[Mapping[str, object]] = None,
         _chaos: Optional[Callable[[str], None]] = None,
     ) -> str:
         """Durably commit one (policy, db-serial) pair; returns its checksum.
@@ -248,6 +258,10 @@ class PolicyJournal:
         :class:`~repro.core.flat_dp.FlatTreeSolution`, in which case its
         cost vectors are persisted as the DP sidecar enabling warm
         restarts; any other value (or ``None``) commits the policy alone.
+        ``state`` is the committer's serving state —
+        ``{"policy_age": int, "rung": str}`` — journalled inside the
+        checksummed document so a restore inherits accumulated staleness
+        instead of silently resetting to fresh.
         ``_chaos`` is the quorum layer's destruction hook: it is called
         with ``"intent"`` after the intent record is durable and with
         ``"snapshot"`` after the snapshot document is renamed into
@@ -262,6 +276,11 @@ class PolicyJournal:
             "fingerprint": dict(fingerprint),
             "policy": policy_to_dict(policy),
         }
+        if state is not None:
+            document["state"] = {
+                "policy_age": int(state.get("policy_age", 0)),  # type: ignore[arg-type]
+                "rung": str(state.get("rung", "fresh")),
+            }
         sidecar = self._dp_payload(solution)
         if sidecar is not None:
             payload, structure = sidecar
@@ -518,12 +537,22 @@ class PolicyJournal:
                         f"deployment expects {value!r}",
                         reason="fingerprint",
                     )
-        if current_serial is not None and (
-            current_serial - serial > max_stale_snapshots
-        ):
+        raw_state = document.get("state")
+        state = raw_state if isinstance(raw_state, dict) else {}
+        policy_age = int(state.get("policy_age", 0))
+        rung = str(state.get("rung", "fresh"))
+        # Effective staleness is the distance from the world, or — when
+        # the world serial is unknown — the staleness the committer had
+        # already accumulated when it journalled the state block.  Both
+        # are bounded: restoring past the stale rung would resume a
+        # deployment that was (or should have been) rejecting.
+        behind = policy_age
+        if current_serial is not None:
+            behind = max(behind, current_serial - serial)
+        if behind > max_stale_snapshots:
             raise RecoveryError(
-                f"recovered policy is {current_serial - serial} snapshots "
-                f"behind the current db (bound {max_stale_snapshots}); "
+                f"recovered policy is {behind} snapshots behind the "
+                f"current db (bound {max_stale_snapshots}); "
                 "rejecting fail-closed",
                 reason="stale",
             )
@@ -540,6 +569,8 @@ class PolicyJournal:
             dp_layout=dp_layout,
             torn_tail=torn_tail,
             checksum=str(intent["checksum"]),
+            policy_age=policy_age,
+            rung=rung,
         )
 
     def files_for_serial(self, serial: int) -> List[str]:
@@ -695,6 +726,7 @@ class QuorumJournal:
         serial: int,
         fingerprint: Mapping[str, object],
         solution=None,
+        state: Optional[Mapping[str, object]] = None,
     ) -> str:
         """Mirror one commit to every replica; fail closed below quorum.
 
@@ -717,7 +749,12 @@ class QuorumJournal:
             )
             try:
                 checksum_i = replica.commit(
-                    policy, serial, fingerprint, solution, _chaos=hook
+                    policy,
+                    serial,
+                    fingerprint,
+                    solution,
+                    state=state,
+                    _chaos=hook,
                 )
             except OSError:
                 failures.append(index)
@@ -836,7 +873,10 @@ class QuorumJournal:
         states: List[str] = []
         for index, replica in enumerate(self.replicas):
             try:
-                snapshot = replica.recover(fingerprint=fingerprint)
+                snapshot = replica.recover(
+                    fingerprint=fingerprint,
+                    max_stale_snapshots=max_stale_snapshots,
+                )
             except RecoveryError as exc:
                 states.append(exc.reason)
                 continue
@@ -862,11 +902,15 @@ class QuorumJournal:
                 reason="quorum",
             )
         serial, __ = winner
-        if current_serial is not None and (
-            current_serial - serial > max_stale_snapshots
-        ):
+        winner_age = max(
+            snapshots[i].policy_age for i in votes[winner]
+        )
+        behind = winner_age
+        if current_serial is not None:
+            behind = max(behind, current_serial - serial)
+        if behind > max_stale_snapshots:
             raise RecoveryError(
-                f"quorum-recovered policy is {current_serial - serial} "
+                f"quorum-recovered policy is {behind} "
                 f"snapshots behind the current db (bound "
                 f"{max_stale_snapshots}); rejecting fail-closed",
                 reason="stale",

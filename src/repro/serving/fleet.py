@@ -21,6 +21,18 @@ the policy with the deterministic level-batched DP — bit-identical to
 the dispatcher's own, so every worker serves the *same* cloaks as the
 single-process sync oracle.
 
+Policy churn rides the PR-8 streaming idiom: :meth:`FleetDispatcher
+.advance_epoch` applies a move batch, recompiles, publishes a **fresh**
+segment, and broadcasts the new epoch spec to every worker.  Each worker
+finishes its in-flight submissions on the old epoch (worker-level epoch
+pinning — a request admitted under epoch N is served with epoch-N
+cloaks), re-attaches the new segment read-only, and acks; the dispatcher
+unlinks the retired segment only after every live worker has acked (or
+died and been respawned straight onto the new epoch — a respawn *is* an
+ack), so no reader is ever left mapping a vanished segment and RS001
+stays clean.  Serving never waits on the swap: requests keep flowing to
+whichever epoch their worker is on.
+
 Worker lifecycle rides the PR-3 quarantine idiom: per-worker SPSC
 message queues over :func:`multiprocessing.Pipe`, graceful drain at
 close, and dead-worker detection (EOF / poll-timeout on the pipe) with
@@ -51,7 +63,7 @@ import hashlib
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import Pipe, Process
 from multiprocessing.connection import Connection
 from typing import (
@@ -177,6 +189,11 @@ class FleetConfig:
     #: chaos hook: worker index → SIGKILL itself after receiving this
     #: many submissions.  Respawned workers are *not* re-armed.
     kill_after: Optional[Mapping[int, int]] = None
+    #: chaos hook: worker index → epoch serial; the worker SIGKILLs
+    #: itself on *receiving* that epoch broadcast, after the old segment
+    #: is retired dispatcher-side but before it re-attaches and acks —
+    #: the respawn must complete the swap.  Not re-armed on respawn.
+    kill_on_epoch: Optional[Mapping[int, int]] = None
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -232,6 +249,8 @@ class FleetStats:
     lost_workers: int = 0
     #: dispatcher-side wall clock across all serve() calls.
     dispatch_wall_seconds: float = 0.0
+    #: epoch swaps completed by :meth:`FleetDispatcher.advance_epoch`.
+    epochs: int = 0
 
     @property
     def wall_seconds(self) -> float:
@@ -278,6 +297,9 @@ class _FleetSpec:
     handle: SharedTreeHandle
     use_cache: bool
     max_depth: int
+    #: which policy generation this spec describes; bumped by every
+    #: :meth:`FleetDispatcher.advance_epoch`, echoed in the worker ack.
+    epoch: int = 0
 
 
 def _build_worker_csp(spec: _FleetSpec) -> Any:
@@ -374,12 +396,23 @@ async def _worker_serve(
     config: GatewayConfig,
     conn: Connection,
     kill_after: Optional[int],
+    kill_on_epoch: Optional[int],
 ) -> None:
     """One worker's event loop: pipe submissions → the unchanged
-    :class:`AsyncGateway` → pipe results, then stats at drain."""
+    :class:`AsyncGateway` → pipe results, then stats at drain.
+
+    An ``("epoch", spec)`` message swaps the serving structure: the
+    worker first lets every in-flight submission finish on the *old*
+    gateway (worker-level epoch pinning — admitted under epoch N,
+    served with epoch-N cloaks), then attaches the new segment, builds
+    a fresh gateway, and acks ``("epoch-ok", serial)``.  Submissions
+    already queued in the pipe behind the epoch message are served by
+    the new gateway — pipe order is admission order.
+    """
     gateway = AsyncGateway(csp, config)
     loop = asyncio.get_running_loop()
     tasks: Set["asyncio.Task[None]"] = set()
+    retired_stats = GatewayStats()
     received = 0
     started = time.perf_counter()
     conn.send(("ready", os.getpid()))
@@ -392,6 +425,22 @@ async def _worker_serve(
             break
         if msg[0] == "drain":
             break
+        if msg[0] == "epoch":
+            spec = msg[1]
+            if kill_on_epoch is not None and spec.epoch >= kill_on_epoch:
+                # Chaos hook: die between the broadcast and the ack —
+                # the dispatcher's respawn must complete the swap.
+                kill_current_process()
+            # Worker-level epoch pinning: everything admitted under the
+            # old epoch drains on the old gateway before the swap lands.
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            await gateway.close()
+            retired_stats = merge_gateway_stats(retired_stats, gateway.stats)
+            gateway = AsyncGateway(_build_worker_csp(spec), config)
+            with contextlib.suppress(BrokenPipeError, OSError):
+                conn.send(("epoch-ok", spec.epoch))
+            continue
         __, seq, user_id, payload = msg
         received += 1
         if kill_after is not None and received >= kill_after:
@@ -408,7 +457,13 @@ async def _worker_serve(
     await gateway.close()
     serve_seconds = time.perf_counter() - started
     with contextlib.suppress(BrokenPipeError, OSError):
-        conn.send(("stats", gateway.stats, serve_seconds))
+        conn.send(
+            (
+                "stats",
+                merge_gateway_stats(retired_stats, gateway.stats),
+                serve_seconds,
+            )
+        )
     conn.close()
 
 
@@ -417,9 +472,10 @@ def _fleet_worker_main(
     config: GatewayConfig,
     conn: Connection,
     kill_after: Optional[int],
+    kill_on_epoch: Optional[int],
 ) -> None:
     csp = _build_worker_csp(spec)
-    asyncio.run(_worker_serve(csp, config, conn, kill_after))
+    asyncio.run(_worker_serve(csp, config, conn, kill_after, kill_on_epoch))
 
 
 # -- dispatcher side ---------------------------------------------------------
@@ -443,6 +499,10 @@ class _WorkerSlot:
         self.respawns = 0
         self.draining = False
         self.lost = False
+        #: highest epoch serial this slot has acked re-attaching (a
+        #: respawn onto the current spec counts — the replacement never
+        #: saw the old segment).  Guarded by the dispatcher's ``_cv``.
+        self.epoch_serial = 0
         self.stats = GatewayStats()
         self.serve_seconds = 0.0
 
@@ -512,6 +572,7 @@ class FleetDispatcher:
         self._results: Dict[int, object] = {}
         self._cv = threading.Condition()
         self._respawn_total = 0
+        self._epoch_swaps = 0
         self._dispatch_wall = 0.0
         self._started = False
         self._closed = False
@@ -535,8 +596,13 @@ class FleetDispatcher:
         if self.config.mode != "process":
             return
         kill_plan = self.config.kill_after or {}
+        epoch_plan = self.config.kill_on_epoch or {}
         for slot in self._slots:
-            conn, proc = self._launch(kill_plan.get(slot.index))
+            conn, proc = self._launch(
+                self._spec,
+                kill_plan.get(slot.index),
+                epoch_plan.get(slot.index),
+            )
             slot.conn = conn
             slot.process = proc
             slot.reader = threading.Thread(
@@ -548,12 +614,21 @@ class FleetDispatcher:
             slot.reader.start()
 
     def _launch(
-        self, kill_after: Optional[int]
+        self,
+        spec: _FleetSpec,
+        kill_after: Optional[int],
+        kill_on_epoch: Optional[int] = None,
     ) -> Tuple[Connection, Process]:
         parent, child = Pipe()
         proc = Process(
             target=_fleet_worker_main,
-            args=(self._spec, self.config.gateway, child, kill_after),
+            args=(
+                spec,
+                self.config.gateway,
+                child,
+                kill_after,
+                kill_on_epoch,
+            ),
             daemon=True,
         )
         proc.start()
@@ -602,8 +677,93 @@ class FleetDispatcher:
             respawns=self._respawn_total,
             lost_workers=sum(1 for slot in self._slots if slot.lost),
             dispatch_wall_seconds=self._dispatch_wall,
+            epochs=self._epoch_swaps,
         )
         return self._final_stats
+
+    # -- epoch churn ---------------------------------------------------------
+
+    def advance_epoch(self, moves: Mapping[str, Any]) -> int:
+        """Publish a fresh policy epoch and re-attach every worker.
+
+        Applies ``moves`` (uid → :class:`~repro.core.locationdb.Point`)
+        to the fleet's snapshot, recompiles tree + policy, publishes a
+        **new** shared segment, and broadcasts the epoch spec.  The
+        retired segment is unlinked only after every live worker has
+        acked the re-attach — or died and been respawned straight onto
+        the new spec, which counts as the ack because the replacement
+        never mapped the old segment.  Returns the new epoch serial.
+
+        Serving never blocks on this call: submissions racing the
+        broadcast are served by whichever epoch their worker is on
+        (worker-level pinning keeps each request's epoch coherent).
+        """
+        if self._closed:
+            raise ReproError("fleet dispatcher is closed")
+        db = self.db.with_moves(moves)
+        tree = BinaryTree.build(
+            self.region, db, self.k, max_depth=self._spec.max_depth
+        )
+        flat = FlatTree.compile(tree, with_payload=True)
+        cloaks = extract_cloaks(flat, solve_arrays(flat, self.k), self.k)
+        new_shared = SharedFlatTree.publish(flat)
+        serial = self._spec.epoch + 1
+        try:
+            rows = tuple(
+                (uid, db.location_of(uid).x, db.location_of(uid).y)
+                for uid in db.user_ids()
+            )
+            new_spec = replace(
+                self._spec,
+                rows=rows,
+                handle=new_shared.handle,
+                epoch=serial,
+            )
+        except BaseException:
+            new_shared.unlink()
+            new_shared.close()
+            raise
+        old_shared = self.shared
+        # Spec first: a worker dying anywhere past this point respawns
+        # onto the new epoch, so the swap completes through the crash.
+        self._spec = new_spec
+        self.shared = new_shared
+        self.db = db
+        self._cloaks = cloaks
+        self._routing = self._build_routing()
+        if self.config.mode == "process" and self._started:
+            for slot in self._slots:
+                with slot.lock:
+                    if slot.lost or slot.conn is None:
+                        with self._cv:
+                            slot.epoch_serial = serial
+                        continue
+                    with contextlib.suppress(BrokenPipeError, OSError):
+                        # A broken pipe means the reader thread is about
+                        # to respawn the slot onto the new spec — that
+                        # respawn is the ack this broadcast wanted.
+                        slot.conn.send(("epoch", new_spec))
+            deadline = time.monotonic() + self.config.worker_timeout * (
+                self.config.max_respawns + 2
+            )
+            with self._cv:
+                while any(
+                    not slot.lost and slot.epoch_serial < serial
+                    for slot in self._slots
+                ):
+                    if not self._cv.wait(timeout=1.0) and (
+                        time.monotonic() > deadline
+                    ):
+                        raise ReproError(
+                            "epoch swap timed out waiting for worker "
+                            "re-attach acks"
+                        )
+        # Every surviving reader has re-attached: the retired segment
+        # can vanish without orphaning a mapped view (RS001).
+        old_shared.unlink()
+        old_shared.close()
+        self._epoch_swaps += 1
+        return serial
 
     # -- routing -------------------------------------------------------------
 
@@ -800,6 +960,11 @@ class FleetDispatcher:
             kind = msg[0]
             if kind == "ready":
                 continue
+            if kind == "epoch-ok":
+                with self._cv:
+                    slot.epoch_serial = max(slot.epoch_serial, msg[1])
+                    self._cv.notify_all()
+                continue
             if kind == "res":
                 __, seq, served, err = msg
                 with slot.lock:
@@ -849,7 +1014,11 @@ class FleetDispatcher:
                     slot.conn.close()
             # The replacement re-adopts the shared segment and re-serves
             # exactly the unanswered ledger (kill chaos is not re-armed).
-            conn, proc = self._launch(None)
+            # The spec is read under the slot lock the epoch broadcast
+            # also takes, so any swap landing after this read reaches
+            # the replacement as an ordinary ``epoch`` message.
+            spec = self._spec
+            conn, proc = self._launch(spec, None)
             slot.conn = conn
             slot.process = proc
             with contextlib.suppress(BrokenPipeError, OSError):
@@ -859,6 +1028,12 @@ class FleetDispatcher:
                     conn.send(("req", seq, user_id, payload))
                 if slot.draining:
                     conn.send(("drain",))
+        with self._cv:
+            # Respawn-as-ack: the replacement was built from ``spec``,
+            # so it attached epoch ``spec.epoch``'s segment and never
+            # mapped the retired one a pending swap wants unlinked.
+            slot.epoch_serial = max(slot.epoch_serial, spec.epoch)
+            self._cv.notify_all()
         return True
 
 

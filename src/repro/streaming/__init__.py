@@ -1,0 +1,30 @@
+"""Continuous-churn serving: double-buffered epochs over streaming moves.
+
+The streaming layer retires the stop-the-world snapshot repair: moves
+stream into a :class:`~repro.streaming.ingest.DirtyAccumulator`, repair
+runs on a shadow anonymizer while the active epoch keeps serving, and a
+journal-committed atomic swap promotes the shadow
+(:class:`~repro.streaming.epoch.EpochManager`).  In-flight requests pin
+their epoch; bounded staleness degrades stale → coarsened → fail-closed
+reject, never serving a cloak untied to a journalled k-anonymous policy.
+"""
+
+from .epoch import (
+    Epoch,
+    EpochManager,
+    EpochPin,
+    SwapReport,
+    ancestor_cloak,
+    halving_chain,
+)
+from .ingest import DirtyAccumulator
+
+__all__ = [
+    "DirtyAccumulator",
+    "Epoch",
+    "EpochManager",
+    "EpochPin",
+    "SwapReport",
+    "ancestor_cloak",
+    "halving_chain",
+]

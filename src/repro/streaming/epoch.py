@@ -1,0 +1,725 @@
+"""Double-buffered epoch serving: repair on the shadow, swap atomically.
+
+The batch pipeline stops the world on every snapshot: `CSP.advance_snapshot`
+repairs the live tree in place, and requests arriving mid-repair wait (the
+DES blackout rung).  This module retires that blackout.  An
+:class:`EpochManager` keeps **two** policy buffers:
+
+* the **active epoch** — an immutable `(serial, policy, db)` triple that
+  serving reads; optionally published as a read-only
+  :class:`~repro.trees.flat.SharedFlatTree` segment for fleet workers;
+* the **shadow** — the single :class:`IncrementalAnonymizer` carrying the
+  tree and DP state forward.  Moves stream into a
+  :class:`~repro.streaming.ingest.DirtyAccumulator`; each
+  :meth:`EpochManager.advance` drains the batch and repairs the shadow via
+  ``resolve_dirty`` *while the active epoch keeps serving*.
+
+The swap is atomic and crash-consistent: the repaired policy is journal-
+committed (``PolicyJournal``/``QuorumJournal`` swap-intent → swap-commit)
+**before** promotion, so a crash mid-swap restores either the old epoch or
+the new one — never a torn hybrid.  A quorum-failed commit aborts the
+promotion outright: the prior epoch stays active and staleness grows
+(fail closed; durability unprovable means the swap did not happen).
+
+In-flight requests are **pinned**: :meth:`EpochManager.pin` hands out the
+active epoch with its degradation rung decided at admission, and a retired
+epoch's shared segment is unlinked only once its pin count drains to zero.
+
+Bounded staleness drives the degradation ladder.  With the shadow
+``age`` swaps behind the world::
+
+    age == 0                          -> fresh      (or recovered)
+    age <= max_stale                  -> stale      (exact old-epoch cloaks)
+    age <= max_stale + coarsen_grace  -> coarsened  (geometric ancestor cloaks)
+    beyond                            -> rejected   (fail closed)
+
+Coarsening never consults the (possibly mid-repair) tree: every cloak of a
+tree-derived policy is a node rectangle of the deterministic halving
+hierarchy, so its ``levels``-up ancestor is reconstructible from pure
+geometry.  Mapping *every* cloak of an epoch uniformly ``levels`` up keeps
+k-anonymity: each fine anonymity group (≥ k senders) lands wholesale inside
+one ancestor rectangle, so coarse groups are unions of fine groups.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..core.anonymizer import IncrementalAnonymizer, PolicyAwareAnonymizer
+from ..core.errors import (
+    RecoveryError,
+    ReproError,
+    ServiceUnavailableError,
+    TreeError,
+)
+from ..core.geometry import Point, Rect
+from ..core.policy import CloakingPolicy
+from ..lbs.locationdb import LocationDatabase
+from ..robustness.degrade import DegradationEvent
+from ..robustness.faults import FaultInjector, InjectedFault
+from ..robustness.recovery import (
+    PolicyJournal,
+    QuorumJournal,
+    RecoveredSnapshot,
+    rehydrate_flat_solution,
+)
+from ..trees.flat import FlatTree, SharedFlatTree
+from .ingest import DirtyAccumulator, Moves
+
+Journal = Union[PolicyJournal, QuorumJournal]
+
+_EPS = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _EPS * max(1.0, abs(a), abs(b))
+
+
+def _same_rect(a: Rect, b: Rect) -> bool:
+    return (
+        _close(a.x1, b.x1)
+        and _close(a.y1, b.y1)
+        and _close(a.x2, b.x2)
+        and _close(a.y2, b.y2)
+    )
+
+
+def _rect_is_semi(rect: Rect) -> bool:
+    """Square vs 1:2 semi-quadrant, the only two shapes in the hierarchy."""
+    long_side = max(rect.width, rect.height)
+    short_side = min(rect.width, rect.height)
+    if _close(long_side, short_side):
+        return False
+    if _close(long_side, 2.0 * short_side):
+        return True
+    raise TreeError(
+        f"rect {rect} is neither a square nor a 1:2 semi-quadrant; "
+        "not a node of the halving hierarchy"
+    )
+
+
+def halving_chain(region: Rect, orientation: str, cloak: Rect) -> List[Rect]:
+    """The unique region→cloak descent of the deterministic hierarchy.
+
+    Mirrors ``BinaryTree`` splitting exactly: a semi-quadrant is cut
+    across its long axis (yielding two squares); a square is cut per the
+    tree-level ``orientation`` (yielding two semis).  Purely geometric —
+    no tree is consulted, so it works while the shadow is mid-repair.
+    """
+    chain = [region]
+    current = region
+    target = cloak.center
+    for __ in range(64):
+        if _same_rect(current, cloak):
+            return chain
+        if current.area < cloak.area * (1.0 - _EPS):
+            break
+        if _rect_is_semi(current):
+            halves = (
+                current.halves_horizontal()
+                if current.height > current.width
+                else current.halves_vertical()
+            )
+        elif orientation == "vertical":
+            halves = current.halves_vertical()
+        else:
+            halves = current.halves_horizontal()
+        # A strict descendant's center is interior to exactly one half
+        # (a center on the cut line would force a degenerate rect).
+        current = halves[1] if halves[1].contains(target) else halves[0]
+        chain.append(current)
+    raise TreeError(
+        f"cloak {cloak} is not a node rectangle under region {region}"
+    )
+
+
+def ancestor_cloak(
+    region: Rect, orientation: str, cloak: Rect, levels: int
+) -> Rect:
+    """The hierarchy ancestor ``levels`` above ``cloak`` (clamped at root)."""
+    chain = halving_chain(region, orientation, cloak)
+    return chain[max(0, len(chain) - 1 - max(0, levels))]
+
+
+class Epoch:
+    """One immutable published policy buffer.
+
+    The policy object is extracted fresh at promotion, so later in-place
+    shadow repairs (``FlatTree.refresh`` patches count arrays) can never
+    reach it; ``shared`` (when published) is a byte copy in shared
+    memory that workers map read-only.
+    """
+
+    __slots__ = ("serial", "policy", "db", "origin", "shared", "pins",
+                 "retired")
+
+    def __init__(
+        self,
+        serial: int,
+        policy: CloakingPolicy,
+        db: LocationDatabase,
+        origin: str = "swap",
+        shared: Optional[SharedFlatTree] = None,
+    ) -> None:
+        self.serial = serial
+        self.policy = policy
+        self.db = db
+        #: "fit" | "swap" | "restore" — restore-born epochs serve the
+        #: "recovered" rung until the first successful swap.
+        self.origin = origin
+        self.shared = shared
+        self.pins = 0
+        self.retired = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Epoch(serial={self.serial}, pins={self.pins}, "
+            f"retired={self.retired}, shared={self.shared is not None})"
+        )
+
+
+class EpochPin:
+    """A request's admission ticket: epoch + rung, fixed at admission.
+
+    Context manager; while held, the epoch's shared segment cannot be
+    unlinked even if a swap retires the epoch mid-flight — the request
+    completes with the exact cloaks it was admitted under.
+    """
+
+    __slots__ = ("_manager", "epoch", "rung", "levels", "_released")
+
+    def __init__(
+        self, manager: "EpochManager", epoch: Epoch, rung: str, levels: int
+    ) -> None:
+        self._manager = manager
+        self.epoch = epoch
+        self.rung = rung
+        self.levels = levels
+        self._released = False
+
+    def __enter__(self) -> "EpochPin":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._manager._release(self.epoch)
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """What one :meth:`EpochManager.advance` tick did."""
+
+    #: the world serial this tick targeted.
+    serial: int
+    #: True when the shadow was promoted to active.
+    promoted: bool
+    #: True when the journal durably holds the promoted state (False on
+    #: a single-journal media error — promoted but durability-degraded).
+    committed: bool
+    #: active-epoch staleness after the tick (0 after a clean swap).
+    staleness: int
+    moved_users: int = 0
+    dirty_nodes: int = 0
+    recomputed_nodes: int = 0
+    total_nodes: int = 0
+    repair_seconds: float = 0.0
+    #: why the swap did not promote ("" when it did).
+    reason: str = ""
+
+
+class EpochManager:
+    """Continuous-churn serving: ingest → shadow repair → atomic swap."""
+
+    def __init__(
+        self,
+        region: Rect,
+        k: int,
+        db: Optional[LocationDatabase] = None,
+        *,
+        max_depth: int = 40,
+        prune: bool = True,
+        engine: str = "flat",
+        journal: Optional[Journal] = None,
+        max_stale_snapshots: int = 1,
+        coarsen_grace: int = 1,
+        publish_shared: bool = False,
+        injector: Optional[FaultInjector] = None,
+        swap_chaos: Optional[Callable[[str], None]] = None,
+        _recovered: Optional[RecoveredSnapshot] = None,
+    ) -> None:
+        self.region = region
+        self.k = k
+        self.journal = journal
+        self.max_stale_snapshots = max_stale_snapshots
+        self.coarsen_grace = coarsen_grace
+        self.publish_shared = publish_shared
+        self.injector = injector
+        #: chaos hook forwarded to ``PolicyJournal.commit`` — fires at
+        #: the "intent" / "snapshot" phases of the swap commit so tests
+        #: can SIGKILL the repairer between swap-intent and swap-commit.
+        self.swap_chaos = swap_chaos
+        self.accumulator = DirtyAccumulator()
+        self.events: List[DegradationEvent] = []
+        self.swaps: List[SwapReport] = []
+        self._lock = threading.Lock()  # guards active/pins/world_serial
+        self._swap_lock = threading.Lock()  # serializes advance()
+        self._lingering: List[Epoch] = []  # retired but still pinned
+        self._coarse: Dict[Tuple[int, int], Dict[Rect, Rect]] = {}
+        self._shadow = IncrementalAnonymizer(
+            region, k, max_depth=max_depth, prune=prune, engine=engine
+        )
+        self._active: Optional[Epoch] = None
+        if _recovered is not None:
+            self._shadow.restore(
+                _recovered.policy.db, _recovered.policy, solution=None
+            )
+            self._shadow.solution = rehydrate_flat_solution(
+                self._shadow.tree, _recovered, k, prune=prune
+            )
+            self._world_serial = _recovered.serial + _recovered.policy_age
+            self._install(
+                _recovered.serial, _recovered.policy, origin="restore"
+            )
+            self.events.append(
+                DegradationEvent(
+                    level="recovered",
+                    reason="restart",
+                    detail=(
+                        f"serial {_recovered.serial}, "
+                        f"age {_recovered.policy_age}, "
+                        f"dp={'warm' if self._shadow.solution else 'cold'}"
+                    ),
+                )
+            )
+        else:
+            if db is None:
+                raise ReproError("EpochManager needs a db (or _recovered)")
+            self._shadow.fit(db)
+            self._world_serial = 0
+            policy = self._shadow.policy
+            if self._commit(policy, 0, self._shadow.solution) is None:
+                raise RecoveryError(
+                    "initial epoch could not reach a commit quorum; "
+                    "refusing to serve state that was never durable",
+                    reason="quorum",
+                )
+            self._install(0, policy, origin="fit")
+
+    # -- epoch bookkeeping -----------------------------------------------------
+
+    @property
+    def active(self) -> Epoch:
+        assert self._active is not None
+        return self._active
+
+    @property
+    def world_serial(self) -> int:
+        return self._world_serial
+
+    @property
+    def staleness(self) -> int:
+        """How many swaps the active epoch is behind the world."""
+        with self._lock:
+            return self._world_serial - self.active.serial
+
+    @property
+    def orientation(self) -> str:
+        return getattr(self._shadow.tree, "orientation", "vertical")
+
+    def _ladder(self, age: int, epoch: Epoch) -> Tuple[str, int]:
+        """(rung, coarsen-levels) for an epoch ``age`` swaps behind."""
+        if age <= 0:
+            return ("recovered" if epoch.origin == "restore" else "fresh", 0)
+        if age <= self.max_stale_snapshots:
+            return ("stale", 0)
+        levels = age - self.max_stale_snapshots
+        if levels <= self.coarsen_grace:
+            return ("coarsened", levels)
+        return ("rejected", 0)
+
+    def pin(self) -> EpochPin:
+        """Admit one request: pin the active epoch, fix its rung.
+
+        Raises :class:`ServiceUnavailableError` (fail closed) when the
+        ladder is exhausted — never serves a cloak it cannot tie to a
+        k-anonymous policy for some journalled epoch.
+        """
+        with self._lock:
+            epoch = self.active
+            age = self._world_serial - epoch.serial
+            rung, levels = self._ladder(age, epoch)
+            if rung == "rejected":
+                raise ServiceUnavailableError(
+                    f"active epoch is {age} swaps stale (bound "
+                    f"{self.max_stale_snapshots} + grace "
+                    f"{self.coarsen_grace}); rejecting fail-closed",
+                    reason="stale",
+                )
+            epoch.pins += 1
+        return EpochPin(self, epoch, rung, levels)
+
+    def _release(self, epoch: Epoch) -> None:
+        with self._lock:
+            epoch.pins -= 1
+            self._reap_locked(epoch)
+
+    def _reap_locked(self, epoch: Epoch) -> None:
+        """Unlink a retired epoch's segment once fully drained."""
+        if not epoch.retired or epoch.pins > 0:
+            return
+        if epoch in self._lingering:
+            self._lingering.remove(epoch)
+        self._coarse = {
+            key: table
+            for key, table in self._coarse.items()
+            if key[0] != epoch.serial
+        }
+        if epoch.shared is not None:
+            try:
+                epoch.shared.unlink()
+            finally:
+                epoch.shared.close()
+            epoch.shared = None
+
+    def _install(
+        self, serial: int, policy: CloakingPolicy, origin: str
+    ) -> Epoch:
+        shared: Optional[SharedFlatTree] = None
+        if self.publish_shared:
+            flat = FlatTree.compile(self._shadow.tree, with_payload=True)
+            shared = SharedFlatTree.publish(flat)
+        epoch = Epoch(serial, policy, self._shadow.current_db, origin, shared)
+        with self._lock:
+            old, self._active = self._active, epoch
+            if old is not None:
+                old.retired = True
+                if old.pins > 0:
+                    self._lingering.append(old)
+                else:
+                    self._reap_locked(old)
+        return epoch
+
+    # -- serving ---------------------------------------------------------------
+
+    def serve_cloak(
+        self, user_id: str, pin: Optional[EpochPin] = None
+    ) -> Tuple[Rect, str]:
+        """The epoch-pinned cloak for one user, plus the serving rung.
+
+        With ``pin`` (the normal path) both the epoch and the rung were
+        fixed at admission — a swap landing mid-flight changes nothing
+        for this request.  Without one, a transient pin is taken.
+        """
+        if pin is None:
+            with self.pin() as transient:
+                return self.serve_cloak(user_id, transient)
+        epoch, rung = pin.epoch, pin.rung
+        cloak = epoch.policy.cloak_for(str(user_id))
+        if rung != "coarsened":
+            return cloak, rung
+        if not isinstance(cloak, Rect):
+            raise ServiceUnavailableError(
+                "coarsening needs rectangular cloaks", reason="coarsen"
+            )
+        return self._coarse_cloak(epoch, cloak, pin.levels), rung
+
+    def _coarse_cloak(self, epoch: Epoch, cloak: Rect, levels: int) -> Rect:
+        key = (epoch.serial, levels)
+        table = self._coarse.get(key)
+        if table is None:
+            table = {}
+            self._coarse[key] = table
+        ancestor = table.get(cloak)
+        if ancestor is None:
+            try:
+                ancestor = ancestor_cloak(
+                    self.region, self.orientation, cloak, levels
+                )
+            except TreeError as exc:
+                raise ServiceUnavailableError(
+                    f"cannot coarsen cloak {cloak}: {exc}", reason="coarsen"
+                ) from exc
+            table[cloak] = ancestor
+        return ancestor
+
+    def oracle_policy(self, epoch: Optional[Epoch] = None) -> CloakingPolicy:
+        """A from-scratch bulk solve of an epoch's exact db — the policy
+        the epoch's served cloaks must be bit-identical to (test oracle).
+        """
+        target = epoch or self.active
+        oracle = PolicyAwareAnonymizer(
+            self.region,
+            self.k,
+            max_depth=self._shadow.max_depth,
+            prune=self._shadow.prune,
+            engine=self._shadow.engine,
+        )
+        oracle.fit(target.db)
+        return oracle.policy
+
+    # -- ingest + swap ---------------------------------------------------------
+
+    def ingest(self, moves: Moves) -> int:
+        """Stream moves in; they take effect at the next :meth:`advance`."""
+        return self.accumulator.extend(moves)
+
+    def advance(self, moves: Optional[Moves] = None) -> SwapReport:
+        """One churn tick: drain the batch, repair the shadow, swap.
+
+        The active epoch serves throughout; only the final pointer flip
+        takes the serving lock.  Every failure mode leaves the prior
+        epoch intact and staleness grown:
+
+        * injected/raised repair fault → batch restored to the
+          accumulator (no movement lost), no promote;
+        * quorum-failed journal commit → repair kept on the shadow but
+          **no promote** (durability unprovable ⇒ the swap did not
+          happen); the next tick re-commits and promotes;
+        * single-journal ``OSError`` → promote *with* a degradation
+          event (durability degraded ≠ privacy degraded).
+        """
+        with self._swap_lock:
+            if moves is not None:
+                self.accumulator.extend(moves)
+            with self._lock:
+                self._world_serial += 1
+                serial = self._world_serial
+            batch = self.accumulator.drain()
+            started = time.perf_counter()
+            if self.injector is not None:
+                try:
+                    self.injector.fire("repair", serial)
+                except InjectedFault as exc:
+                    return self._swap_failed(serial, batch, "repair", exc)
+            try:
+                report = self._shadow.update(batch)
+            except TreeError as exc:
+                return self._swap_failed(serial, batch, "repair-error", exc)
+            repair_seconds = time.perf_counter() - started
+            policy = self._shadow.policy
+            committed = self._commit(policy, serial, self._shadow.solution)
+            if committed is None:
+                # Quorum lost between swap-intent and swap-commit: the
+                # swap is void.  The shadow keeps the repair (it will
+                # re-commit next tick); serving stays on the old epoch.
+                swap = SwapReport(
+                    serial=serial,
+                    promoted=False,
+                    committed=False,
+                    staleness=self.staleness,
+                    moved_users=report.moved_users,
+                    dirty_nodes=report.dirty_nodes,
+                    recomputed_nodes=report.recomputed_nodes,
+                    total_nodes=report.total_nodes,
+                    repair_seconds=repair_seconds,
+                    reason="journal-quorum",
+                )
+                self.swaps.append(swap)
+                return swap
+            self._install(serial, policy, origin="swap")
+            swap = SwapReport(
+                serial=serial,
+                promoted=True,
+                committed=committed,
+                staleness=0,
+                moved_users=report.moved_users,
+                dirty_nodes=report.dirty_nodes,
+                recomputed_nodes=report.recomputed_nodes,
+                total_nodes=report.total_nodes,
+                repair_seconds=repair_seconds,
+            )
+            self.swaps.append(swap)
+            return swap
+
+    def _swap_failed(
+        self, serial: int, batch: Mapping[str, Point], reason: str,
+        exc: Exception,
+    ) -> SwapReport:
+        self.accumulator.restore(batch)
+        staleness = self.staleness
+        rung, __ = self._ladder(staleness, self.active)
+        self.events.append(
+            DegradationEvent(level=rung, reason=reason, detail=str(exc))
+        )
+        # Make the grown staleness durable: re-commit the *active*
+        # policy at its own serial with the new age, so a crash-restart
+        # cannot restore believing the old policy is fresh.  DP sidecar
+        # is withheld — the shadow's may already be ahead of the active
+        # policy after a voided swap, and a cold restore is the safe
+        # default in a degraded window.
+        self._commit(
+            self.active.policy,
+            self.active.serial,
+            None,
+            policy_age=staleness,
+            rung=rung,
+        )
+        swap = SwapReport(
+            serial=serial,
+            promoted=False,
+            committed=False,
+            staleness=staleness,
+            repair_seconds=0.0,
+            reason=reason,
+        )
+        self.swaps.append(swap)
+        return swap
+
+    def _fingerprint(self) -> Dict[str, object]:
+        """Adoptability key — matches ``CSP._fingerprint`` field-for-field
+        so epoch journals and pipeline journals are interchangeable."""
+        return {
+            "engine": self._shadow.engine,
+            "k": self.k,
+            "max_depth": self._shadow.max_depth,
+            "prune": self._shadow.prune,
+            "region": list(self.region.as_tuple()),
+        }
+
+    def _commit(
+        self,
+        policy: CloakingPolicy,
+        serial: int,
+        solution: object,
+        policy_age: int = 0,
+        rung: str = "fresh",
+    ) -> Optional[bool]:
+        """Journal one epoch.  True = durable, False = degraded-but-
+        promotable (single-journal media error), None = void (quorum
+        lost; the caller must not promote)."""
+        if self.journal is None:
+            return True
+        state = {"policy_age": policy_age, "rung": rung}
+        try:
+            if isinstance(self.journal, QuorumJournal):
+                self.journal.commit(
+                    policy,
+                    serial,
+                    self._fingerprint(),
+                    solution=solution,
+                    state=state,
+                )
+            else:
+                self.journal.commit(
+                    policy,
+                    serial,
+                    self._fingerprint(),
+                    solution=solution,
+                    state=state,
+                    _chaos=self.swap_chaos,
+                )
+        except RecoveryError as exc:
+            self.events.append(
+                DegradationEvent(
+                    level="journal", reason="swap-abort", detail=str(exc)
+                )
+            )
+            return None
+        except OSError as exc:
+            self.events.append(
+                DegradationEvent(
+                    level="journal", reason="commit-failed", detail=str(exc)
+                )
+            )
+            return False
+        return True
+
+    # -- recovery --------------------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        journal: Journal,
+        *,
+        current_serial: Optional[int] = None,
+        max_stale_snapshots: int = 1,
+        coarsen_grace: int = 1,
+        publish_shared: bool = False,
+        injector: Optional[FaultInjector] = None,
+        swap_chaos: Optional[Callable[[str], None]] = None,
+    ) -> "EpochManager":
+        """Rebuild the serving layer from its journal after a crash.
+
+        Staleness survives the restart: the journalled ``policy_age``
+        (and ``current_serial``, when the world's clock is known) seeds
+        the world serial, so a manager that died on the stale rung comes
+        back on the stale rung — the recovery bound allows the full
+        ladder (stale + coarsen grace) before failing closed.
+        """
+        snapshot = journal.recover(
+            current_serial=current_serial,
+            max_stale_snapshots=max_stale_snapshots + coarsen_grace,
+        )
+        fp = snapshot.fingerprint
+        region_values = fp.get("region")
+        if not isinstance(region_values, (list, tuple)):
+            raise RecoveryError(
+                "journal fingerprint lacks a region", reason="fingerprint"
+            )
+        manager = cls(
+            Rect(*[float(v) for v in region_values]),
+            int(fp["k"]),  # type: ignore[arg-type]
+            None,
+            max_depth=int(fp.get("max_depth", 40)),  # type: ignore[arg-type]
+            prune=bool(fp.get("prune", True)),
+            engine=str(fp.get("engine", "flat")),
+            journal=journal,
+            max_stale_snapshots=max_stale_snapshots,
+            coarsen_grace=coarsen_grace,
+            publish_shared=publish_shared,
+            injector=injector,
+            swap_chaos=swap_chaos,
+            _recovered=snapshot,
+        )
+        if current_serial is not None:
+            manager._world_serial = max(
+                manager._world_serial, current_serial
+            )
+        return manager
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            active = self.active
+            return {
+                "world_serial": self._world_serial,
+                "active_serial": active.serial,
+                "staleness": self._world_serial - active.serial,
+                "active_pins": active.pins,
+                "lingering_epochs": len(self._lingering),
+                "pending_moves": self.accumulator.pending,
+                "ingested": self.accumulator.ingested,
+                "coalesced": self.accumulator.coalesced,
+                "swaps": len(self.swaps),
+                "promoted": sum(1 for s in self.swaps if s.promoted),
+            }
+
+    def close(self) -> None:
+        """Shutdown: unlink every segment regardless of pins."""
+        with self._lock:
+            epochs = list(self._lingering)
+            if self._active is not None:
+                epochs.append(self._active)
+            self._lingering.clear()
+            for epoch in epochs:
+                if epoch.shared is not None:
+                    try:
+                        epoch.shared.unlink()
+                    finally:
+                        epoch.shared.close()
+                    epoch.shared = None
+
+    def __enter__(self) -> "EpochManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

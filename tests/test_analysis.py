@@ -474,6 +474,59 @@ class TestResourceSafety:
 
 
 # ---------------------------------------------------------------------------
+# EP: epoch integrity of the flat-tree arrays
+# ---------------------------------------------------------------------------
+
+
+class TestEpochIntegrity:
+    def test_array_store_outside_owners_fires(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "serving/patch.py": """
+                def tweak(flat, idx):
+                    flat.count[idx] = 0
+                    flat.area[idx] += 1.0
+                    del flat.leaf_rows[idx]
+                """
+            },
+        )
+        assert [f.rule for f in report.new_findings] == [
+            "EP001", "EP001", "EP001",
+        ]
+
+    def test_owning_layers_may_mutate(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "trees/compile.py": """
+                def fill(flat, idx, n):
+                    flat.count[idx] = n
+                """,
+                "streaming/repair.py": """
+                def patch(flat, idx, n):
+                    flat.count[idx] = n
+                """,
+            },
+        )
+        assert rules_fired(report) == []
+
+    def test_reads_and_other_fields_are_clean(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "serving/read.py": """
+                def peek(flat, stats, idx):
+                    total = flat.count[idx] + flat.area[idx]
+                    stats.hits[idx] = total  # not a flat-tree field
+                    return total
+                """
+            },
+        )
+        assert rules_fired(report) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions, baselines, CLI
 # ---------------------------------------------------------------------------
 

@@ -578,3 +578,121 @@ class TestQuorumCSPRestore:
         with pytest.raises(RecoveryError) as err:
             CSP.restore(provider, QuorumJournal(roots))
         assert err.value.reason == "quorum"
+
+
+class TestStalenessStateBlock:
+    """PR-8 regression: ``policy_age`` and the serving rung ride the
+    commit record, so a crash-restart can never silently reset
+    staleness to zero and serve over-age cloaks as fresh."""
+
+    FP = FINGERPRINT
+
+    def test_state_survives_commit_recover_round_trip(self, journal):
+        journal.commit(
+            build_policy(), 3, self.FP,
+            state={"policy_age": 1, "rung": "stale"},
+        )
+        snapshot = journal.recover(max_stale_snapshots=2)
+        assert snapshot.serial == 3
+        assert snapshot.policy_age == 1
+        assert snapshot.rung == "stale"
+
+    def test_stateless_commit_defaults_to_fresh(self, journal):
+        journal.commit(build_policy(), 0, self.FP)
+        snapshot = journal.recover()
+        assert snapshot.policy_age == 0
+        assert snapshot.rung == "fresh"
+
+    def test_recommit_of_same_serial_updates_age(self, journal):
+        """The failed-repair path re-commits the unchanged policy at
+        its own serial with the grown age — newest commit wins."""
+        policy = build_policy()
+        journal.commit(policy, 2, self.FP)
+        journal.commit(
+            policy, 2, self.FP,
+            state={"policy_age": 2, "rung": "coarsened"},
+        )
+        snapshot = journal.recover(max_stale_snapshots=2)
+        assert snapshot.serial == 2
+        assert snapshot.policy_age == 2
+        assert snapshot.rung == "coarsened"
+
+    def test_persisted_age_enforces_the_stale_bound(self, journal):
+        """Even with no ``current_serial`` hint, a journalled age past
+        the bound fails closed: the age is the journal's own testimony
+        that the policy trails the world."""
+        journal.commit(
+            build_policy(), 5, self.FP,
+            state={"policy_age": 2, "rung": "coarsened"},
+        )
+        snapshot = journal.recover(max_stale_snapshots=2)
+        assert snapshot.policy_age == 2
+        with pytest.raises(RecoveryError) as err:
+            journal.recover(max_stale_snapshots=1)
+        assert err.value.reason == "stale"
+
+    def test_age_and_serial_gap_combine(self, journal):
+        """``current_serial`` measures the gap since the commit; the
+        persisted age measures the gap *at* the commit.  The larger of
+        the two is the real staleness."""
+        journal.commit(
+            build_policy(), 5, self.FP,
+            state={"policy_age": 1, "rung": "stale"},
+        )
+        assert journal.recover(
+            current_serial=5, max_stale_snapshots=1
+        ).policy_age == 1
+        with pytest.raises(RecoveryError) as err:
+            journal.recover(current_serial=7, max_stale_snapshots=1)
+        assert err.value.reason == "stale"
+
+    def test_quorum_round_trip_carries_state(self, tmp_path):
+        roots = [str(tmp_path / f"replica-{i}") for i in range(3)]
+        quorum = QuorumJournal(roots)
+        quorum.commit(
+            build_policy(), 1, self.FP,
+            state={"policy_age": 1, "rung": "stale"},
+        )
+        destroy_replica(roots[2])
+        snapshot = quorum.recover(max_stale_snapshots=2)
+        assert snapshot.serial == 1
+        assert snapshot.policy_age == 1
+        assert snapshot.rung == "stale"
+
+    def test_csp_journals_its_age_after_failed_repair(
+        self, provider, journal
+    ):
+        """End to end: a CSP whose repair fails re-commits its grown
+        age, and the restored CSP resumes on the stale rung instead of
+        believing itself fresh."""
+        from repro.robustness.faults import (
+            FaultInjector,
+            FaultPlan,
+            FaultRule,
+        )
+
+        db = uniform_users(60, REGION, seed=12)
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(FaultRule(site="repair", kind="error", match="1"),),
+                seed=0,
+            )
+        )
+        csp = CSP(REGION, K, db, provider, journal=journal,
+                  max_stale_snapshots=2, injector=injector)
+        moves = random_moves(
+            csp.anonymizer.current_db, 0.1, REGION,
+            max_distance=120.0, seed=5,
+        )
+        csp.advance_snapshot(moves)
+        assert csp.policy_age == 1
+        del csp
+
+        snapshot = journal.recover(max_stale_snapshots=2)
+        assert snapshot.policy_age == 1
+        assert snapshot.rung == "stale"
+        restored = CSP.restore(provider, journal, max_stale_snapshots=2)
+        assert restored.policy_age == 1
+        served = restored.request(db.user_ids()[0], [("poi", "rest")])
+        assert served.degradation == "stale"
+        assert served.policy_age == 1

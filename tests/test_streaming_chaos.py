@@ -1,0 +1,260 @@
+"""Mid-swap chaos: every crash window of the epoch swap either completes
+the swap or fails closed with the prior epoch intact.
+
+Three real fault families, per DESIGN §12:
+
+* a fleet **worker** SIGKILLed on receiving the epoch broadcast — the
+  dispatcher's respawn lands the replacement on the new epoch and the
+  swap completes (respawn-as-ack);
+* the **repairer process** SIGKILLed between swap-intent and
+  swap-commit — restart restores the prior epoch bit-identically (the
+  dangling intent is void);
+* a journal **replica destroyed** between swap-intent and swap-commit —
+  one loss still reaches quorum and promotes; a double loss voids the
+  swap, the prior epoch keeps serving stale, and repair + re-commit
+  converge on the next tick.
+
+The invariant throughout: served cloaks are bit-identical to a
+from-scratch oracle of the *served* epoch, whichever epoch that is.
+"""
+
+import pathlib
+from multiprocessing import Process
+
+import pytest
+
+from repro import Rect, ServiceUnavailableError
+from repro.core.anonymizer import PolicyAwareAnonymizer
+from repro.core.errors import RecoveryError
+from repro.data import uniform_users
+from repro.lbs import LBSProvider, generate_pois
+from repro.lbs.mobility import random_moves
+from repro.lbs.pipeline import ServedRequest
+from repro.robustness.chaos import ReplicaKillPlan, kill_current_process
+from repro.robustness.recovery import PolicyJournal, QuorumJournal
+from repro.serving import FleetConfig, FleetDispatcher
+from repro.streaming import EpochManager
+
+REGION = Rect(0, 0, 4096, 4096)
+K = 8
+DEV_SHM = pathlib.Path("/dev/shm")
+
+
+def shm_segments():
+    if not DEV_SHM.is_dir():
+        return set()
+    return {p.name for p in DEV_SHM.iterdir() if p.name.startswith("psm_")}
+
+
+def policy_dict(policy):
+    return {uid: cloak for uid, cloak in policy.items()}
+
+
+def moves_for(db, fraction, seed=1):
+    return random_moves(
+        db, fraction, REGION, max_distance=400.0, seed=seed
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fleet worker SIGKILL mid-swap
+# ---------------------------------------------------------------------------
+
+
+class TestFleetEpochChaos:
+    @pytest.fixture
+    def db(self):
+        return uniform_users(160, REGION, seed=71)
+
+    @pytest.fixture
+    def provider(self):
+        return LBSProvider(generate_pois(REGION, {"rest": 60}, seed=72))
+
+    def _workload(self, db, n=30):
+        return [(uid, [("poi", "rest")]) for uid in db.user_ids()[:n]]
+
+    def test_advance_epoch_serves_new_oracle_and_drains_segment(
+        self, db, provider
+    ):
+        before = shm_segments()
+        config = FleetConfig(n_workers=2, worker_timeout=30.0)
+        with FleetDispatcher(REGION, K, db, provider, config) as disp:
+            workload = self._workload(db)
+            disp.serve(workload)
+            moves = moves_for(db, 0.1)
+            assert disp.advance_epoch(moves) == 1
+            results = disp.serve(workload)
+            oracle = PolicyAwareAnonymizer(REGION, K).fit(
+                db.with_moves(moves)
+            ).policy
+            for result in results:
+                assert isinstance(result, ServedRequest)
+                assert result.anonymized.cloak == oracle.cloak_for(
+                    result.request.user_id
+                )
+        stats = disp.close()
+        assert stats.epochs == 1 and stats.lost_workers == 0
+        # Both the retired and the final segment are gone: no leak.
+        assert shm_segments() <= before
+
+    def test_worker_sigkilled_mid_swap_respawn_completes_it(
+        self, db, provider
+    ):
+        """kill_on_epoch: worker 0 dies between broadcast and ack; the
+        respawn (built from the new spec) is the ack, the swap
+        completes, and post-swap cloaks match the new-epoch oracle."""
+        before = shm_segments()
+        config = FleetConfig(
+            n_workers=2, worker_timeout=30.0, kill_on_epoch={0: 1}
+        )
+        with FleetDispatcher(REGION, K, db, provider, config) as disp:
+            workload = self._workload(db)
+            disp.serve(workload)
+            moves = moves_for(db, 0.1)
+            assert disp.advance_epoch(moves) == 1
+            results = disp.serve(workload)
+            oracle = PolicyAwareAnonymizer(REGION, K).fit(
+                db.with_moves(moves)
+            ).policy
+            for result in results:
+                assert isinstance(result, ServedRequest)
+                assert result.anonymized.cloak == oracle.cloak_for(
+                    result.request.user_id
+                )
+        stats = disp.close()
+        assert stats.epochs == 1
+        assert stats.respawns == 1
+        assert stats.lost_workers == 0
+        assert shm_segments() <= before
+
+
+# ---------------------------------------------------------------------------
+# Repairer SIGKILL between swap-intent and swap-commit
+# ---------------------------------------------------------------------------
+
+
+def _repairer_child(root: str, phase: str) -> None:
+    """Run one epoch swap and SIGKILL mid-commit at ``phase``."""
+    db = uniform_users(150, REGION, seed=21)
+    armed = []
+
+    def chaos(fired_phase: str) -> None:
+        if armed and fired_phase == phase:
+            kill_current_process()
+
+    manager = EpochManager(
+        REGION, K, db, journal=PolicyJournal(root), swap_chaos=chaos
+    )
+    armed.append(True)  # the serial-0 init commit is exempt
+    manager.advance(moves_for(db, 0.2, seed=7))
+    raise SystemExit(1)  # unreachable: the hook must have killed us
+
+
+class TestRepairerKill:
+    @pytest.mark.parametrize("phase", ["intent", "snapshot"])
+    def test_sigkill_mid_commit_restores_prior_epoch(
+        self, tmp_path, phase
+    ):
+        root = str(tmp_path / "journal")
+        child = Process(target=_repairer_child, args=(root, phase))
+        child.start()
+        child.join(timeout=60.0)
+        assert child.exitcode == -9  # died by SIGKILL, mid-commit
+
+        # The swap never committed: recovery lands on epoch 0, one swap
+        # stale (the dangling swap-intent is void, not a torn hybrid).
+        restored = EpochManager.restore(
+            PolicyJournal(root), current_serial=1
+        )
+        assert restored.active.serial == 0
+        assert restored.staleness == 1
+        assert policy_dict(restored.active.policy) == policy_dict(
+            restored.oracle_policy()
+        )
+        with restored.pin() as pin:
+            assert pin.rung == "stale"
+
+
+# ---------------------------------------------------------------------------
+# Replica destruction between swap-intent and swap-commit
+# ---------------------------------------------------------------------------
+
+
+class TestReplicaLossMidSwap:
+    @pytest.fixture
+    def db(self):
+        return uniform_users(150, REGION, seed=23)
+
+    @pytest.fixture
+    def roots(self, tmp_path):
+        return [str(tmp_path / f"replica-{i}") for i in range(3)]
+
+    @pytest.mark.parametrize("phase", ["intent", "snapshot"])
+    def test_single_loss_still_promotes_durably(self, db, roots, phase):
+        """Destroying one replica mid-swap-commit leaves a 2/3 quorum:
+        the swap promotes, and a restore sees the new epoch."""
+        journal = QuorumJournal(
+            roots, kill_plan=ReplicaKillPlan.single(1, 1, phase)
+        )
+        manager = EpochManager(REGION, K, db, journal=journal)
+        moves = moves_for(db, 0.15)
+        swap = manager.advance(moves)
+        assert swap.promoted and swap.committed
+        assert journal.last_commit_failures == (1,)
+        assert policy_dict(manager.active.policy) == policy_dict(
+            manager.oracle_policy()
+        )
+        restored = EpochManager.restore(journal, current_serial=1)
+        assert restored.active.serial == 1
+        assert policy_dict(restored.active.policy) == policy_dict(
+            manager.active.policy
+        )
+
+    def test_double_loss_voids_swap_prior_epoch_intact(self, db, roots):
+        """Two replicas destroyed between swap-intent and swap-commit:
+        durability is unprovable, so the swap is void — the prior epoch
+        keeps serving (stale) and *no* promotion happens.  A minority
+        survivor can never re-quorum on its own, so further ticks keep
+        failing closed and the ladder marches to rejection — degraded
+        availability, never a cloak untied to a durable policy."""
+        journal = QuorumJournal(
+            roots, kill_plan=ReplicaKillPlan.double(1, 0, 2, "snapshot")
+        )
+        manager = EpochManager(
+            REGION, K, db,
+            journal=journal,
+            max_stale_snapshots=1,
+            coarsen_grace=1,
+        )
+        epoch0 = policy_dict(manager.active.policy)
+        uid = db.user_ids()[0]
+
+        swap = manager.advance(moves_for(db, 0.15))
+        assert not swap.promoted
+        assert swap.reason == "journal-quorum"
+        assert manager.active.serial == 0
+        assert manager.staleness == 1
+        # Prior epoch intact: stale rung, exact old-epoch cloaks.
+        cloak, rung = manager.serve_cloak(uid)
+        assert rung == "stale"
+        assert cloak == epoch0[uid]
+
+        # The lone survivor is a minority: recovery refuses to
+        # resurrect state from it (same bar as the quorum layer's own
+        # double-loss test) and further swaps stay void.
+        with pytest.raises(RecoveryError) as err:
+            journal.recover()
+        assert err.value.reason == "quorum"
+        swap = manager.advance()
+        assert not swap.promoted and swap.reason == "journal-quorum"
+        assert manager.staleness == 2
+        coarse, rung = manager.serve_cloak(uid)
+        assert rung == "coarsened"
+        assert coarse.contains_rect(epoch0[uid])
+
+        # Past the ladder: fail closed outright.
+        swap = manager.advance()
+        assert not swap.promoted
+        with pytest.raises(ServiceUnavailableError) as unavailable:
+            manager.pin()
+        assert unavailable.value.reason == "stale"
