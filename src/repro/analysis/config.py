@@ -164,6 +164,17 @@ class AnalysisConfig:
         "rects", "leaf_ptr", "leaf_rows", "user_ids",
     )
 
+    # -- trajectory-ledger ownership (TJ) ------------------------------------
+
+    #: path fragments allowed to mutate trajectory-ledger structures —
+    #: the defense package itself.
+    trajectory_owner_scope: Tuple[str, ...] = ("trajectory/",)
+    #: attribute names of the ledger's state structures whose stores,
+    #: rebinds, and mutating calls TJ001 audits.
+    trajectory_state_fields: FrozenSet[str] = _fs(
+        "_traj_entries", "_traj_surviving"
+    )
+
     # -- shared --------------------------------------------------------------
 
     #: directories never scanned.

@@ -12,6 +12,8 @@
   such as ``SharedMemory`` segments (``resources.py``).
 * ``EP***`` — epoch integrity: flat-tree arrays are frozen outside the
   owning compilation/streaming layers (``epochs.py``).
+* ``TJ***`` — trajectory-ledger ownership: linked-attack history is
+  mutated only inside ``trajectory/`` (``trajectory.py``).
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from .epochs import EpochIntegrityRule
 from .failclosed import FailClosedRule
 from .resources import ResourceSafetyRule
 from .taint import PrivacyTaintRule
+from .trajectory import TrajectoryLedgerRule
 
 __all__ = [
     "PrivacyTaintRule",
@@ -33,6 +36,7 @@ __all__ = [
     "DeterminismRule",
     "ResourceSafetyRule",
     "EpochIntegrityRule",
+    "TrajectoryLedgerRule",
     "default_rules",
 ]
 
@@ -46,4 +50,5 @@ def default_rules() -> List[Rule]:
         DeterminismRule(),
         ResourceSafetyRule(),
         EpochIntegrityRule(),
+        TrajectoryLedgerRule(),
     ]

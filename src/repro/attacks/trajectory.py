@@ -18,7 +18,7 @@ that erosion so future mitigation work can be evaluated against it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..core.policy import CloakingPolicy
 from ..core.requests import AnonymizedRequest
@@ -54,7 +54,17 @@ def trajectory_attack(
     force at its snapshot (the policy-aware attacker knows every
     deployed policy).  The attacker's candidate set for the whole
     trajectory is the intersection of the per-snapshot candidate sets.
+
+    Raises :class:`ValueError` on an empty sequence: with nothing
+    observed there is no trajectory to attack, and the old empty result
+    read as ``identified`` (0 surviving candidates) — the opposite of
+    what "no information" means.
     """
+    if not linked:
+        raise ValueError(
+            "trajectory_attack needs at least one linked request; an "
+            "empty observation set has no candidate intersection"
+        )
     per_request: List[Tuple[str, ...]] = []
     surviving: Set[str] = set()
     first = True
@@ -75,13 +85,26 @@ def trajectory_attack(
 def anonymity_erosion(
     user_id: str,
     policies: Sequence[CloakingPolicy],
+    k: Optional[int] = None,
 ) -> List[int]:
     """Track how a user's trajectory anonymity erodes snapshot by
     snapshot if she requests in every one of ``policies``.
 
     Returns the surviving-candidate count after each snapshot; the first
     entry is ≥ k (the per-snapshot guarantee), later entries may shrink.
+    With ``k`` given, each entry is clamped at the per-snapshot k floor
+    (``min(raw, k)``): the curve then reads as "how much of the
+    guarantee survives", starting exactly at k and decaying — raw counts
+    above k are slack the guarantee never promised, and leaving them in
+    makes curves from differently-sized groups incomparable.
+
+    Raises :class:`ValueError` on an empty policy sequence (there is no
+    trajectory to erode).
     """
+    if not policies:
+        raise ValueError(
+            "anonymity_erosion needs at least one policy snapshot"
+        )
     linked = []
     erosion: List[int] = []
     for policy in policies:
@@ -91,5 +114,6 @@ def anonymity_erosion(
             payload=(),
         )
         linked.append((request, policy))
-        erosion.append(trajectory_attack(linked).anonymity)
+        surviving = trajectory_attack(linked).anonymity
+        erosion.append(surviving if k is None else min(surviving, k))
     return erosion

@@ -11,6 +11,8 @@ Operational front door for the library:
   capacity sweep, DES cross-validation);
 * ``churn``      — the zero-blackout churn artifact (stop-the-world
   repair vs double-buffered epoch swap, DES + live, oracle gates);
+* ``trajectory`` — the linking-attack artifact (undefended erosion vs
+  continuity-constrained cloaking, with audit and cost gates);
 * ``fleet``      — serve a synthetic workload through the sharded
   gateway fleet and print per-worker stats.
 """
@@ -166,6 +168,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     churn.add_argument("--results-dir", default="bench_results")
     churn.add_argument("--seed", type=int, default=7)
+
+    trajectory = sub.add_parser(
+        "trajectory",
+        help="trajectory report: linking-attack erosion vs the "
+        "continuity-constrained cloaking defense, served scenario + "
+        "DES cost, with closing audit gates",
+    )
+    trajectory.add_argument(
+        "--scale",
+        default="default",
+        choices=("quick", "default", "full"),
+        help="workload size (quick is CI-sized)",
+    )
+    trajectory.add_argument("--results-dir", default="bench_results")
+    trajectory.add_argument("--seed", type=int, default=7)
 
     fleet = sub.add_parser(
         "fleet",
@@ -327,6 +344,21 @@ def _cmd_churn(args) -> int:
     return 0 if report["all_gates_pass"] else 1
 
 
+def _cmd_trajectory(args) -> int:
+    from .experiments.trajectory import write_trajectory_report
+
+    json_path, txt_path = write_trajectory_report(
+        scale=args.scale, results_dir=args.results_dir, seed=args.seed
+    )
+    with open(txt_path, "r", encoding="utf-8") as handle:
+        print(handle.read().rstrip())
+    print(f"\ntrajectory report -> {json_path}, {txt_path}")
+    # Fail visibly when the defense (or the attack baseline) gates broke.
+    with open(json_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    return 0 if report["all_gates_pass"] else 1
+
+
 def _cmd_fleet(args) -> int:
     from .data import uniform_users
     from .lbs import LBSProvider, generate_pois
@@ -389,6 +421,7 @@ _HANDLERS = {
     "verify-results": _cmd_verify_results,
     "slo-report": _cmd_slo_report,
     "churn": _cmd_churn,
+    "trajectory": _cmd_trajectory,
     "fleet": _cmd_fleet,
 }
 

@@ -3,7 +3,13 @@ the untrusted provider, the CSP pipeline, caching, and user mobility."""
 
 from .cache import AnswerCache, AsyncAnswerCache, CacheStats
 from .locationdb import LocationDatabase, SnapshotSequence
-from .mobility import movement_stream, random_moves
+from .mobility import (
+    TrajectorySchedule,
+    movement_stream,
+    random_moves,
+    trajectory_schedule,
+    walk_snapshots,
+)
 from .pipeline import (
     CSP,
     MobilePositioningCenter,
@@ -40,8 +46,11 @@ __all__ = [
     "ServiceTimes",
     "SimulationReport",
     "SnapshotSequence",
+    "TrajectorySchedule",
     "generate_pois",
     "movement_stream",
     "poisson_schedule",
     "random_moves",
+    "trajectory_schedule",
+    "walk_snapshots",
 ]

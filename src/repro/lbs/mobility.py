@@ -10,7 +10,8 @@ snapshot-stream convenience for longer simulations.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -18,7 +19,13 @@ from ..core.errors import WorkloadError
 from ..core.geometry import Point, Rect
 from .locationdb import LocationDatabase
 
-__all__ = ["random_moves", "movement_stream"]
+__all__ = [
+    "random_moves",
+    "movement_stream",
+    "walk_snapshots",
+    "trajectory_schedule",
+    "TrajectorySchedule",
+]
 
 
 def _rng(seed) -> np.random.Generator:
@@ -76,3 +83,110 @@ def movement_stream(
         moves = random_moves(current, fraction, region, max_distance, rng)
         current = current.with_moves(moves)
         yield moves
+
+
+def walk_snapshots(
+    db: LocationDatabase, moves: Sequence[Dict[str, Point]]
+) -> List[LocationDatabase]:
+    """Apply a move-set sequence as a walk: snapshot *i+1* is snapshot
+    *i* plus ``moves[i]``.  Returns all ``len(moves) + 1`` snapshots,
+    starting with ``db`` itself — the one trace-replay helper shared by
+    the trajectory bench, the DES scenario, and the mobility tests."""
+    snapshots = [db]
+    for move_set in moves:
+        snapshots.append(snapshots[-1].with_moves(move_set))
+    return snapshots
+
+
+@dataclass(frozen=True)
+class TrajectorySchedule:
+    """One seeded mobility trace paired with one Poisson arrival stream.
+
+    The pairing is the point: the trajectory bench and the DES both need
+    "users move every ``snapshot_period`` seconds *and* issue requests
+    in between", and generating the two halves from one seed keeps the
+    defended and undefended runs (and any test replaying them) on the
+    byte-identical workload.
+    """
+
+    region: Rect
+    duration: float
+    snapshot_period: float
+    #: (time, user, category), time-ordered over ``[0, duration)``.
+    arrivals: Tuple[Tuple[float, str, str], ...]
+    #: per-boundary move sets: ``moves[i]`` is applied at time
+    #: ``(i + 1) * snapshot_period`` (a bounded random walk per user).
+    moves: Tuple[Dict[str, Point], ...]
+
+    @property
+    def n_snapshots(self) -> int:
+        """Distinct location snapshots the schedule runs through."""
+        return len(self.moves) + 1
+
+    def snapshots(self, db: LocationDatabase) -> List[LocationDatabase]:
+        """The trace replayed from ``db`` (see :func:`walk_snapshots`)."""
+        return walk_snapshots(db, self.moves)
+
+    def arrival_batches(self) -> List[List[Tuple[float, str, str]]]:
+        """Arrivals grouped by snapshot window: batch *i* holds the
+        arrivals served under snapshot *i* (before ``moves[i]`` lands)."""
+        batches: List[List[Tuple[float, str, str]]] = [
+            [] for __ in range(self.n_snapshots)
+        ]
+        for arrival in self.arrivals:
+            index = min(
+                int(arrival[0] / self.snapshot_period), self.n_snapshots - 1
+            )
+            batches[index].append(arrival)
+        return batches
+
+
+def trajectory_schedule(
+    db: LocationDatabase,
+    fraction: float,
+    region: Rect,
+    *,
+    rate_per_user: float,
+    duration: float,
+    snapshot_period: float,
+    max_distance: float = 200.0,
+    categories: Tuple[str, ...] = ("rest", "groc", "cinema"),
+    seed: int = 0,
+) -> TrajectorySchedule:
+    """Build a :class:`TrajectorySchedule` from one seed.
+
+    The mobility trace is drawn first, then the arrival stream, both
+    from the same generator — so a given ``seed`` fixes the entire
+    workload, and two consumers (bench vs DES, defended vs undefended)
+    replay identical traces.
+    """
+    if snapshot_period <= 0:
+        raise WorkloadError("snapshot_period must be > 0")
+    if duration <= 0:
+        raise WorkloadError("duration must be > 0")
+    # Local import: simulation imports this module at load time.
+    from .simulation import poisson_schedule
+
+    rng = _rng(seed)
+    n_boundaries = max(0, math.ceil(duration / snapshot_period) - 1)
+    moves = tuple(
+        movement_stream(
+            db, fraction, region, n_boundaries, max_distance, rng
+        )
+    )
+    arrivals = tuple(
+        poisson_schedule(
+            db.user_ids(),
+            rate_per_user,
+            duration,
+            categories=categories,
+            seed=rng,
+        )
+    )
+    return TrajectorySchedule(
+        region=region,
+        duration=float(duration),
+        snapshot_period=float(snapshot_period),
+        arrivals=arrivals,
+        moves=moves,
+    )

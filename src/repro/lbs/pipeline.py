@@ -33,7 +33,19 @@ Fault tolerance (all opt-in; the happy path is byte-identical):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.streaming
+    from ..trajectory.constraint import ContinuityConstraint
 
 from ..core.anonymizer import IncrementalAnonymizer, UpdateReport
 from ..core.errors import (
@@ -228,6 +240,7 @@ class CSP:
         engine: str = "flat",
         journal: Optional[Union[PolicyJournal, QuorumJournal]] = None,
         policy: Optional[CloakingPolicy] = None,
+        trajectory: Optional["ContinuityConstraint"] = None,
         _recovered: Optional[RecoveredSnapshot] = None,
     ):
         self.region = region
@@ -239,6 +252,11 @@ class CSP:
         self.provider_deadline = provider_deadline
         self.max_stale_snapshots = max_stale_snapshots
         self.journal = journal
+        #: trajectory-continuity defense (opt-in): a
+        #: :class:`~repro.trajectory.constraint.ContinuityConstraint`
+        #: whose ledger every served cloak is folded into; its state
+        #: rides the journal state block so restarts resume continuity.
+        self.trajectory = trajectory
         #: the unwrapped provider — the async gateway builds its pooled
         #: client on this and applies its own (async) injector site, so
         #: faults are not injected twice on the async path.
@@ -276,6 +294,13 @@ class CSP:
             self.policy_age = _recovered.policy_age
             self._snapshot_index = _recovered.serial + _recovered.policy_age
             self.restored = True
+            if (
+                self.trajectory is not None
+                and _recovered.trajectory is not None
+            ):
+                # Resume continuity state: post-restart cloak choices
+                # must keep honoring the pre-crash served history.
+                self.trajectory.ledger.adopt_state(_recovered.trajectory)
             self.events.append(
                 DegradationEvent(
                     level="recovered",
@@ -340,16 +365,19 @@ class CSP:
         """
         if self.journal is None:
             return
+        state: Dict[str, object] = {
+            "policy_age": self.policy_age,
+            "rung": self._serving_rung(),
+        }
+        if self.trajectory is not None:
+            state["trajectory"] = self.trajectory.ledger.to_state()
         try:
             self.journal.commit(
                 self.anonymizer.policy,
                 self._snapshot_index - self.policy_age,
                 self._fingerprint(),
                 solution=self.anonymizer.solution,
-                state={
-                    "policy_age": self.policy_age,
-                    "rung": self._serving_rung(),
-                },
+                state=state,
             )
         except OSError as exc:
             self.events.append(
@@ -374,6 +402,7 @@ class CSP:
         injector: Optional[FaultInjector] = None,
         clock: Optional[Clock] = None,
         max_stale_snapshots: int = 1,
+        trajectory: Optional["ContinuityConstraint"] = None,
     ) -> "CSP":
         """Resurrect a CSP from its journal after a crash or restart.
 
@@ -406,6 +435,7 @@ class CSP:
             max_stale_snapshots=max_stale_snapshots,
             engine=str(fp.get("engine", "flat")),
             journal=journal,
+            trajectory=trajectory,
             _recovered=snapshot,
         )
         if current_serial is not None:
@@ -459,11 +489,72 @@ class CSP:
         anonymized = self._anonymize_fail_closed(service_request)
         if anonymized.cloak != self.anonymizer.policy.cloak_for(str(user_id)):
             degradation = "coarsened"
+        if self.trajectory is not None:
+            anonymized, widened = self._apply_trajectory(
+                str(user_id), anonymized
+            )
+            if widened:
+                degradation = "coarsened"
         return PreparedRequest(
             request=service_request,
             anonymized=anonymized,
             degradation=degradation,
             policy_age=self.policy_age,
+        )
+
+    def _apply_trajectory(
+        self, user_id: str, anonymized: AnonymizedRequest
+    ) -> Tuple[AnonymizedRequest, bool]:
+        """Continuity rung: hold the served-history intersection ≥ k.
+
+        The constraint only ever *widens* the cloak the earlier rungs
+        decided (fine or coarsened ancestor), so their k-safety carries
+        over; when no widening up to the root works, it raises
+        :class:`ServiceUnavailableError` with ``reason="trajectory"`` —
+        the ladder's fail-closed tail.  The admitted decision is folded
+        into the ledger before any provider I/O, so concurrent gateway
+        requests are constrained by it deterministically.
+        """
+        assert self.trajectory is not None
+        try:
+            decision = self.trajectory.enforce(
+                self.anonymizer.policy,
+                user_id,
+                region=self.region,
+                orientation=getattr(
+                    self.anonymizer.tree, "orientation", "vertical"
+                ),
+                cloak=anonymized.cloak,
+                serial=self._snapshot_index,
+            )
+        except ServiceUnavailableError:
+            self.events.append(
+                DegradationEvent(
+                    level="rejected",
+                    reason="trajectory",
+                    detail=f"user {user_id!r}: no admissible cloak",
+                )
+            )
+            raise
+        if decision.cloak == anonymized.cloak:
+            return anonymized, False
+        self.events.append(
+            DegradationEvent(
+                level="coarsened",
+                reason="trajectory",
+                detail=(
+                    f"user {user_id!r} widened {decision.levels} level(s), "
+                    f"surviving {decision.surviving} ≥ k={self.k}"
+                ),
+            )
+        )
+        return (
+            AnonymizedRequest(
+                request_id=anonymized.request_id,
+                cloak=decision.cloak,
+                payload=anonymized.payload,
+            ),
+            True,
         )
 
     def complete(

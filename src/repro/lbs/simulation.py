@@ -27,16 +27,20 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.errors import WorkloadError
+from ..core.errors import ServiceUnavailableError, WorkloadError
 from ..core.geometry import Rect
 from ..core.locationdb import LocationDatabase
 from ..robustness.faults import FaultInjector, InjectedFault
 from ..robustness.retry import RetryPolicy
 from .mobility import random_moves
+
+if TYPE_CHECKING:  # runtime import happens lazily in the constructor
+    from ..trajectory.audit import ServedTrajectories
+    from ..trajectory.constraint import ContinuityConstraint
 
 __all__ = [
     "GatewaySimulation",
@@ -116,6 +120,20 @@ class SimulationReport:
     #: simulation was built with ``oracle_check=True``.  Must be 0: the
     #: anonymity invariant across swaps.
     oracle_mismatches: int = 0
+    #: serves the trajectory-continuity solver had to widen past the
+    #: policy's fine cloak (the utility cost of the linking defense).
+    trajectory_widened: int = 0
+    #: arrivals rejected fail-closed because no cloak — up to the whole
+    #: region — kept the surviving intersection ≥ k.
+    trajectory_rejected: int = 0
+    #: total area (m²) of every served cloak; with :attr:`served` this
+    #: yields the mean cloak area — the second axis of the defense cost.
+    served_area_sum: float = 0.0
+
+    @property
+    def mean_served_area(self) -> float:
+        """Mean area of the cloaks that actually went over the wire."""
+        return self.served_area_sum / self.served if self.served else 0.0
 
     @property
     def throughput(self) -> float:
@@ -190,6 +208,12 @@ class SimulationReport:
                 f"{1e3 * self.restart_seconds:.1f} ms total "
                 f"({1e3 * self.restart_seconds / self.restarts:.1f} ms each)"
             )
+        if self.trajectory_widened or self.trajectory_rejected:
+            lines.append(
+                f"trajectory: {self.trajectory_widened} widened, "
+                f"{self.trajectory_rejected} rejected, mean served cloak "
+                f"{self.mean_served_area:,.0f} m²"
+            )
         return "\n".join(lines)
 
     def summary(self) -> str:
@@ -249,6 +273,9 @@ class LBSSimulation:
         restart_blackout: float = 0.0,
         double_buffered: bool = False,
         oracle_check: bool = False,
+        trajectory_defense: bool = False,
+        audit_stream: bool = False,
+        trajectory_window: int = 16,
     ):
         if request_rate_per_user <= 0:
             raise WorkloadError("request_rate_per_user must be > 0")
@@ -311,6 +338,25 @@ class LBSSimulation:
 
         self.anonymizer = IncrementalAnonymizer(region, k).fit(db)
         self._policy = self.anonymizer.policy
+        #: continuity-constrained cloaking (defense against the linking
+        #: attacker of :mod:`repro.attacks.trajectory`) — serves widened
+        #: ancestors when a user's surviving intersection would drop
+        #: below k, and rejects fail-closed when nothing suffices.
+        self.trajectory: Optional["ContinuityConstraint"] = None
+        #: attacker's-eye record of every served (cloak, policy) pair;
+        #: :meth:`ServedTrajectories.audit` replays the linking attack
+        #: against the stream after the run (the closing audit gate).
+        self.stream: Optional["ServedTrajectories"] = None
+        if trajectory_defense:
+            from ..trajectory.constraint import ContinuityConstraint
+
+            self.trajectory = ContinuityConstraint(
+                k, window=trajectory_window
+            )
+        if audit_stream:
+            from ..trajectory.audit import ServedTrajectories
+
+            self.stream = ServedTrajectories()
 
     # -- the run ---------------------------------------------------------------
 
@@ -483,6 +529,32 @@ class LBSSimulation:
                     # lookup and a coarser, cache-distinct region.
                     coarsened = True
                     service += self.times.cloak_lookup
+            widened = False
+            if self.trajectory is not None and isinstance(cloak, Rect):
+                try:
+                    decision = self.trajectory.enforce(
+                        self._policy,
+                        user,
+                        region=self.region,
+                        orientation=getattr(
+                            self.anonymizer.tree, "orientation", "vertical"
+                        ),
+                        cloak=cloak,
+                        serial=report.snapshots,
+                    )
+                # The trajectory ladder IS the degradation model here:
+                # widen, else reject.  # analysis: ok[FC002]
+                except ServiceUnavailableError:
+                    report.rejected += 1
+                    report.trajectory_rejected += 1
+                    continue
+                if decision.widened:
+                    # The ancestor walk costs one extra cloak lookup,
+                    # mirroring the coarsen rung's timing model.
+                    widened = True
+                    report.trajectory_widened += 1
+                    service += self.times.cloak_lookup
+                    cloak = decision.cloak
             key = (cloak, category, coarsened)
             needs_provider = True
             if self.use_cache:
@@ -503,12 +575,18 @@ class LBSSimulation:
                     cache[key] = True
             finish = start + service
             report.served += 1
+            if isinstance(cloak, Rect):
+                report.served_area_sum += cloak.area
+            if self.stream is not None and isinstance(cloak, Rect):
+                self.stream.observe(
+                    user, cloak, self._policy, widened=widened
+                )
             if serving_age > 0:
                 report.stale_served += 1
                 rung = "stale"
                 if pending_age > 0:
                     report.served_while_repairing += 1
-            elif coarsened:
+            elif coarsened or widened:
                 rung = "coarsened"
             elif recovered_window:
                 rung = "recovered"

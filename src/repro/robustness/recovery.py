@@ -123,6 +123,13 @@ class RecoveredSnapshot:
     #: the degradation rung the committer was serving on ("fresh",
     #: "stale", "recovered", ...) when the state was journalled.
     rung: str = "fresh"
+    #: serialized :class:`~repro.trajectory.ledger.TrajectoryLedger`
+    #: state, when the committer ran the trajectory-continuity defense —
+    #: a restore that dropped it would let post-restart cloak choices
+    #: forget served history and erode linked anonymity below k.
+    trajectory: Optional[Dict[str, object]] = field(
+        default=None, repr=False
+    )
 
 
 def _relabel_tree(tree, ids, left, right) -> bool:
@@ -281,6 +288,11 @@ class PolicyJournal:
                 "policy_age": int(state.get("policy_age", 0)),  # type: ignore[arg-type]
                 "rung": str(state.get("rung", "fresh")),
             }
+            trajectory = state.get("trajectory")
+            if trajectory is not None:
+                # The continuity ledger rides the checksummed document:
+                # it is already plain JSON (TrajectoryLedger.to_state).
+                document["state"]["trajectory"] = dict(trajectory)  # type: ignore[arg-type, index]
         sidecar = self._dp_payload(solution)
         if sidecar is not None:
             payload, structure = sidecar
@@ -541,6 +553,10 @@ class PolicyJournal:
         state = raw_state if isinstance(raw_state, dict) else {}
         policy_age = int(state.get("policy_age", 0))
         rung = str(state.get("rung", "fresh"))
+        raw_trajectory = state.get("trajectory")
+        trajectory = (
+            raw_trajectory if isinstance(raw_trajectory, dict) else None
+        )
         # Effective staleness is the distance from the world, or — when
         # the world serial is unknown — the staleness the committer had
         # already accumulated when it journalled the state block.  Both
@@ -571,6 +587,7 @@ class PolicyJournal:
             checksum=str(intent["checksum"]),
             policy_age=policy_age,
             rung=rung,
+            trajectory=trajectory,
         )
 
     def files_for_serial(self, serial: int) -> List[str]:

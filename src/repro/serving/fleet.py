@@ -86,6 +86,7 @@ from ..core.geometry import Rect
 from ..core.locationdb import LocationDatabase
 from ..core.policy import CloakingPolicy
 from ..robustness.chaos import kill_current_process
+from ..trajectory.ledger import TrajectoryLedger
 from ..trees.binarytree import BinaryTree
 from ..trees.flat import FlatTree, SharedFlatTree, SharedTreeHandle
 from .gateway import AsyncGateway, GatewayConfig, GatewayStats, run_gateway
@@ -194,6 +195,13 @@ class FleetConfig:
     #: is retired dispatcher-side but before it re-attaches and acks —
     #: the respawn must complete the swap.  Not re-armed on respawn.
     kill_on_epoch: Optional[Mapping[int, int]] = None
+    #: trajectory-continuity defense: every worker CSP enforces the
+    #: linking constraint, seeded from the dispatcher's mirror ledger
+    #: shard — ledger shards ride the cloak-keyed routing, hand off on
+    #: respawn, and survive epoch swaps.
+    trajectory: bool = False
+    #: per-user history window of the trajectory ledgers.
+    trajectory_window: int = 16
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -300,6 +308,13 @@ class _FleetSpec:
     #: which policy generation this spec describes; bumped by every
     #: :meth:`FleetDispatcher.advance_epoch`, echoed in the worker ack.
     epoch: int = 0
+    #: trajectory-continuity defense switch; when set the worker CSP
+    #: enforces the linking constraint over a ledger seeded from
+    #: ``trajectory_state`` (the dispatcher's mirror shard for the users
+    #: this slot owns — ``None`` means start empty).
+    trajectory: bool = False
+    trajectory_window: int = 16
+    trajectory_state: Optional[Mapping[str, object]] = None
 
 
 def _build_worker_csp(spec: _FleetSpec) -> Any:
@@ -326,6 +341,14 @@ def _build_worker_csp(spec: _FleetSpec) -> Any:
         db,
         name="fleet-worker",
     )
+    trajectory = None
+    if spec.trajectory:
+        from ..trajectory.constraint import ContinuityConstraint
+
+        ledger = TrajectoryLedger(window=spec.trajectory_window)
+        if spec.trajectory_state is not None:
+            ledger.adopt_state(spec.trajectory_state)
+        trajectory = ContinuityConstraint(spec.k, ledger=ledger)
     return CSP(
         Rect(*spec.region),
         spec.k,
@@ -334,6 +357,7 @@ def _build_worker_csp(spec: _FleetSpec) -> Any:
         spec.use_cache,
         spec.max_depth,
         policy=policy,
+        trajectory=trajectory,
     )
 
 
@@ -540,6 +564,20 @@ class FleetDispatcher:
         #: uid → cloak tuple, the routing key table (and the oracle the
         #: workers independently re-derive from the shared arrays).
         self._cloaks = extract_cloaks(flat, solve_arrays(flat, k), k)
+        #: dispatcher-side mirror of every worker ledger: fed from serve
+        #: results, it is the source of truth for the shard a respawned
+        #: or epoch-swapped worker is seeded with.  Fold order does not
+        #: matter — set intersection commutes — so the mirror equals the
+        #: union of worker ledgers regardless of result interleaving.
+        self._mirror: Optional[TrajectoryLedger] = (
+            TrajectoryLedger(window=self.config.trajectory_window)
+            if self.config.trajectory
+            else None
+        )
+        self._groups: Dict[Tuple[float, ...], Tuple[str, ...]] = {}
+        self._containment: Dict[
+            Tuple[int, Tuple[float, ...]], FrozenSet[str]
+        ] = {}
         self.shared = SharedFlatTree.publish(flat)
         try:
             rows = tuple(
@@ -554,6 +592,8 @@ class FleetDispatcher:
                 handle=self.shared.handle,
                 use_cache=use_cache,
                 max_depth=max_depth,
+                trajectory=self.config.trajectory,
+                trajectory_window=self.config.trajectory_window,
             )
             self.ring = HashRing(
                 range(self.config.n_workers),
@@ -732,17 +772,27 @@ class FleetDispatcher:
         self._cloaks = cloaks
         self._routing = self._build_routing()
         if self.config.mode == "process" and self._started:
+            if self._mirror is not None:
+                # Ledger hand-off needs the mirror complete: every
+                # in-flight serve must land before shards are cut.
+                self._quiesce()
             for slot in self._slots:
                 with slot.lock:
                     if slot.lost or slot.conn is None:
                         with self._cv:
                             slot.epoch_serial = serial
                         continue
+                    slot_spec = new_spec
+                    if self._mirror is not None:
+                        slot_spec = replace(
+                            new_spec,
+                            trajectory_state=self._shard_state(slot.index),
+                        )
                     with contextlib.suppress(BrokenPipeError, OSError):
                         # A broken pipe means the reader thread is about
                         # to respawn the slot onto the new spec — that
                         # respawn is the ack this broadcast wanted.
-                        slot.conn.send(("epoch", new_spec))
+                        slot.conn.send(("epoch", slot_spec))
             deadline = time.monotonic() + self.config.worker_timeout * (
                 self.config.max_respawns + 2
             )
@@ -786,6 +836,9 @@ class FleetDispatcher:
         groups: Dict[Tuple[float, ...], List[str]] = {}
         for uid, cloak in self._cloaks.items():
             groups.setdefault(cloak, []).append(uid)
+        # The mirror ledger's candidate tables ride the same grouping.
+        self._groups = {c: tuple(uids) for c, uids in groups.items()}
+        self._containment.clear()
         with self._ring_lock:
             workers = sorted(self.ring.workers)
             if not workers:
@@ -810,6 +863,77 @@ class FleetDispatcher:
                 for uid in uids:
                     table[uid] = chosen
             return table
+
+    # -- trajectory mirror ----------------------------------------------------
+
+    def _slot_users(self, index: int) -> List[str]:
+        return [uid for uid, widx in self._routing.items() if widx == index]
+
+    def _shard_state(self, index: int) -> Optional[Mapping[str, object]]:
+        """The mirror ledger shard for one slot's routed users, or
+        ``None`` when the defense is off."""
+        if self._mirror is None:
+            return None
+        return self._mirror.subset_state(self._slot_users(index))
+
+    def _record_mirror(self, user_id: str, cloak: Rect) -> None:
+        """Fold one served cloak into the dispatcher's mirror ledger.
+
+        Candidate semantics match :class:`ContinuityConstraint`: the
+        user's fine policy cloak → its exact anonymity group; any other
+        rectangle → every user whose fine cloak it contains (a
+        trajectory widening).  Reader threads race here; the ledger's
+        own lock serializes the folds and ∩ commutes, so interleaving
+        cannot corrupt the mirror.
+        """
+        if self._mirror is None:
+            return
+        key = cloak.as_tuple()
+        fine = self._cloaks.get(user_id)
+        if fine is not None and fine == key:
+            candidates: FrozenSet[str] = frozenset(
+                self._groups.get(key, ())
+            )
+            widened = False
+        else:
+            cache_key = (self._spec.epoch, key)
+            cached = self._containment.get(cache_key)
+            if cached is None:
+                cached = frozenset(
+                    uid
+                    for group, uids in self._groups.items()
+                    if cloak.contains_rect(Rect(*group))
+                    for uid in uids
+                )
+                self._containment[cache_key] = cached
+            candidates = cached
+            widened = True
+        self._mirror.record(
+            user_id,
+            cloak,
+            candidates,
+            serial=self._spec.epoch,
+            widened=widened,
+        )
+
+    def _quiesce(self) -> None:
+        """Wait for every outstanding submission to resolve, so the
+        mirror holds every served cloak before shards are snapshotted
+        for an epoch broadcast."""
+        deadline = time.monotonic() + self.config.worker_timeout * (
+            self.config.max_respawns + 2
+        )
+        with self._cv:
+            while any(
+                slot.outstanding and not slot.lost for slot in self._slots
+            ):
+                if not self._cv.wait(timeout=0.25) and (
+                    time.monotonic() > deadline
+                ):
+                    raise ReproError(
+                        "trajectory quiesce timed out waiting for "
+                        "outstanding submissions"
+                    )
 
     def route(self, user_id: str) -> int:
         """The worker index owning ``user_id``'s cloak key.
@@ -904,7 +1028,15 @@ class FleetDispatcher:
             # Worker startup (attach + deterministic policy derivation)
             # is charged separately from serving, like partition_seconds
             # in the parallel engine.
-            csp = _build_worker_csp(self._spec)
+            spec = self._spec
+            if self._mirror is not None:
+                spec = replace(
+                    spec,
+                    trajectory_state=self._mirror.subset_state(
+                        [user_id for __, user_id, ___ in share]
+                    ),
+                )
+            csp = _build_worker_csp(spec)
             started = time.perf_counter()
             share_results, stats = run_gateway(
                 csp,
@@ -914,8 +1046,13 @@ class FleetDispatcher:
             slot.serve_seconds += time.perf_counter() - started
             slot.requests += len(share)
             slot.stats = merge_gateway_stats(slot.stats, stats)
-            for (i, __, ___), result in zip(share, share_results):
+            for (i, user_id, ___), result in zip(share, share_results):
                 results[i] = result
+                cloak = getattr(
+                    getattr(result, "anonymized", None), "cloak", None
+                )
+                if isinstance(cloak, Rect):
+                    self._record_mirror(user_id, cloak)
         return results
 
     # -- worker death handling ----------------------------------------------
@@ -968,10 +1105,16 @@ class FleetDispatcher:
             if kind == "res":
                 __, seq, served, err = msg
                 with slot.lock:
-                    slot.outstanding.pop(seq, None)
+                    entry = slot.outstanding.pop(seq, None)
                 outcome: object = (
                     served if err is None else _decode_error(err)
                 )
+                if err is None and entry is not None:
+                    cloak = getattr(
+                        getattr(served, "anonymized", None), "cloak", None
+                    )
+                    if isinstance(cloak, Rect):
+                        self._record_mirror(entry[0], cloak)
                 with self._cv:
                     self._results[seq] = outcome
                     self._cv.notify_all()
@@ -1018,6 +1161,13 @@ class FleetDispatcher:
             # also takes, so any swap landing after this read reaches
             # the replacement as an ordinary ``epoch`` message.
             spec = self._spec
+            if self._mirror is not None:
+                # Ledger hand-off: the replacement resumes from the
+                # mirror shard for this slot's routed users, so prior
+                # serves keep constraining it across the respawn.
+                spec = replace(
+                    spec, trajectory_state=self._shard_state(slot.index)
+                )
             conn, proc = self._launch(spec, None)
             slot.conn = conn
             slot.process = proc

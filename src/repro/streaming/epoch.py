@@ -46,7 +46,16 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..core.anonymizer import IncrementalAnonymizer, PolicyAwareAnonymizer
 from ..core.errors import (
@@ -68,6 +77,9 @@ from ..robustness.recovery import (
 )
 from ..trees.flat import FlatTree, SharedFlatTree
 from .ingest import DirtyAccumulator, Moves
+
+if TYPE_CHECKING:  # runtime import would cycle: trajectory imports epoch
+    from ..trajectory.constraint import ContinuityConstraint
 
 Journal = Union[PolicyJournal, QuorumJournal]
 
@@ -253,11 +265,16 @@ class EpochManager:
         publish_shared: bool = False,
         injector: Optional[FaultInjector] = None,
         swap_chaos: Optional[Callable[[str], None]] = None,
+        trajectory: Optional["ContinuityConstraint"] = None,
         _recovered: Optional[RecoveredSnapshot] = None,
     ) -> None:
         self.region = region
         self.k = k
         self.journal = journal
+        #: optional trajectory-continuity solver.  It lives at *manager*
+        #: level, not epoch level: the ledger must survive every
+        #: :meth:`advance` swap — the linking attacker's knowledge does.
+        self.trajectory = trajectory
         self.max_stale_snapshots = max_stale_snapshots
         self.coarsen_grace = coarsen_grace
         self.publish_shared = publish_shared
@@ -285,6 +302,11 @@ class EpochManager:
                 self._shadow.tree, _recovered, k, prune=prune
             )
             self._world_serial = _recovered.serial + _recovered.policy_age
+            if (
+                self.trajectory is not None
+                and _recovered.trajectory is not None
+            ):
+                self.trajectory.ledger.adopt_state(_recovered.trajectory)
             self._install(
                 _recovered.serial, _recovered.policy, origin="restore"
             )
@@ -423,13 +445,57 @@ class EpochManager:
                 return self.serve_cloak(user_id, transient)
         epoch, rung = pin.epoch, pin.rung
         cloak = epoch.policy.cloak_for(str(user_id))
-        if rung != "coarsened":
+        if rung == "coarsened":
+            if not isinstance(cloak, Rect):
+                raise ServiceUnavailableError(
+                    "coarsening needs rectangular cloaks", reason="coarsen"
+                )
+            cloak = self._coarse_cloak(epoch, cloak, pin.levels)
+        if self.trajectory is None:
             return cloak, rung
-        if not isinstance(cloak, Rect):
-            raise ServiceUnavailableError(
-                "coarsening needs rectangular cloaks", reason="coarsen"
+        return self._continuity_cloak(epoch, str(user_id), cloak, rung)
+
+    def _continuity_cloak(
+        self, epoch: Epoch, user_id: str, cloak: Rect, rung: str
+    ) -> Tuple[Rect, str]:
+        """Run the trajectory-continuity solver over the would-be cloak.
+
+        The solver only ever *widens* (or rejects fail-closed), so the
+        staleness ladder's k-safety is preserved; a widening demotes a
+        fresh/stale serve to the "coarsened" rung for accounting.
+        """
+        assert self.trajectory is not None
+        try:
+            decision = self.trajectory.enforce(
+                epoch.policy,
+                user_id,
+                region=self.region,
+                orientation=self.orientation,
+                cloak=cloak,
+                serial=epoch.serial,
             )
-        return self._coarse_cloak(epoch, cloak, pin.levels), rung
+        except ServiceUnavailableError as exc:
+            self.events.append(
+                DegradationEvent(
+                    level="rejected", reason="trajectory", detail=str(exc)
+                )
+            )
+            raise
+        if decision.widened and decision.cloak != cloak:
+            self.events.append(
+                DegradationEvent(
+                    level="coarsened",
+                    reason="trajectory",
+                    detail=(
+                        f"user {user_id!r} widened {decision.levels} "
+                        f"level(s), surviving {decision.surviving} "
+                        f"≥ k={self.k}"
+                    ),
+                )
+            )
+            if rung in ("fresh", "recovered", "stale"):
+                rung = "coarsened"
+        return decision.cloak, rung
 
     def _coarse_cloak(self, epoch: Epoch, cloak: Rect, levels: int) -> Rect:
         key = (epoch.serial, levels)
@@ -597,7 +663,12 @@ class EpochManager:
         lost; the caller must not promote)."""
         if self.journal is None:
             return True
-        state = {"policy_age": policy_age, "rung": rung}
+        state: Dict[str, object] = {"policy_age": policy_age, "rung": rung}
+        if self.trajectory is not None:
+            # Ledger records land between commits; records made after
+            # the last swap-commit die with a crash (bounded exposure —
+            # the restored intersection is a superset, never sub-k).
+            state["trajectory"] = self.trajectory.ledger.to_state()
         try:
             if isinstance(self.journal, QuorumJournal):
                 self.journal.commit(
@@ -645,6 +716,7 @@ class EpochManager:
         publish_shared: bool = False,
         injector: Optional[FaultInjector] = None,
         swap_chaos: Optional[Callable[[str], None]] = None,
+        trajectory: Optional["ContinuityConstraint"] = None,
     ) -> "EpochManager":
         """Rebuild the serving layer from its journal after a crash.
 
@@ -677,6 +749,7 @@ class EpochManager:
             publish_shared=publish_shared,
             injector=injector,
             swap_chaos=swap_chaos,
+            trajectory=trajectory,
             _recovered=snapshot,
         )
         if current_serial is not None:

@@ -527,6 +527,71 @@ class TestEpochIntegrity:
 
 
 # ---------------------------------------------------------------------------
+# TJ: trajectory-ledger ownership
+# ---------------------------------------------------------------------------
+
+
+class TestTrajectoryLedgerOwnership:
+    def test_ledger_mutation_outside_owner_fires(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "serving/rewrite.py": """
+                def forget(ledger, uid, entry):
+                    ledger._traj_surviving[uid] = frozenset()
+                    ledger._traj_entries.clear()
+                    ledger._traj_entries[uid].append(entry)
+                    del ledger._traj_surviving[uid]
+                """
+            },
+        )
+        assert [f.rule for f in report.new_findings] == [
+            "TJ001", "TJ001", "TJ001", "TJ001",
+        ]
+
+    def test_rebind_fires(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "lbs/reset.py": """
+                def reset(ledger):
+                    ledger._traj_surviving = {}
+                """
+            },
+        )
+        assert rules_fired(report) == ["TJ001"]
+
+    def test_owning_package_may_mutate(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "trajectory/ledger.py": """
+                class Ledger:
+                    def record(self, uid, entry, surviving):
+                        self._traj_surviving[uid] = surviving
+                        self._traj_entries[uid].append(entry)
+                """
+            },
+        )
+        assert rules_fired(report) == []
+
+    def test_reads_and_snapshots_are_clean(self, tmp_path):
+        report = scan(
+            tmp_path,
+            {
+                "serving/consume.py": """
+                def shard(ledger, uids):
+                    alive = {u: ledger._traj_surviving.get(u) for u in uids}
+                    state = ledger.subset_state(uids)
+                    other = dict(ledger._traj_entries)
+                    return alive, state, other
+                """
+            },
+        )
+        assert rules_fired(report) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions, baselines, CLI
 # ---------------------------------------------------------------------------
 

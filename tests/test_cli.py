@@ -170,6 +170,34 @@ class TestSLOReportCommand:
             main(["slo-report", "--scale", "enormous"])
 
 
+class TestTrajectoryCommand:
+    def test_quick_report_writes_artifacts(self, tmp_path, capsys):
+        code = main(
+            ["trajectory", "--scale", "quick",
+             "--results-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served scenario" in out
+        assert "erosion curve" in out
+        report = json.loads((tmp_path / "trajectory.json").read_text())
+        assert report["all_gates_pass"] is True
+        gates = report["gates"]
+        assert gates["defended_scenario_holds_all_users"] is True
+        assert gates["undefended_scenario_erodes_below_k"] is True
+        assert gates["defended_des_holds_all_users"] is True
+        assert gates["undefended_des_erodes_below_k"] is True
+        defended = report["scenario"]["defended"]
+        assert defended["holding"] == defended["audited"]
+        assert report["scenario"]["undefended"]["min_surviving"] < report["k"]
+        txt = (tmp_path / "trajectory.txt").read_text()
+        assert txt.startswith("== Trajectory report")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trajectory", "--scale", "enormous"])
+
+
 class TestFleetCommand:
     def test_simulated_fleet_prints_per_worker_stats(self, capsys):
         code = main(

@@ -4,7 +4,12 @@ import pytest
 
 from repro import Rect, WorkloadError
 from repro.data import uniform_users
-from repro.lbs import movement_stream, random_moves
+from repro.lbs import (
+    movement_stream,
+    random_moves,
+    trajectory_schedule,
+    walk_snapshots,
+)
 
 
 @pytest.fixture
@@ -58,11 +63,74 @@ class TestMovementStream:
 
     def test_stream_is_a_walk(self, db, region):
         """Each step moves from the *previous* snapshot's position."""
-        current = db
-        for moves in movement_stream(
-            db, 0.3, region, n_snapshots=4, max_distance=100, seed=4
-        ):
+        move_sets = list(
+            movement_stream(
+                db, 0.3, region, n_snapshots=4, max_distance=100, seed=4
+            )
+        )
+        snapshots = walk_snapshots(db, move_sets)
+        assert len(snapshots) == 5
+        assert snapshots[0] is db
+        for current, moves in zip(snapshots, move_sets):
             for uid, new_point in moves.items():
                 old = current.location_of(uid)
                 assert old.distance_to(new_point) <= 100 + 1e-9
-            current = current.with_moves(moves)
+
+
+class TestTrajectorySchedule:
+    def _schedule(self, db, region, seed=5):
+        return trajectory_schedule(
+            db,
+            0.3,
+            region,
+            rate_per_user=0.05,
+            duration=100.0,
+            snapshot_period=25.0,
+            max_distance=150.0,
+            seed=seed,
+        )
+
+    def test_shapes(self, db, region):
+        schedule = self._schedule(db, region)
+        # 100 s / 25 s windows → 4 snapshots, 3 move boundaries.
+        assert schedule.n_snapshots == 4
+        assert len(schedule.moves) == 3
+        assert len(schedule.snapshots(db)) == 4
+        assert all(0.0 <= t < 100.0 for t, __, ___ in schedule.arrivals)
+
+    def test_deterministic_given_seed(self, db, region):
+        a = self._schedule(db, region, seed=9)
+        b = self._schedule(db, region, seed=9)
+        assert a.arrivals == b.arrivals
+        assert a.moves == b.moves
+        c = self._schedule(db, region, seed=10)
+        assert a.arrivals != c.arrivals
+
+    def test_arrival_batches_window_arrivals(self, db, region):
+        schedule = self._schedule(db, region)
+        batches = schedule.arrival_batches()
+        assert len(batches) == schedule.n_snapshots
+        assert sum(len(b) for b in batches) == len(schedule.arrivals)
+        for index, batch in enumerate(batches[:-1]):
+            for t, __, ___ in batch:
+                assert index * 25.0 <= t < (index + 1) * 25.0
+
+    def test_moves_are_a_walk(self, db, region):
+        schedule = self._schedule(db, region)
+        snapshots = schedule.snapshots(db)
+        for current, moves in zip(snapshots, schedule.moves):
+            for uid, new_point in moves.items():
+                old = current.location_of(uid)
+                assert old.distance_to(new_point) <= 150.0 + 1e-9
+
+    def test_validates_inputs(self, db, region):
+        with pytest.raises(WorkloadError):
+            trajectory_schedule(
+                db, 0.3, region,
+                rate_per_user=0.05, duration=0.0, snapshot_period=10.0,
+            )
+        with pytest.raises(WorkloadError):
+            trajectory_schedule(
+                db, 0.3, region,
+                rate_per_user=0.05, duration=10.0, snapshot_period=0.0,
+            )

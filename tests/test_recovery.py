@@ -696,3 +696,121 @@ class TestStalenessStateBlock:
         served = restored.request(db.user_ids()[0], [("poi", "rest")])
         assert served.degradation == "stale"
         assert served.policy_age == 1
+
+
+class TestTrajectoryStateBlock:
+    """The trajectory-continuity ledger rides the commit record: a
+    crash-restart must resume the served-history intersections, or the
+    restored CSP would re-serve fine cloaks whose linked anonymity the
+    pre-crash history already eroded."""
+
+    FP = FINGERPRINT
+
+    def _constraint(self):
+        from repro.trajectory import ContinuityConstraint
+
+        return ContinuityConstraint(K)
+
+    def test_ledger_survives_commit_recover_round_trip(self, journal):
+        constraint = self._constraint()
+        constraint.ledger.record(
+            "u1", Rect(0, 0, 64, 64), ["u1", "u2", "u3"], serial=2
+        )
+        state = constraint.ledger.to_state()
+        journal.commit(
+            build_policy(), 2, self.FP, state={"trajectory": state}
+        )
+        snapshot = journal.recover()
+        assert snapshot.trajectory == state
+
+    def test_stateless_commit_has_no_trajectory(self, journal):
+        journal.commit(build_policy(), 0, self.FP)
+        assert journal.recover().trajectory is None
+
+    def test_killed_csp_restores_ledger_and_cloaks_bit_identical(
+        self, provider, journal
+    ):
+        """SIGKILL mid-trajectory (modelled by ``del`` — only the
+        journal survives): the restored CSP's next cloaks are
+        bit-identical to what the survivor would have served, and the
+        served stream still passes the linking audit."""
+        from repro.trajectory import ServedTrajectories
+
+        db = uniform_users(120, REGION, seed=31)
+        csp = CSP(
+            REGION, K, db, provider,
+            journal=journal, trajectory=self._constraint(),
+        )
+        users = db.user_ids()[:30]
+        stream = ServedTrajectories()
+        for uid in users:
+            served = csp.request(uid, [("poi", "rest")])
+            stream.observe(
+                uid,
+                served.anonymized.cloak,
+                csp.policy,
+                widened=served.anonymized.cloak != csp.policy.cloak_for(uid),
+            )
+        churn(csp, rounds=2, fraction=0.4, seed=200)
+        for uid in users:
+            served = csp.request(uid, [("poi", "rest")])
+            stream.observe(
+                uid,
+                served.anonymized.cloak,
+                csp.policy,
+                widened=served.anonymized.cloak != csp.policy.cloak_for(uid),
+            )
+        # One more churn round: its commit carries the ledger state the
+        # requests above folded in, so the kill loses nothing.
+        churn(csp, rounds=1, fraction=0.4, seed=300)
+        expected_state = csp.trajectory.ledger.to_state()
+        # A surviving twin tells us what the next serves *would* be.
+        twin_state = csp.trajectory.ledger.to_state()
+        del csp  # the kill: only the journal survives
+
+        successor = self._constraint()
+        restored = CSP.restore(provider, journal, trajectory=successor)
+        assert restored.restored
+        assert successor.ledger.to_state() == expected_state
+
+        twin = self._constraint()
+        twin.ledger.adopt_state(twin_state)
+        for uid in users:
+            served = restored.request(uid, [("poi", "rest")])
+            expected = twin.enforce(
+                restored.policy, uid, region=REGION,
+                orientation=getattr(
+                    restored.anonymizer.tree, "orientation", "vertical"
+                ),
+            )
+            assert served.anonymized.cloak == expected.cloak
+            stream.observe(
+                uid,
+                served.anonymized.cloak,
+                restored.policy,
+                widened=served.anonymized.cloak
+                != restored.policy.cloak_for(uid),
+            )
+        audit = stream.audit(K)
+        assert audit.audited == len(users)
+        assert audit.all_hold
+        assert audit.min_surviving >= K
+
+    def test_restore_without_constraint_drops_nothing_silently(
+        self, provider, journal
+    ):
+        """Restoring with the defense off is allowed (the state block
+        is just carried); restoring with it on adopts the state."""
+        db = uniform_users(100, REGION, seed=32)
+        csp = CSP(
+            REGION, K, db, provider,
+            journal=journal, trajectory=self._constraint(),
+        )
+        csp.request(db.user_ids()[0], [("poi", "rest")])
+        churn(csp, rounds=1, fraction=0.2, seed=400)
+        del csp
+        plain = CSP.restore(provider, journal)
+        assert plain.trajectory is None  # defense off: no ledger
+        successor = self._constraint()
+        CSP.restore(provider, journal, trajectory=successor)
+        assert successor.ledger.surviving(db.user_ids()[0]) is not None

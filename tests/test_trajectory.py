@@ -101,3 +101,40 @@ class TestTrajectoryAttack:
             if anonymity_erosion(uid, policies)[-1] < k:
                 eroded += 1
         assert eroded > 0
+
+
+class TestAttackEdgeCases:
+    def test_empty_linked_sequence_rejected(self):
+        """An empty observation set is not an identification — it must
+        raise instead of returning 0 surviving candidates."""
+        with pytest.raises(ValueError, match="at least one linked"):
+            trajectory_attack([])
+
+    def test_empty_policy_sequence_rejected(self, region):
+        db = uniform_users(30, region, seed=165)
+        with pytest.raises(ValueError, match="at least one policy"):
+            anonymity_erosion(db.user_ids()[0], [])
+
+    def test_erosion_clamps_at_k_floor(self, region):
+        """With ``k`` given, the curve starts exactly at k and never
+        exceeds it — slack above the guarantee is clipped."""
+        db = uniform_users(150, region, seed=166)
+        k = 8
+        anonymizer = IncrementalAnonymizer(region, k).fit(db)
+        policies = [anonymizer.policy]
+        current = db
+        for step in range(3):
+            moves = random_moves(
+                current, 0.4, region, max_distance=600, seed=30 + step
+            )
+            anonymizer.update(moves)
+            current = current.with_moves(moves)
+            policies.append(anonymizer.policy)
+        uid = db.user_ids()[3]
+        raw = anonymity_erosion(uid, policies)
+        clamped = anonymity_erosion(uid, policies, k)
+        assert clamped[0] == k
+        assert all(level <= k for level in clamped)
+        assert clamped == [min(level, k) for level in raw]
+        # still monotone non-increasing after clamping
+        assert clamped == sorted(clamped, reverse=True)
