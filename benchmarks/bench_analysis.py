@@ -2,17 +2,21 @@
 
 The lint gate runs on every CI push and in pre-commit, so its wall-clock
 cost is part of the developer loop.  This bench times a cold full scan
-of ``src/`` (parse + taint fixpoint + all four rule families), a
-single-package scan (``lbs/`` — the taint-heaviest subtree), and the
-taint-summary fixpoint alone, and records files/s so regressions in the
-visitor or the interprocedural pass show up as a throughput drop rather
-than anecdotes.
+of ``src/`` (parse + CFG fixpoints + all rule families), a
+single-package scan (``lbs/`` — the taint-heaviest subtree), the
+taint-summary fixpoint alone, and the incremental ``--changed-only``
+path (no-op rerun and a one-file edit against a warm cache), recording
+files/s so regressions in the CFG builder, the solvers, or the cache
+reuse logic show up as a throughput drop rather than anecdotes.
 """
 
 import pathlib
+import shutil
+import tempfile
 import time
 
 from repro.analysis import Analyzer, Project
+from repro.analysis.incremental import IncrementalAnalyzer
 from repro.experiments import Table
 
 from conftest import run_once
@@ -34,6 +38,50 @@ def _fixpoint(analyzer, modules):
     project = Project(modules, analyzer.config)
     elapsed = time.perf_counter() - started
     return len(project.taint_summaries), elapsed
+
+
+def _incremental_rows():
+    """Cold-with-cache vs ``--changed-only`` on a throwaway src/ copy."""
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-analysis-") as tmp:
+        tree = pathlib.Path(tmp) / "src"
+        shutil.copytree(SRC, tree)
+        cache = pathlib.Path(tmp) / "cache.json"
+
+        def timed(scenario, driver, method):
+            started = time.perf_counter()
+            report = method([tree], cache_path=cache)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                dict(
+                    scenario=scenario,
+                    files=report.files_scanned,
+                    findings=len(report.findings),
+                    suppressed=report.suppressed,
+                    seconds=elapsed,
+                    files_per_s=report.files_scanned / max(elapsed, 1e-9),
+                )
+            )
+            assert driver.fallback_reason is None or scenario.startswith(
+                "cold"
+            ), driver.fallback_reason
+            return elapsed
+
+        driver = IncrementalAnalyzer()
+        timed("cold run + cache write", driver, driver.run_cold)
+        warm = IncrementalAnalyzer()
+        timed("changed-only, no edits", warm, warm.run_changed_only)
+        # One-file edit: a comment keeps findings and interface facts
+        # identical, which is exactly the common dev-loop case.
+        target = tree / "repro" / "lbs" / "pipeline.py"
+        target.write_text(
+            target.read_text(encoding="utf-8") + "\n# bench edit\n",
+            encoding="utf-8",
+        )
+        edited = IncrementalAnalyzer()
+        timed("changed-only, 1-file edit", edited, edited.run_changed_only)
+        assert edited.analyzed == 1
+    return rows
 
 
 def test_analysis_throughput(record_table, benchmark):
@@ -79,6 +127,7 @@ def test_analysis_throughput(record_table, benchmark):
                 files_per_s=len(modules) / max(elapsed, 1e-9),
             )
         )
+        rows.extend(_incremental_rows())
         return rows
 
     rows = run_once(benchmark, scenarios)
@@ -92,4 +141,12 @@ def test_analysis_throughput(record_table, benchmark):
     # break CI before they break this bench), and a full scan has to
     # stay interactive — pre-commit runs it on every commit.
     assert full["findings"] == 0
-    assert full["seconds"] < 30.0
+    assert full["seconds"] < 10.0
+    # The incremental path must actually pay off: a one-file edit
+    # against a warm cache has to beat the cold run by ≥ 3x.
+    cold = next(r for r in rows if r["scenario"] == "cold run + cache write")
+    edit = next(
+        r for r in rows if r["scenario"] == "changed-only, 1-file edit"
+    )
+    assert edit["findings"] == cold["findings"]
+    assert cold["seconds"] / max(edit["seconds"], 1e-9) >= 3.0

@@ -21,7 +21,7 @@ the threat-model → rule mapping and the baseline workflow.
 
 from .config import DEFAULT_CONFIG, AnalysisConfig
 from .engine import Analyzer, ModuleInfo, Project, Rule
-from .model import AnalysisReport, Baseline, Finding
+from .model import AnalysisReport, Baseline, Finding, TraceStep
 from .rules import default_rules
 
 __all__ = [
@@ -34,5 +34,6 @@ __all__ = [
     "AnalysisReport",
     "Baseline",
     "Finding",
+    "TraceStep",
     "default_rules",
 ]

@@ -55,9 +55,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--fail-on",
-        choices=("new", "any", "none"),
+        choices=("new", "any", "none", "error"),
         default="new",
-        help="what makes the exit status non-zero (default: new)",
+        help=(
+            "what makes the exit status non-zero (default: new; "
+            "'error' fails only on new error-severity findings)"
+        ),
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "reuse cached findings for files whose content key is "
+            "unchanged; falls back to a full run when the import "
+            "graph or any cross-module fact shifted"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "incremental cache file (default: .analysis-cache.json "
+            "when --changed-only is given; a cold run with --cache "
+            "records the cache for later --changed-only runs)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -90,7 +113,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         baseline = Baseline.load(args.baseline)
 
     analyzer = Analyzer()
-    report = analyzer.run(paths, baseline=baseline)
+    incremental_note = ""
+    if args.changed_only or args.cache is not None:
+        from .incremental import IncrementalAnalyzer
+
+        driver = IncrementalAnalyzer(analyzer)
+        cache = args.cache or Path(".analysis-cache.json")
+        if args.changed_only:
+            report = driver.run_changed_only(paths, baseline, cache)
+            if driver.fallback_reason is not None:
+                incremental_note = (
+                    f"(incremental: cold fallback — {driver.fallback_reason})"
+                )
+            else:
+                incremental_note = (
+                    f"(incremental: {driver.reused} reused, "
+                    f"{driver.analyzed} analyzed)"
+                )
+        else:
+            report = driver.run_cold(paths, baseline, cache)
+    else:
+        report = analyzer.run(paths, baseline=baseline)
 
     if args.write_baseline:
         if args.baseline is None:
@@ -104,7 +147,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.format == "json":
         print(report.to_json())
     else:
-        print(report.to_text())
+        text = report.to_text()
+        if incremental_note:
+            text += f"\n{incremental_note}"
+        print(text)
     return report.exit_code(args.fail_on)
 
 

@@ -45,7 +45,11 @@ class AnalysisConfig:
         "PreparedRequest", "ServedRequest"
     )
     #: calls that launder a raw location into a policy-aware cloak.
-    launder_calls: FrozenSet[str] = _fs("anonymize", "cloak_for", "cloak_of")
+    #: ``halving_chain``/``ancestor_cloak`` are the coarsening ladder:
+    #: their results are tree ancestors of a cloak, never raw points.
+    launder_calls: FrozenSet[str] = _fs(
+        "anonymize", "cloak_for", "cloak_of", "halving_chain", "ancestor_cloak"
+    )
     #: wire-format constructors: a tainted argument here IS the leak.
     wire_constructors: FrozenSet[str] = _fs("AnonymizedRequest")
     #: provider-facing call names (the trust perimeter).
@@ -173,6 +177,21 @@ class AnalysisConfig:
     #: rebinds, and mutating calls TJ001 audits.
     trajectory_state_fields: FrozenSet[str] = _fs(
         "_traj_entries", "_traj_surviving"
+    )
+
+    # -- lockset concurrency (CC) --------------------------------------------
+
+    #: path fragments where the ``# guarded-by:`` lockset discipline
+    #: (CC001–CC003) is enforced — every layer holding cross-thread
+    #: mutable state.
+    concurrency_scope: Tuple[str, ...] = (
+        "trajectory/", "streaming/", "serving/", "lbs/", "robustness/"
+    )
+    #: expression fragment that marks a context manager / receiver as a
+    #: lock for the lockset analysis (broader than the AS heuristic:
+    #: condition variables count — ``with self._cv:`` holds the lock).
+    concurrency_lockish: str = (
+        r"(?i)(lock|_cv\b|_sem\b|semaphore|mutex|condition)"
     )
 
     # -- shared --------------------------------------------------------------

@@ -20,12 +20,13 @@ Design (stdlib :mod:`ast` only, no third-party dependencies):
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .config import DEFAULT_CONFIG, AnalysisConfig
-from .model import AnalysisReport, Baseline, Finding
+from .model import AnalysisReport, Baseline, Finding, TraceStep
 
 __all__ = [
     "ModuleInfo",
@@ -81,6 +82,18 @@ class ModuleInfo:
         self.parents = self._collect_parents(self.tree)
         self.suppressions = self._collect_suppressions(self.lines)
         self.taint_tags = self._collect_taint_tags(self.lines)
+        #: ``# guarded-by:`` lockset annotations (attr → lock spec).
+        from .flow.lockset import collect_guards  # cycle-free local import
+
+        self.guards: Dict[str, str] = collect_guards(self.lines)
+        self._lock_pairs = None  # computed lazily by Project
+
+    @property
+    def content_key(self) -> str:
+        """blake2b of the source bytes — the incremental cache key."""
+        return hashlib.blake2b(
+            self.source.encode("utf-8"), digest_size=16
+        ).hexdigest()
 
     @staticmethod
     def _collect_imports(tree: ast.Module) -> Dict[str, str]:
@@ -162,7 +175,12 @@ class ModuleInfo:
         return False
 
     def finding(
-        self, rule: str, node: ast.AST, message: str
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
+        trace: Tuple[TraceStep, ...] = (),
     ) -> Finding:
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
@@ -174,6 +192,8 @@ class ModuleInfo:
             message=message,
             symbol=self.symbol_of(node),
             snippet=self.snippet_at(lineno),
+            severity=severity,
+            trace=tuple(trace),
         )
 
 
@@ -184,19 +204,83 @@ def _is_function(node: ast.AST) -> bool:
 class Project:
     """All modules of one scan plus interprocedural-lite summaries."""
 
-    def __init__(self, modules: Sequence[ModuleInfo], config: AnalysisConfig):
+    def __init__(
+        self,
+        modules: Sequence[ModuleInfo],
+        config: AnalysisConfig,
+        _from_cache: bool = False,
+    ):
         self.modules = list(modules)
         self.config = config
         #: union of configured and ``# taint: location``-tagged fields.
         self.tainted_fields: Set[str] = set(config.tainted_fields)
         for module in self.modules:
             self.tainted_fields |= module.taint_tags
+        #: union of every module's ``# guarded-by:`` specs (attr → spec);
+        #: only concurrency-scope modules feed the registry, so prose
+        #: mentions elsewhere (docs, the analyzer itself) are inert.
+        self.guards: Dict[str, str] = {}
+        for module in self.modules:
+            if not config.in_scope(module.relpath, config.concurrency_scope):
+                continue
+            for attr, spec in sorted(module.guards.items()):
+                self.guards.setdefault(attr, spec)
+        #: (outer, inner) lock identity → acquisition sites, tree-wide.
+        self.lock_order: Dict[Tuple[str, str], List] = {}
         #: bare function name → taint level of its return value.
         self.taint_summaries: Dict[str, int] = {}
         #: bare function name → True when the body raises or degrades.
         self.degrade_summaries: Dict[str, bool] = {}
-        self._build_degrade_summaries()
-        self._build_taint_summaries()
+        if not _from_cache:
+            self._build_lock_order()
+            self._build_degrade_summaries()
+            self._build_taint_summaries()
+
+    @classmethod
+    def from_cache(
+        cls,
+        modules: Sequence[ModuleInfo],
+        config: AnalysisConfig,
+        *,
+        taint_summaries: Dict[str, int],
+        degrade_summaries: Dict[str, bool],
+        tainted_fields: Iterable[str],
+        guards: Dict[str, str],
+        lock_order: Dict[Tuple[str, str], List],
+    ) -> "Project":
+        """A project whose cross-module facts come from the incremental
+        cache instead of a fresh fixpoint (``--changed-only``)."""
+        project = cls(modules, config, _from_cache=True)
+        project.taint_summaries = dict(taint_summaries)
+        project.degrade_summaries = dict(degrade_summaries)
+        project.tainted_fields = set(config.tainted_fields) | set(
+            tainted_fields
+        )
+        project.guards = dict(guards)
+        project.lock_order = {
+            key: list(sites) for key, sites in lock_order.items()
+        }
+        return project
+
+    # -- lock-order registry -------------------------------------------------
+
+    def lock_pairs_of(self, module: ModuleInfo) -> List:
+        """This module's lexically nested lock acquisitions."""
+        if module._lock_pairs is None:
+            from .flow.lockset import collect_lock_pairs
+
+            if self.config.in_scope(
+                module.relpath, self.config.concurrency_scope
+            ):
+                module._lock_pairs = collect_lock_pairs(module, self.config)
+            else:
+                module._lock_pairs = []
+        return module._lock_pairs
+
+    def _build_lock_order(self) -> None:
+        for module in self.modules:
+            for pair in self.lock_pairs_of(module):
+                self.lock_order.setdefault(pair.key(), []).append(pair)
 
     # -- degrade summaries ---------------------------------------------------
 
@@ -227,23 +311,48 @@ class Project:
     def _build_taint_summaries(self) -> None:
         """Two fixpoint passes: enough for source → helper → caller
         chains one level deep on each side (the codebase's depth)."""
-        from .taint_eval import TaintEvaluator  # cycle-free local import
+        from .flow.taintflow import FlowTaintEvaluator  # cycle-free import
 
         for _ in range(3):
             changed = False
             for module in self.modules:
+                evaluator = FlowTaintEvaluator(module, self, self.config)
                 for node in ast.walk(module.tree):
                     if not _is_function(node):
                         continue
                     if node.name in self.config.generic_names:
                         continue
-                    evaluator = TaintEvaluator(module, self, self.config)
                     level = evaluator.infer_return_level(node)
                     if level > self.taint_summaries.get(node.name, CLEAN):
                         self.taint_summaries[node.name] = level
                         changed = True
             if not changed:
                 break
+
+    def module_taint_defs(self, module: ModuleInfo) -> Dict[str, int]:
+        """One module's contribution to the taint summaries (cache
+        invalidation unit for ``--changed-only``)."""
+        from .flow.taintflow import FlowTaintEvaluator
+
+        defs: Dict[str, int] = {}
+        evaluator = FlowTaintEvaluator(module, self, self.config)
+        for node in ast.walk(module.tree):
+            if not _is_function(node):
+                continue
+            if node.name in self.config.generic_names:
+                continue
+            level = evaluator.infer_return_level(node)
+            if level > CLEAN:
+                defs[node.name] = max(defs.get(node.name, CLEAN), level)
+        return defs
+
+    def module_degrade_defs(self, module: ModuleInfo) -> Dict[str, bool]:
+        """One module's contribution to the degrade summaries."""
+        defs: Dict[str, bool] = {}
+        for node in ast.walk(module.tree):
+            if _is_function(node) and self._degrades_locally(node):
+                defs[node.name] = True
+        return defs
 
     def summary_taint(self, name: Optional[str]) -> int:
         if name is None or name in self.config.generic_names:

@@ -1,0 +1,29 @@
+"""Flow-sensitive dataflow infrastructure for the lint gate.
+
+The package splits into three layers (DESIGN.md §14):
+
+* :mod:`~repro.analysis.flow.cfg` — a stdlib-``ast`` control-flow
+  graph builder.  Every statement list (a module body, a function
+  body) becomes a graph of basic blocks whose *events* are the atoms
+  transfer functions consume: plain statements, decomposed
+  short-circuit tests, ``with`` enter/exit markers, loop-target binds,
+  and exception-handler binds.
+* :mod:`~repro.analysis.flow.solver` — a generic forward worklist
+  fixpoint solver over a :class:`FlowAnalysis` contract (initial
+  state, join, transfer).  Taint and lockset both plug into it.
+* :mod:`~repro.analysis.flow.taintflow` /
+  :mod:`~repro.analysis.flow.lockset` — the two client analyses:
+  flow- and field-sensitive privacy taint with witness traces, and
+  the ``# guarded-by:`` lockset discipline behind CC001–CC003.
+"""
+
+from .cfg import CFG, Block, build_cfg
+from .solver import FlowAnalysis, solve_forward
+
+__all__ = [
+    "CFG",
+    "Block",
+    "build_cfg",
+    "FlowAnalysis",
+    "solve_forward",
+]

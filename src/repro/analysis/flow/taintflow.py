@@ -1,0 +1,613 @@
+"""Flow- and field-sensitive privacy taint over the CFG.
+
+The successor of PR 5's flow-insensitive ``TaintEvaluator``: the same
+three-level lattice (``CLEAN < PARTIAL < TAINTED``) and the same
+source/launder/sink vocabulary (:mod:`~repro.analysis.config`), but
+propagated along control-flow paths by the worklist solver, so
+
+* **branch-dependent leaks** are caught (``x = raw`` on one arm joins
+  TAINTED into the post-``if`` state even when the other arm cloaks);
+* **kills are respected in order** (``x = anonymize(x)`` *after* the
+  source really cleans — the old evaluator already did, but only by
+  the accident of sequential execution; loops now reach a fixpoint
+  instead of being walked once);
+* **fields are tracked per receiver text** (``req.location = cloak``
+  updates the ``req.location`` cell instead of the global field name),
+  with the configured ``tainted_fields`` as the fallback for unknown
+  cells — assigning a cloak into a field is a sanitizer-aware kill;
+* every taint value drags a bounded **witness trace** — the
+  source→sink statement path — that lands on the finding, so a
+  suppression review argues with evidence instead of a bare line.
+
+Violations fire only in a deterministic single-visit *report pass*
+over the fixpoint states (never during iteration), which is also when
+nested functions, lambdas, and class bodies are descended into — the
+same closure-capture semantics the old evaluator had.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import AnalysisConfig
+from ..model import TraceStep
+from .cfg import CFG, build_cfg
+from .solver import FlowAnalysis, solve_forward
+
+__all__ = ["FlowTaintEvaluator", "Taint"]
+
+# Mirror of engine's lattice constants (import cycle avoided).
+CLEAN, PARTIAL, TAINTED = 0, 1, 2
+
+#: Callback fired at a violating node:
+#: ``(rule_id, node, message, trace)``.
+SinkCallback = Callable[[str, ast.AST, str, Tuple[TraceStep, ...]], None]
+
+_LOGGERISH = re.compile(r"(?i)\blog")
+
+#: Witness traces keep at most this many steps (middle elided).
+_TRACE_CAP = 12
+
+
+class Taint:
+    """One lattice value plus the witness trace that produced it."""
+
+    __slots__ = ("level", "trace")
+
+    def __init__(self, level: int, trace: Tuple[TraceStep, ...] = ()):
+        self.level = level
+        self.trace = trace if level > CLEAN else ()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Taint)
+            and self.level == other.level
+            and self.trace == other.trace
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover — not dict-keyed
+        return hash((self.level, self.trace))
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"Taint({self.level}, {len(self.trace)} steps)"
+
+
+_CLEAN_TAINT = Taint(CLEAN)
+
+
+def _trace_key(trace: Tuple[TraceStep, ...]) -> Tuple:
+    return (len(trace), tuple((s.line, s.note) for s in trace))
+
+
+def join_taint(a: Taint, b: Taint) -> Taint:
+    """Pointwise lattice join; deterministic witness pick on ties."""
+    if a.level > b.level:
+        return a
+    if b.level > a.level:
+        return b
+    if a.trace == b.trace:
+        return a
+    return a if _trace_key(a.trace) <= _trace_key(b.trace) else b
+
+
+def _bare_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _receiver_text(node: ast.AST) -> Optional[str]:
+    """Dotted text of a pure Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _receiver_text(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+class _TaintState(FlowAnalysis):
+    """The solver contract over ``{cell: Taint}`` environments."""
+
+    def __init__(self, evaluator: "FlowTaintEvaluator", seed: Dict[str, Taint]):
+        self.evaluator = evaluator
+        self.seed = seed
+
+    def initial(self) -> Dict[str, Taint]:
+        return dict(self.seed)
+
+    def copy(self, state: Dict[str, Taint]) -> Dict[str, Taint]:
+        return dict(state)
+
+    def join(
+        self, a: Dict[str, Taint], b: Dict[str, Taint]
+    ) -> Dict[str, Taint]:
+        merged = dict(a)
+        for key, value in b.items():
+            if key in merged:
+                merged[key] = join_taint(merged[key], value)
+            else:
+                merged[key] = value
+        return merged
+
+    def equals(self, a: Dict[str, Taint], b: Dict[str, Taint]) -> bool:
+        return a == b
+
+    def transfer(self, event: tuple, state: Dict[str, Taint]) -> Dict[str, Taint]:
+        self.evaluator._exec_event(event, state)
+        return state
+
+
+class FlowTaintEvaluator:
+    """Evaluate one module (or function) over its CFG.
+
+    Public protocol matches the retired flow-insensitive evaluator:
+    ``infer_return_level(fn)`` for the summary phase and
+    ``check_module()`` for the reporting phase; ``on_violation`` fires
+    with ``(rule, node, message, trace)`` at each sink.
+    """
+
+    def __init__(
+        self,
+        module,  # ModuleInfo — untyped to avoid an import cycle
+        project,  # Project
+        config: AnalysisConfig,
+        on_violation: Optional[SinkCallback] = None,
+    ):
+        self.module = module
+        self.project = project
+        self.config = config
+        self.on_violation = on_violation
+        self._returns: List[int] = []
+        self._reporting = False
+
+    # -- entry points --------------------------------------------------------
+
+    def infer_return_level(self, fn: ast.AST) -> int:
+        """The taint level of ``fn``'s return value (summary phase)."""
+        previous, self.on_violation = self.on_violation, None
+        try:
+            self._returns = []
+            self._run_scope(fn.body, self._seed_params(fn), report=True)
+            return max(self._returns, default=CLEAN)
+        finally:
+            self.on_violation = previous
+
+    def check_module(self) -> None:
+        """Evaluate the whole module, firing ``on_violation`` at sinks."""
+        self._returns = []
+        self._run_scope(self.module.tree.body, {}, report=True)
+
+    # -- scope driver --------------------------------------------------------
+
+    def _cfg_of(self, body) -> CFG:
+        cache = getattr(self.module, "_cfg_cache", None)
+        if cache is None:
+            cache = {}
+            self.module._cfg_cache = cache
+        key = id(body[0]) if body else id(body)
+        cfg = cache.get(key)
+        if cfg is None:
+            cfg = build_cfg(body)
+            cache[key] = cfg
+        return cfg
+
+    def _run_scope(
+        self, body, seed: Dict[str, Taint], report: bool
+    ) -> None:
+        """Fixpoint the scope; then single-visit replay for reporting."""
+        if not body:
+            return
+        cfg = self._cfg_of(body)
+        analysis = _TaintState(self, seed)
+        saved_reporting = self._reporting
+        self._reporting = False
+        saved_cb, self.on_violation = self.on_violation, None
+        try:
+            in_states = solve_forward(cfg, analysis)
+        finally:
+            self.on_violation = saved_cb
+            self._reporting = saved_reporting
+        if not report:
+            return
+        saved_reporting = self._reporting
+        self._reporting = True
+        try:
+            for bid in cfg.rpo():
+                if bid not in in_states:
+                    continue  # dead branch: never report from it
+                env = dict(in_states[bid])
+                for event in cfg.block(bid).events:
+                    self._exec_event(event, env)
+        finally:
+            self._reporting = saved_reporting
+
+    # -- environment ---------------------------------------------------------
+
+    def _seed_params(self, fn: ast.AST) -> Dict[str, Taint]:
+        env: Dict[str, Taint] = {}
+        args = fn.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if arg.arg in self.config.taint_param_names:
+                env[arg.arg] = Taint(
+                    TAINTED,
+                    (self._step(arg, f"tainted parameter {arg.arg!r}"),),
+                )
+        return env
+
+    def _step(self, node: ast.AST, note: str) -> TraceStep:
+        lineno = getattr(node, "lineno", 1)
+        return TraceStep(
+            path=self.module.relpath,
+            line=lineno,
+            snippet=self.module.snippet_at(lineno),
+            note=note,
+        )
+
+    def _extend(
+        self, taint: Taint, node: ast.AST, note: str
+    ) -> Taint:
+        """Append a hop to a witness, skipping same-line duplicates."""
+        if taint.level == CLEAN:
+            return taint
+        lineno = getattr(node, "lineno", None)
+        if taint.trace and lineno is not None and taint.trace[-1].line == lineno:
+            return taint
+        trace = taint.trace + (self._step(node, note),)
+        if len(trace) > _TRACE_CAP:
+            keep = _TRACE_CAP // 2
+            trace = trace[:keep] + trace[-(_TRACE_CAP - keep):]
+        return Taint(taint.level, trace)
+
+    # -- events --------------------------------------------------------------
+
+    def _exec_event(self, event: tuple, env: Dict[str, Taint]) -> None:
+        kind = event[0]
+        if kind == "stmt":
+            self._exec_stmt(event[1], env)
+        elif kind == "test":
+            self._eval(event[1], env)
+        elif kind == "for-bind":
+            _, target, iter_expr = event
+            self._bind(target, self._eval(iter_expr, env), env)
+        elif kind == "with-enter":
+            item = event[1]
+            taint = self._eval(item.context_expr, env)
+            if item.optional_vars is not None:
+                self._bind(item.optional_vars, taint, env)
+        elif kind == "except-bind":
+            handler = event[1]
+            if handler.name:
+                env[handler.name] = _CLEAN_TAINT
+        # with-exit: no taint effect.
+
+    def _bind(
+        self, target: ast.AST, taint: Taint, env: Dict[str, Taint]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = self._extend(
+                taint, target, f"assigned to {target.id!r}"
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taint, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint, env)
+        elif isinstance(target, ast.Attribute):
+            cell = _receiver_text(target)
+            if cell is not None:
+                env[cell] = self._extend(
+                    taint, target, f"stored into field {cell!r}"
+                )
+        elif isinstance(target, ast.Subscript):
+            cell = _receiver_text(target.value)
+            if cell is not None and taint.level > CLEAN:
+                held = env.get(cell, _CLEAN_TAINT)
+                env[cell] = join_taint(
+                    held,
+                    self._extend(
+                        taint, target, f"stored into container {cell!r}"
+                    ),
+                )
+
+    def _tagged(self, stmt: ast.stmt) -> bool:
+        line = self.module.snippet_at(stmt.lineno)
+        return "# taint: location" in line or "#taint: location" in line
+
+    def _exec_stmt(self, stmt: ast.stmt, env: Dict[str, Taint]) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value, env)
+            if self._tagged(stmt):
+                taint = Taint(
+                    TAINTED, (self._step(stmt, "tagged # taint: location"),)
+                )
+            for target in stmt.targets:
+                self._bind(target, taint, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            taint = (
+                self._eval(stmt.value, env) if stmt.value else _CLEAN_TAINT
+            )
+            if self._tagged(stmt):
+                taint = Taint(
+                    TAINTED, (self._step(stmt, "tagged # taint: location"),)
+                )
+            self._bind(stmt.target, taint, env)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                held = env.get(stmt.target.id, _CLEAN_TAINT)
+                env[stmt.target.id] = join_taint(
+                    held,
+                    self._extend(
+                        taint,
+                        stmt.target,
+                        f"augmented into {stmt.target.id!r}",
+                    ),
+                )
+        elif isinstance(stmt, ast.Return):
+            taint = self._eval(stmt.value, env) if stmt.value else _CLEAN_TAINT
+            self._returns.append(taint.level)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+            if stmt.msg is not None:
+                self._eval(stmt.msg, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function/closure: descend during the report pass
+            # only, against a copy of the enclosing environment, so
+            # sinks inside closures see the captured locals.
+            if self._reporting:
+                inner = dict(env)
+                inner.update(self._seed_params(stmt))
+                saved, self._returns = self._returns, []
+                self._run_scope(stmt.body, inner, report=True)
+                self._returns = saved
+        elif isinstance(stmt, ast.ClassDef):
+            if self._reporting:
+                self._run_scope(stmt.body, {}, report=True)
+        # Pass / Import / Global / Nonlocal: no flow.
+
+    # -- expressions ---------------------------------------------------------
+
+    def _eval(self, node: Optional[ast.AST], env: Dict[str, Taint]) -> Taint:
+        if node is None:
+            return _CLEAN_TAINT
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _CLEAN_TAINT)
+        if isinstance(node, ast.Attribute):
+            cell = _receiver_text(node)
+            if cell is not None and cell in env:
+                return env[cell]
+            base = self._eval(node.value, env)
+            if node.attr in self.project.tainted_fields:
+                return Taint(
+                    TAINTED,
+                    (self._step(node, f"tainted field {'.' + node.attr!r}"),),
+                )
+            if base.level == TAINTED and node.attr in ("x", "y"):
+                return self._extend(
+                    base, node, f"coordinate .{node.attr} of tainted point"
+                )
+            return _CLEAN_TAINT
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            taint = _CLEAN_TAINT
+            for elt in node.elts:
+                taint = join_taint(taint, self._eval(elt, env))
+            return taint
+        if isinstance(node, ast.Dict):
+            taint = _CLEAN_TAINT
+            for key in node.keys:
+                if key is not None:
+                    taint = join_taint(taint, self._eval(key, env))
+            for value in node.values:
+                taint = join_taint(taint, self._eval(value, env))
+            return taint
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice, env)
+            return self._eval(node.value, env)
+        if isinstance(node, ast.BoolOp):
+            taint = _CLEAN_TAINT
+            for value in node.values:
+                taint = join_taint(taint, self._eval(value, env))
+            return taint
+        if isinstance(node, ast.BinOp):
+            return join_taint(
+                self._eval(node.left, env), self._eval(node.right, env)
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, env)
+            for comp in node.comparators:
+                self._eval(comp, env)
+            return _CLEAN_TAINT
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return join_taint(
+                self._eval(node.body, env), self._eval(node.orelse, env)
+            )
+        if isinstance(node, ast.JoinedStr):
+            taint = _CLEAN_TAINT
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    taint = join_taint(taint, self._eval(value.value, env))
+            return taint
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            taint = self._eval(node.value, env)
+            self._bind(node.target, taint, env)
+            return taint
+        if isinstance(node, ast.Lambda):
+            if self._reporting:
+                inner = dict(env)
+                for arg in node.args.args:
+                    inner.setdefault(arg.arg, _CLEAN_TAINT)
+                self._eval(node.body, inner)
+            return _CLEAN_TAINT
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            inner = dict(env)
+            for gen in node.generators:
+                self._bind(gen.target, self._eval(gen.iter, inner), inner)
+                for cond in gen.ifs:
+                    self._eval(cond, inner)
+            return self._eval(node.elt, inner)
+        if isinstance(node, ast.DictComp):
+            inner = dict(env)
+            for gen in node.generators:
+                self._bind(gen.target, self._eval(gen.iter, inner), inner)
+            return join_taint(
+                self._eval(node.key, inner), self._eval(node.value, inner)
+            )
+        return _CLEAN_TAINT
+
+    # -- calls: sources, sinks, laundering ------------------------------------
+
+    def _call_args(self, node: ast.Call) -> List[ast.AST]:
+        return list(node.args) + [kw.value for kw in node.keywords]
+
+    def _violate(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        trace: Tuple[TraceStep, ...],
+    ) -> None:
+        if self.on_violation is not None and self._reporting:
+            self.on_violation(rule, node, message, trace)
+
+    def _describe(self, node: ast.AST) -> str:
+        try:
+            return ast.unparse(node)
+        except Exception:  # pragma: no cover — unparse is total on 3.9+
+            return "<expr>"
+
+    def _sink_trace(
+        self, node: ast.Call, hot: List[Tuple[ast.AST, Taint]], kind: str
+    ) -> Tuple[TraceStep, ...]:
+        best = max(
+            (taint for _, taint in hot),
+            key=lambda t: (t.level, [-s.line for s in t.trace]),
+        )
+        sink_step = self._step(node, f"{kind}: {self._describe(node)[:80]}")
+        trace = best.trace
+        if trace and trace[-1].line == sink_step.line:
+            trace = trace[:-1]
+        return trace + (sink_step,)
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, Taint]) -> Taint:
+        config = self.config
+        bare = _bare_name(node.func)
+        args = self._call_args(node)
+        arg_taints = [self._eval(a, env) for a in args]
+        hot = [
+            (a, t)
+            for a, t in zip(args, arg_taints)
+            if t.level >= PARTIAL
+        ]
+        hot_args = [self._describe(a) for a, _ in hot]
+
+        # Provider-facing sinks: any taint in, finding out.
+        if bare in config.sink_calls or bare in config.sink_constructors:
+            if hot:
+                self._violate(
+                    "PA001",
+                    node,
+                    f"raw-location value ({', '.join(hot_args)}) flows "
+                    f"into provider-facing sink {bare!r} without "
+                    "laundering through the anonymizer",
+                    self._sink_trace(node, hot, f"sink {bare!r}"),
+                )
+        # Wire-format constructors: tainted field = the leak itself.
+        if bare in config.wire_constructors and hot:
+            self._violate(
+                "PA003",
+                node,
+                f"raw-location value ({', '.join(hot_args)}) serialized "
+                f"into wire format {bare!r}",
+                self._sink_trace(node, hot, f"wire format {bare!r}"),
+            )
+        # Observability sinks.
+        if isinstance(node.func, ast.Name) and bare in config.log_call_names:
+            if hot:
+                self._violate(
+                    "PA002",
+                    node,
+                    f"raw-location value ({', '.join(hot_args)}) logged "
+                    f"via {bare}() — logging a raw location is a sink",
+                    self._sink_trace(node, hot, f"log sink {bare}()"),
+                )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and bare in config.log_method_names
+            and _LOGGERISH.search(self._describe(node.func.value))
+        ):
+            if hot:
+                self._violate(
+                    "PA002",
+                    node,
+                    f"raw-location value ({', '.join(hot_args)}) logged "
+                    f"via {self._describe(node.func)}()",
+                    self._sink_trace(
+                        node, hot, f"log sink {self._describe(node.func)}()"
+                    ),
+                )
+
+        # Result level.
+        if bare in config.launder_calls:
+            return _CLEAN_TAINT  # sanitizer: the cloak is the clean value
+        if bare in config.taint_constructors:
+            return Taint(
+                TAINTED,
+                (self._step(node, f"raw-location constructor {bare}(...)"),),
+            )
+        if bare in config.partial_constructors:
+            return Taint(
+                PARTIAL,
+                (self._step(node, f"container {bare}(...) holds taint"),),
+            )
+        if bare in config.taint_source_calls:
+            return Taint(
+                TAINTED,
+                (self._step(node, f"source: {self._describe(node)[:80]}"),),
+            )
+        if isinstance(node.func, ast.Attribute):
+            receiver = self._eval(node.func.value, env)
+            if receiver.level == TAINTED:
+                # method call on a hot receiver stays hot
+                return self._extend(
+                    receiver, node, f"method .{bare}() on tainted receiver"
+                )
+        summary = self.project.summary_taint(bare)
+        if summary > CLEAN:
+            return Taint(
+                summary,
+                (self._step(node, f"call to tainted helper {bare}()"),),
+            )
+        return _CLEAN_TAINT

@@ -1,0 +1,317 @@
+"""Incremental analysis: content-keyed caching for ``--changed-only``.
+
+The cache (one JSON file, gitignored) stores, per scanned file:
+
+* the blake2b **content key** of the source bytes;
+* the file's findings and suppressed count from the last cold run;
+* its *interface facts* — import table names, ``# taint: location``
+  tags, ``# guarded-by:`` specs, lock-order pairs, and its
+  contributions to the cross-module taint/degrade summaries.
+
+A ``--changed-only`` run reuses cached findings for every file whose
+content key is unchanged and re-runs the rules only on changed files,
+against a :meth:`Project.from_cache` built from the cached
+cross-module facts.  That is only sound while the changed files keep
+their interface facts: the moment a changed file's imports, tags,
+guards, lock pairs, or summary contributions differ from the cache —
+i.e. the cross-module fixpoint could shift — the run **falls back to
+a full cold analysis** (and rewrites the cache).  The guarantee,
+asserted in tests: an incremental run's findings are byte-identical
+to a cold run's, always — the cache can only make the gate faster,
+never blinder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import AnalysisConfig
+from .engine import Analyzer, ModuleInfo, Project, iter_python_files
+from .flow.lockset import LockPair
+from .model import SCHEMA_VERSION, AnalysisReport, Baseline, Finding, TraceStep
+
+__all__ = ["IncrementalAnalyzer", "CACHE_VERSION"]
+
+#: Bumped whenever the cache layout (not the report schema) changes.
+CACHE_VERSION = 1
+
+
+def _config_key(config: AnalysisConfig, analyzer: Analyzer) -> str:
+    """Any config or rule-set change invalidates the whole cache."""
+    digest = hashlib.blake2b(digest_size=16)
+    for f in dataclass_fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        digest.update(f"{f.name}={value!r}".encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(
+        ",".join(r.rule_id for r in analyzer.rules).encode("utf-8")
+    )
+    digest.update(f"schema={SCHEMA_VERSION}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, object]:
+    return finding.to_dict()
+
+
+def _finding_from_dict(data: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(data["rule"]),
+        path=str(data["path"]),
+        line=int(data["line"]),  # type: ignore[arg-type]
+        col=int(data["col"]),  # type: ignore[arg-type]
+        message=str(data["message"]),
+        symbol=str(data["symbol"]),
+        snippet=str(data["snippet"]),
+        severity=str(data.get("severity", "error")),
+        trace=tuple(
+            TraceStep(
+                path=str(s["path"]),
+                line=int(s["line"]),  # type: ignore[arg-type]
+                snippet=str(s["snippet"]),
+                note=str(s["note"]),
+            )
+            for s in data.get("trace", ())
+        ),
+    )
+
+
+class IncrementalAnalyzer:
+    """Drives :class:`Analyzer` with a per-file content-key cache."""
+
+    def __init__(self, analyzer: Optional[Analyzer] = None):
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        #: why the last ``--changed-only`` run went cold (diagnostics).
+        self.fallback_reason: Optional[str] = None
+        #: (reused, analyzed) file counts of the last run.
+        self.reused = 0
+        self.analyzed = 0
+
+    # -- cache I/O -----------------------------------------------------------
+
+    def _load_cache(self, cache_path: Path) -> Optional[Dict[str, object]]:
+        try:
+            data = json.loads(cache_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if data.get("version") != CACHE_VERSION:
+            return None
+        if data.get("config_key") != _config_key(
+            self.analyzer.config, self.analyzer
+        ):
+            return None
+        return data
+
+    # -- cold path -----------------------------------------------------------
+
+    def run_cold(
+        self,
+        paths: Sequence[Path],
+        baseline: Optional[Baseline] = None,
+        cache_path: Optional[Path] = None,
+    ) -> AnalysisReport:
+        """Full analysis; optionally records the cache for next time."""
+        analyzer = self.analyzer
+        modules = analyzer.load(paths)
+        project = Project(modules, analyzer.config)
+        report = AnalysisReport(
+            root=", ".join(str(p) for p in paths),
+            baseline=baseline,
+            files_scanned=len(modules),
+        )
+        per_file: Dict[str, Dict[str, object]] = {}
+        for module in modules:
+            file_findings: List[Finding] = []
+            suppressed = 0
+            for rule in analyzer.rules:
+                for finding in rule.check(module, project):
+                    if module.is_suppressed(finding):
+                        suppressed += 1
+                    else:
+                        file_findings.append(finding)
+            report.findings.extend(file_findings)
+            report.suppressed += suppressed
+            if cache_path is not None:
+                per_file[module.relpath] = {
+                    "key": module.content_key,
+                    "findings": [
+                        _finding_to_dict(f) for f in file_findings
+                    ],
+                    "suppressed": suppressed,
+                    "taint_tags": sorted(module.taint_tags),
+                    "guards": dict(sorted(module.guards.items())),
+                    "imports": sorted(set(module.imports.values())),
+                    "lock_pairs": [
+                        p.to_dict() for p in project.lock_pairs_of(module)
+                    ],
+                    "taint_defs": project.module_taint_defs(module),
+                    "degrade_defs": project.module_degrade_defs(module),
+                }
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        self.reused, self.analyzed = 0, len(modules)
+        if cache_path is not None:
+            payload = {
+                "version": CACHE_VERSION,
+                "config_key": _config_key(analyzer.config, analyzer),
+                "files": per_file,
+                "summaries": {
+                    "taint": project.taint_summaries,
+                    "degrade": project.degrade_summaries,
+                },
+            }
+            cache_path.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        return report
+
+    # -- incremental path ----------------------------------------------------
+
+    def run_changed_only(
+        self,
+        paths: Sequence[Path],
+        baseline: Optional[Baseline] = None,
+        cache_path: Optional[Path] = None,
+    ) -> AnalysisReport:
+        """Reuse cached findings for unchanged files when sound; fall
+        back to (and re-record) a cold run otherwise."""
+        cache_path = (
+            Path(".analysis-cache.json") if cache_path is None else cache_path
+        )
+        cache = self._load_cache(cache_path)
+        if cache is None:
+            self.fallback_reason = "no usable cache"
+            return self.run_cold(paths, baseline, cache_path)
+
+        analyzer = self.analyzer
+        cached_files: Dict[str, Dict[str, object]] = cache["files"]  # type: ignore[assignment]
+        on_disk: List[Tuple[Path, str]] = list(
+            iter_python_files(paths, analyzer.config)
+        )
+        if {rel for _, rel in on_disk} != set(cached_files):
+            self.fallback_reason = "file set changed"
+            return self.run_cold(paths, baseline, cache_path)
+
+        changed: List[ModuleInfo] = []
+        unchanged: List[str] = []
+        for path, relpath in on_disk:
+            source = path.read_text(encoding="utf-8")
+            key = hashlib.blake2b(
+                source.encode("utf-8"), digest_size=16
+            ).hexdigest()
+            if key == cached_files[relpath]["key"]:
+                unchanged.append(relpath)
+            else:
+                changed.append(ModuleInfo(path, relpath, source))
+
+        # Interface facts of every changed file must match the cache,
+        # or the cross-module fixpoint could shift: full fallback.
+        for module in changed:
+            entry = cached_files[module.relpath]
+            if sorted(set(module.imports.values())) != entry["imports"]:
+                self.fallback_reason = (
+                    f"import graph changed: {module.relpath}"
+                )
+                return self.run_cold(paths, baseline, cache_path)
+            if sorted(module.taint_tags) != entry["taint_tags"]:
+                self.fallback_reason = f"taint tags changed: {module.relpath}"
+                return self.run_cold(paths, baseline, cache_path)
+            if dict(sorted(module.guards.items())) != entry["guards"]:
+                self.fallback_reason = f"guards changed: {module.relpath}"
+                return self.run_cold(paths, baseline, cache_path)
+
+        summaries: Dict[str, Dict[str, object]] = cache["summaries"]  # type: ignore[assignment]
+        tainted_fields = set()
+        guards: Dict[str, str] = {}
+        lock_order: Dict[Tuple[str, str], List[LockPair]] = {}
+        config = analyzer.config
+        for relpath, entry in sorted(cached_files.items()):
+            tainted_fields |= set(entry["taint_tags"])  # type: ignore[arg-type]
+            if config.in_scope(relpath, config.concurrency_scope):
+                for attr, spec in sorted(entry["guards"].items()):  # type: ignore[union-attr]
+                    guards.setdefault(attr, str(spec))
+            for pair_data in entry["lock_pairs"]:  # type: ignore[union-attr]
+                pair = LockPair.from_dict(pair_data)
+                lock_order.setdefault(pair.key(), []).append(pair)
+
+        project = Project.from_cache(
+            changed,
+            config,
+            taint_summaries={
+                k: int(v) for k, v in summaries["taint"].items()
+            },
+            degrade_summaries={
+                k: bool(v) for k, v in summaries["degrade"].items()
+            },
+            tainted_fields=tainted_fields,
+            guards=guards,
+            lock_order=lock_order,
+        )
+
+        # Summary contributions and lock pairs of changed files must be
+        # stable too (computed against the cached global summaries).
+        for module in changed:
+            entry = cached_files[module.relpath]
+            if project.module_taint_defs(module) != {
+                k: int(v) for k, v in entry["taint_defs"].items()  # type: ignore[union-attr]
+            }:
+                self.fallback_reason = (
+                    f"taint summaries changed: {module.relpath}"
+                )
+                return self.run_cold(paths, baseline, cache_path)
+            if project.module_degrade_defs(module) != {
+                k: bool(v) for k, v in entry["degrade_defs"].items()  # type: ignore[union-attr]
+            }:
+                self.fallback_reason = (
+                    f"degrade summaries changed: {module.relpath}"
+                )
+                return self.run_cold(paths, baseline, cache_path)
+            fresh_pairs = [p.to_dict() for p in project.lock_pairs_of(module)]
+            if fresh_pairs != entry["lock_pairs"]:
+                self.fallback_reason = f"lock order changed: {module.relpath}"
+                return self.run_cold(paths, baseline, cache_path)
+
+        self.fallback_reason = None
+        report = AnalysisReport(
+            root=", ".join(str(p) for p in paths),
+            baseline=baseline,
+            files_scanned=len(on_disk),
+        )
+        for relpath in unchanged:
+            entry = cached_files[relpath]
+            report.findings.extend(
+                _finding_from_dict(d) for d in entry["findings"]  # type: ignore[union-attr]
+            )
+            report.suppressed += int(entry["suppressed"])  # type: ignore[arg-type]
+        fresh_cache_entries: Dict[str, Dict[str, object]] = {}
+        for module in changed:
+            file_findings: List[Finding] = []
+            suppressed = 0
+            for rule in analyzer.rules:
+                for finding in rule.check(module, project):
+                    if module.is_suppressed(finding):
+                        suppressed += 1
+                    else:
+                        file_findings.append(finding)
+            report.findings.extend(file_findings)
+            report.suppressed += suppressed
+            entry = dict(cached_files[module.relpath])
+            entry["key"] = module.content_key
+            entry["findings"] = [_finding_to_dict(f) for f in file_findings]
+            entry["suppressed"] = suppressed
+            fresh_cache_entries[module.relpath] = entry
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        self.reused, self.analyzed = len(unchanged), len(changed)
+        if fresh_cache_entries:
+            cached_files.update(fresh_cache_entries)
+            cache_path.write_text(
+                json.dumps(cache, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        return report

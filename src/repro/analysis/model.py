@@ -14,14 +14,39 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["Finding", "Baseline", "AnalysisReport"]
+__all__ = ["TraceStep", "Finding", "Baseline", "AnalysisReport"]
 
 #: Schema version of the JSON report and baseline files.
 SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One hop of a witness trace (source → … → sink)."""
+
+    #: Path of the file the step is in, relative to the scan root.
+    path: str
+    #: 1-based line of the step.
+    line: int
+    #: The source line at the step, stripped.
+    snippet: str
+    #: What happened here (``"source: mpc.locate(...)"``, ``"sink"``).
+    note: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "snippet": self.snippet,
+            "note": self.note,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.note} | {self.snippet}"
 
 
 @dataclass(frozen=True)
@@ -41,10 +66,21 @@ class Finding:
     symbol: str = "<module>"
     #: The offending source line, stripped.
     snippet: str = ""
+    #: How bad: ``"error"`` blocks ``--fail-on=error``; informational
+    #: findings may use ``"warning"``.
+    severity: str = "error"
+    #: Witness trace: the statement path evidence for the finding.
+    #: Deliberately *excluded* from the fingerprint so adding context to
+    #: a trace (or moving code) never resurrects a baselined finding.
+    trace: Tuple[TraceStep, ...] = ()
 
     @property
     def fingerprint(self) -> str:
-        """Line-number-independent identity, for baselining."""
+        """Line-number-independent identity, for baselining.
+
+        Hashes only (rule, path, symbol, snippet) — never the line
+        number, severity, or witness trace.
+        """
         digest = hashlib.blake2b(digest_size=12)
         for part in (self.rule, self.path, self.symbol, self.snippet):
             digest.update(part.encode("utf-8"))
@@ -52,15 +88,29 @@ class Finding:
         return digest.hexdigest()
 
     def to_dict(self) -> Dict[str, object]:
-        data = asdict(self)
+        data: Dict[str, object] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "snippet": self.snippet,
+            "severity": self.severity,
+            "trace": [step.to_dict() for step in self.trace],
+        }
         data["fingerprint"] = self.fingerprint
         return data
 
     def render(self) -> str:
-        return (
+        head = (
             f"{self.path}:{self.line}:{self.col + 1}: "
             f"{self.rule} {self.message} [{self.symbol}]"
         )
+        if not self.trace:
+            return head
+        steps = "\n".join(f"    {step.render()}" for step in self.trace)
+        return f"{head}\n  witness:\n{steps}"
 
 
 class Baseline:
@@ -142,6 +192,12 @@ class AnalysisReport:
             return 0
         if fail_on == "any":
             return 1 if self.findings else 0
+        if fail_on == "error":
+            return (
+                1
+                if any(f.severity == "error" for f in self.new_findings)
+                else 0
+            )
         return 1 if self.new_findings else 0
 
     def to_dict(self) -> Dict[str, object]:

@@ -14,6 +14,9 @@
   owning compilation/streaming layers (``epochs.py``).
 * ``TJ***`` — trajectory-ledger ownership: linked-attack history is
   mutated only inside ``trajectory/`` (``trajectory.py``).
+* ``CC***`` — lockset discipline: ``# guarded-by:`` annotated shared
+  state accessed under its lock, globally consistent lock order, no
+  lost-update write-backs (``concurrency.py``).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from typing import List
 
 from ..engine import Rule
 from .asyncsafety import AsyncSafetyRule
+from .concurrency import ConcurrencyRule
 from .determinism import DeterminismRule
 from .epochs import EpochIntegrityRule
 from .failclosed import FailClosedRule
@@ -37,6 +41,7 @@ __all__ = [
     "ResourceSafetyRule",
     "EpochIntegrityRule",
     "TrajectoryLedgerRule",
+    "ConcurrencyRule",
     "default_rules",
 ]
 
@@ -51,4 +56,5 @@ def default_rules() -> List[Rule]:
         ResourceSafetyRule(),
         EpochIntegrityRule(),
         TrajectoryLedgerRule(),
+        ConcurrencyRule(),
     ]

@@ -1,0 +1,112 @@
+"""CC: lockset discipline over annotated shared state.
+
+A data race on ledger or epoch state is an *anonymity* bug, not just a
+crash bug: a torn read of ``TrajectoryLedger._traj_surviving`` can
+admit a cloak whose trajectory intersection is below k, and a lost
+update to a breaker counter can hold the fail-open window longer than
+the budget allows (THREAT_MODEL.md).  These rules turn the repo's
+locking conventions into machine-checked contracts driven by
+``# guarded-by:`` annotations (see :mod:`repro.analysis.flow.lockset`
+for the annotation grammar).
+
+Findings:
+
+* ``CC001`` — read or write of a guarded attribute on a path where the
+  declared lock is not held (must-analysis: held means held on *every*
+  path into the statement).
+* ``CC002`` — two locks acquired in one order here and the reverse
+  order elsewhere in the tree: a potential deadlock.  Reported once,
+  on the lexicographically larger direction, with the counter-site in
+  the witness trace.
+* ``CC003`` — a value read from a guarded attribute inside one lock
+  region and written back in a different region (or none): the
+  classic lost-update window.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from ..engine import ModuleInfo, Project, Rule
+from ..flow.lockset import LocksetChecker
+from ..model import Finding, TraceStep
+
+__all__ = ["ConcurrencyRule"]
+
+
+class ConcurrencyRule(Rule):
+    rule_id = "CC001"
+    name = "lockset"
+    description = (
+        "guarded-by annotated attributes must be accessed under their "
+        "lock; lock order must be globally consistent; no lost-update "
+        "write-backs across regions"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if not project.config.in_scope(
+            module.relpath, project.config.concurrency_scope
+        ):
+            return
+        findings: List[Finding] = []
+
+        def on_finding(rule: str, node, message: str, trace) -> None:
+            findings.append(
+                module.finding(rule, node, message, trace=tuple(trace))
+            )
+
+        LocksetChecker(
+            module, project, project.config, on_finding
+        ).check()
+        yield from self._order_findings(module, project)
+        seen: Set[Tuple[str, int, int]] = set()
+        for finding in findings:
+            key = (finding.rule, finding.line, finding.col)
+            if key not in seen:
+                seen.add(key)
+                yield finding
+
+    def _order_findings(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        """CC002: this module's pairs whose reverse exists anywhere."""
+        for pair in project.lock_pairs_of(module):
+            reversed_sites = project.lock_order.get((pair.inner, pair.outer))
+            if not reversed_sites:
+                continue
+            # Report one direction only: the lexicographically larger
+            # key, so exactly one side of every cycle carries findings.
+            if pair.key() < (pair.inner, pair.outer):
+                continue
+            counter = reversed_sites[0]
+            trace = (
+                TraceStep(
+                    path=pair.path,
+                    line=pair.line,
+                    snippet=pair.snippet,
+                    note=f"acquires {pair.outer} then {pair.inner}",
+                ),
+                TraceStep(
+                    path=counter.path,
+                    line=counter.line,
+                    snippet=counter.snippet,
+                    note=(
+                        f"reverse order: {counter.outer} then "
+                        f"{counter.inner} [{counter.symbol}]"
+                    ),
+                ),
+            )
+            yield Finding(
+                rule="CC002",
+                path=pair.path,
+                line=pair.line,
+                col=0,
+                message=(
+                    f"lock order {pair.outer} -> {pair.inner} here is "
+                    f"reversed at {counter.path} [{counter.symbol}] — "
+                    "potential deadlock"
+                ),
+                symbol=pair.symbol,
+                snippet=pair.snippet,
+                trace=trace,
+            )

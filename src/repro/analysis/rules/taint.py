@@ -16,6 +16,11 @@ Findings:
   receiver's logging method): logging a raw location is a sink too.
 * ``PA003`` — tainted value serialized into a wire-format constructor
   (``AnonymizedRequest``): the leak is baked into the request itself.
+
+Since PR 10 the rule rides the flow- and field-sensitive CFG engine
+(:mod:`repro.analysis.flow.taintflow`): branch-dependent leaks are
+caught, ``x = anonymize(x)`` kills in program order, and every finding
+carries a source→sink witness trace.
 """
 
 from __future__ import annotations
@@ -23,8 +28,8 @@ from __future__ import annotations
 from typing import Iterator, List
 
 from ..engine import ModuleInfo, Project, Rule
+from ..flow.taintflow import FlowTaintEvaluator
 from ..model import Finding
-from ..taint_eval import TaintEvaluator
 
 __all__ = ["PrivacyTaintRule"]
 
@@ -34,16 +39,19 @@ class PrivacyTaintRule(Rule):
     name = "privacy-taint"
     description = (
         "raw locations must be laundered through the anonymizer before "
-        "any provider-facing call, wire format, or log line"
+        "any provider-facing call, wire format, or log line "
+        "(flow- and field-sensitive, with witness traces)"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
         findings: List[Finding] = []
 
-        def on_violation(rule: str, node, message: str) -> None:
-            findings.append(module.finding(rule, node, message))
+        def on_violation(rule: str, node, message: str, trace) -> None:
+            findings.append(
+                module.finding(rule, node, message, trace=tuple(trace))
+            )
 
-        evaluator = TaintEvaluator(
+        evaluator = FlowTaintEvaluator(
             module, project, project.config, on_violation=on_violation
         )
         evaluator.check_module()

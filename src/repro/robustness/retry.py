@@ -22,6 +22,7 @@ instead of sleeping toward a guaranteed failure.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type
@@ -148,15 +149,18 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self.clock = clock or SystemClock()
-        self._consecutive_failures = 0
-        self._opened_at: Optional[float] = None
-        self._probing = False
+        #: a gateway thread records outcomes while another calls
+        #: :meth:`allow`; the transition logic must see both fields
+        #: move together.
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0  # guarded-by: self._lock
+        self._opened_at: Optional[float] = None  # guarded-by: self._lock
+        self._probing = False  # guarded-by: self._lock
         #: lifetime counters, surfaced by benches.
         self.rejected = 0
         self.opened_times = 0
 
-    @property
-    def state(self) -> str:
+    def _state_locked(self) -> str:
         if self._opened_at is None:
             return "closed"
         if self._probing:
@@ -165,30 +169,41 @@ class CircuitBreaker:
             return "half_open"
         return "open"
 
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
     def allow(self) -> bool:
         """May a call proceed right now?  (Counts rejections.)"""
-        state = self.state
-        if state == "closed":
-            return True
-        if state == "half_open":
-            self._probing = True
-            return True
-        self.rejected += 1
-        return False
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half_open":
+                self._probing = True
+                return True
+            self.rejected += 1
+            return False
 
     def record_success(self) -> None:
-        self._consecutive_failures = 0
-        self._opened_at = None
-        self._probing = False
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probing = False
 
     def record_failure(self) -> None:
-        self._consecutive_failures += 1
-        if self._probing or self._consecutive_failures >= self.failure_threshold:
-            # A failed half-open probe re-opens immediately.
-            if self._opened_at is None or self._probing:
-                self.opened_times += 1
-            self._opened_at = self.clock.monotonic()
-            self._probing = False
+        with self._lock:
+            self._consecutive_failures += 1
+            threshold_hit = (
+                self._consecutive_failures >= self.failure_threshold
+            )
+            if self._probing or threshold_hit:
+                # A failed half-open probe re-opens immediately.
+                if self._opened_at is None or self._probing:
+                    self.opened_times += 1
+                self._opened_at = self.clock.monotonic()
+                self._probing = False
 
 
 def retry_call(

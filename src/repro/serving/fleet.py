@@ -518,15 +518,15 @@ class _WorkerSlot:
         self.lock = threading.Lock()
         #: seq → (user_id, payload) sent but not yet answered; exactly
         #: what a respawned worker must re-serve.
-        self.outstanding: Dict[int, Tuple[str, Any]] = {}
+        self.outstanding: Dict[int, Tuple[str, Any]] = {}  # guarded-by: self.lock
         self.requests = 0
         self.respawns = 0
-        self.draining = False
+        self.draining = False  # guarded-by: self.lock
         self.lost = False
         #: highest epoch serial this slot has acked re-attaching (a
         #: respawn onto the current spec counts — the replacement never
         #: saw the old segment).  Guarded by the dispatcher's ``_cv``.
-        self.epoch_serial = 0
+        self.epoch_serial = 0  # guarded-by: =self._cv
         self.stats = GatewayStats()
         self.serve_seconds = 0.0
 
@@ -574,8 +574,12 @@ class FleetDispatcher:
             if self.config.trajectory
             else None
         )
-        self._groups: Dict[Tuple[float, ...], Tuple[str, ...]] = {}
-        self._containment: Dict[
+        #: serializes the routing-group / containment caches against
+        #: reader threads folding results into the mirror while an
+        #: epoch swap rebuilds the grouping.
+        self._mirror_lock = threading.Lock()
+        self._groups: Dict[Tuple[float, ...], Tuple[str, ...]] = {}  # guarded-by: self._mirror_lock
+        self._containment: Dict[  # guarded-by: self._mirror_lock
             Tuple[int, Tuple[float, ...]], FrozenSet[str]
         ] = {}
         self.shared = SharedFlatTree.publish(flat)
@@ -609,10 +613,10 @@ class FleetDispatcher:
             self.shared.close()
             raise
         self._seq = 0
-        self._results: Dict[int, object] = {}
+        self._results: Dict[int, object] = {}  # guarded-by: self._cv
         self._cv = threading.Condition()
-        self._respawn_total = 0
-        self._epoch_swaps = 0
+        self._respawn_total = 0  # guarded-by: self._cv
+        self._epoch_swaps = 0  # guarded-by: self._cv
         self._dispatch_wall = 0.0
         self._started = False
         self._closed = False
@@ -706,6 +710,9 @@ class FleetDispatcher:
         finally:
             self.shared.unlink()
             self.shared.close()
+        with self._cv:
+            respawns = self._respawn_total
+            epochs = self._epoch_swaps
         self._final_stats = FleetStats(
             n_workers=self.config.n_workers,
             mode=self.config.mode,
@@ -714,10 +721,10 @@ class FleetDispatcher:
                 slot.serve_seconds for slot in self._slots
             ),
             per_worker_requests=tuple(slot.requests for slot in self._slots),
-            respawns=self._respawn_total,
+            respawns=respawns,
             lost_workers=sum(1 for slot in self._slots if slot.lost),
             dispatch_wall_seconds=self._dispatch_wall,
-            epochs=self._epoch_swaps,
+            epochs=epochs,
         )
         return self._final_stats
 
@@ -777,22 +784,31 @@ class FleetDispatcher:
                 # in-flight serve must land before shards are cut.
                 self._quiesce()
             for slot in self._slots:
+                # ``_cv`` is never taken inside ``slot.lock``: the
+                # fleet's single lock order is _cv → slot.lock (CC002),
+                # so the lost-slot ack lands after the slot region.
+                sent = False
                 with slot.lock:
-                    if slot.lost or slot.conn is None:
-                        with self._cv:
-                            slot.epoch_serial = serial
-                        continue
-                    slot_spec = new_spec
-                    if self._mirror is not None:
-                        slot_spec = replace(
-                            new_spec,
-                            trajectory_state=self._shard_state(slot.index),
-                        )
-                    with contextlib.suppress(BrokenPipeError, OSError):
-                        # A broken pipe means the reader thread is about
-                        # to respawn the slot onto the new spec — that
-                        # respawn is the ack this broadcast wanted.
-                        slot.conn.send(("epoch", slot_spec))
+                    if not slot.lost and slot.conn is not None:
+                        slot_spec = new_spec
+                        if self._mirror is not None:
+                            slot_spec = replace(
+                                new_spec,
+                                trajectory_state=self._shard_state(
+                                    slot.index
+                                ),
+                            )
+                        with contextlib.suppress(BrokenPipeError, OSError):
+                            # A broken pipe means the reader thread is
+                            # about to respawn the slot onto the new
+                            # spec — that respawn is the ack this
+                            # broadcast wanted.
+                            slot.conn.send(("epoch", slot_spec))
+                        sent = True
+                if not sent:
+                    with self._cv:
+                        slot.epoch_serial = serial
+                        self._cv.notify_all()
             deadline = time.monotonic() + self.config.worker_timeout * (
                 self.config.max_respawns + 2
             )
@@ -812,7 +828,8 @@ class FleetDispatcher:
         # can vanish without orphaning a mapped view (RS001).
         old_shared.unlink()
         old_shared.close()
-        self._epoch_swaps += 1
+        with self._cv:
+            self._epoch_swaps += 1
         return serial
 
     # -- routing -------------------------------------------------------------
@@ -836,9 +853,12 @@ class FleetDispatcher:
         groups: Dict[Tuple[float, ...], List[str]] = {}
         for uid, cloak in self._cloaks.items():
             groups.setdefault(cloak, []).append(uid)
-        # The mirror ledger's candidate tables ride the same grouping.
-        self._groups = {c: tuple(uids) for c, uids in groups.items()}
-        self._containment.clear()
+        # The mirror ledger's candidate tables ride the same grouping;
+        # reader threads fold serve results through these caches, so the
+        # rebuild must not interleave with their lookups.
+        with self._mirror_lock:
+            self._groups = {c: tuple(uids) for c, uids in groups.items()}
+            self._containment = {}
         with self._ring_lock:
             workers = sorted(self.ring.workers)
             if not workers:
@@ -891,21 +911,23 @@ class FleetDispatcher:
         key = cloak.as_tuple()
         fine = self._cloaks.get(user_id)
         if fine is not None and fine == key:
-            candidates: FrozenSet[str] = frozenset(
-                self._groups.get(key, ())
-            )
+            with self._mirror_lock:
+                candidates: FrozenSet[str] = frozenset(
+                    self._groups.get(key, ())
+                )
             widened = False
         else:
             cache_key = (self._spec.epoch, key)
-            cached = self._containment.get(cache_key)
-            if cached is None:
-                cached = frozenset(
-                    uid
-                    for group, uids in self._groups.items()
-                    if cloak.contains_rect(Rect(*group))
-                    for uid in uids
-                )
-                self._containment[cache_key] = cached
+            with self._mirror_lock:
+                cached = self._containment.get(cache_key)
+                if cached is None:
+                    cached = frozenset(
+                        uid
+                        for group, uids in self._groups.items()
+                        if cloak.contains_rect(Rect(*group))
+                        for uid in uids
+                    )
+                    self._containment[cache_key] = cached
             candidates = cached
             widened = True
         self._mirror.record(
@@ -923,10 +945,16 @@ class FleetDispatcher:
         deadline = time.monotonic() + self.config.worker_timeout * (
             self.config.max_respawns + 2
         )
+
+        def busy() -> bool:
+            for slot in self._slots:
+                with slot.lock:
+                    if slot.outstanding and not slot.lost:
+                        return True
+            return False
+
         with self._cv:
-            while any(
-                slot.outstanding and not slot.lost for slot in self._slots
-            ):
+            while busy():
                 if not self._cv.wait(timeout=0.25) and (
                     time.monotonic() > deadline
                 ):

@@ -288,12 +288,12 @@ class EpochManager:
         self.swaps: List[SwapReport] = []
         self._lock = threading.Lock()  # guards active/pins/world_serial
         self._swap_lock = threading.Lock()  # serializes advance()
-        self._lingering: List[Epoch] = []  # retired but still pinned
-        self._coarse: Dict[Tuple[int, int], Dict[Rect, Rect]] = {}
+        self._lingering: List[Epoch] = []  # guarded-by: self._lock
+        self._coarse: Dict[Tuple[int, int], Dict[Rect, Rect]] = {}  # guarded-by: self._lock
         self._shadow = IncrementalAnonymizer(
             region, k, max_depth=max_depth, prune=prune, engine=engine
         )
-        self._active: Optional[Epoch] = None
+        self._active: Optional[Epoch] = None  # guarded-by: self._lock
         if _recovered is not None:
             self._shadow.restore(
                 _recovered.policy.db, _recovered.policy, solution=None
@@ -301,7 +301,7 @@ class EpochManager:
             self._shadow.solution = rehydrate_flat_solution(
                 self._shadow.tree, _recovered, k, prune=prune
             )
-            self._world_serial = _recovered.serial + _recovered.policy_age
+            self._world_serial = _recovered.serial + _recovered.policy_age  # guarded-by: self._lock
             if (
                 self.trajectory is not None
                 and _recovered.trajectory is not None
@@ -325,7 +325,7 @@ class EpochManager:
             if db is None:
                 raise ReproError("EpochManager needs a db (or _recovered)")
             self._shadow.fit(db)
-            self._world_serial = 0
+            self._world_serial = 0  # guarded-by: self._lock
             policy = self._shadow.policy
             if self._commit(policy, 0, self._shadow.solution) is None:
                 raise RecoveryError(
@@ -339,18 +339,21 @@ class EpochManager:
 
     @property
     def active(self) -> Epoch:
-        assert self._active is not None
-        return self._active
+        with self._lock:
+            assert self._active is not None
+            return self._active
 
     @property
     def world_serial(self) -> int:
-        return self._world_serial
+        with self._lock:
+            return self._world_serial
 
     @property
     def staleness(self) -> int:
         """How many swaps the active epoch is behind the world."""
         with self._lock:
-            return self._world_serial - self.active.serial
+            assert self._active is not None
+            return self._world_serial - self._active.serial
 
     @property
     def orientation(self) -> str:
@@ -375,7 +378,8 @@ class EpochManager:
         k-anonymous policy for some journalled epoch.
         """
         with self._lock:
-            epoch = self.active
+            epoch = self._active
+            assert epoch is not None
             age = self._world_serial - epoch.serial
             rung, levels = self._ladder(age, epoch)
             if rung == "rejected":
@@ -498,12 +502,16 @@ class EpochManager:
         return decision.cloak, rung
 
     def _coarse_cloak(self, epoch: Epoch, cloak: Rect, levels: int) -> Rect:
+        # The memo table races with _reap_locked's rebind on the swap
+        # thread, so the lookup/insert rides the serving lock; the
+        # ancestor walk itself is a short deterministic tree descent.
         key = (epoch.serial, levels)
-        table = self._coarse.get(key)
-        if table is None:
-            table = {}
-            self._coarse[key] = table
-        ancestor = table.get(cloak)
+        with self._lock:
+            table = self._coarse.get(key)
+            if table is None:
+                table = {}
+                self._coarse[key] = table
+            ancestor = table.get(cloak)
         if ancestor is None:
             try:
                 ancestor = ancestor_cloak(
@@ -513,7 +521,8 @@ class EpochManager:
                 raise ServiceUnavailableError(
                     f"cannot coarsen cloak {cloak}: {exc}", reason="coarsen"
                 ) from exc
-            table[cloak] = ancestor
+            with self._lock:
+                table[cloak] = ancestor
         return ancestor
 
     def oracle_policy(self, epoch: Optional[Epoch] = None) -> CloakingPolicy:
@@ -753,25 +762,26 @@ class EpochManager:
             _recovered=snapshot,
         )
         if current_serial is not None:
-            manager._world_serial = max(
-                manager._world_serial, current_serial
-            )
+            # analysis: ok[CC001] manager is thread-private until returned
+            manager._world_serial = max(manager._world_serial, current_serial)
         return manager
 
     # -- lifecycle -------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
+        ingest = self.accumulator.stats()
         with self._lock:
-            active = self.active
+            active = self._active
+            assert active is not None
             return {
                 "world_serial": self._world_serial,
                 "active_serial": active.serial,
                 "staleness": self._world_serial - active.serial,
                 "active_pins": active.pins,
                 "lingering_epochs": len(self._lingering),
-                "pending_moves": self.accumulator.pending,
-                "ingested": self.accumulator.ingested,
-                "coalesced": self.accumulator.coalesced,
+                "pending_moves": ingest["pending"],
+                "ingested": ingest["ingested"],
+                "coalesced": ingest["coalesced"],
                 "swaps": len(self.swaps),
                 "promoted": sum(1 for s in self.swaps if s.promoted),
             }

@@ -33,8 +33,10 @@ class DirtyAccumulator:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._moves: MoveBatch = {}
+        self._moves: MoveBatch = {}  # guarded-by: self._lock
         #: total moves ever offered (including coalesced overwrites).
+        #: The counters ride the same lock as ``_moves``; external
+        #: readers take a consistent snapshot via :meth:`stats`.
         self.ingested = 0
         #: moves that overwrote a pending move for the same user — the
         #: work delta-batching saved the repair.
@@ -86,6 +88,16 @@ class DirtyAccumulator:
         """Distinct users with an unrepaired move."""
         with self._lock:
             return len(self._moves)
+
+    def stats(self) -> Dict[str, int]:
+        """A consistent snapshot of the ingest counters."""
+        with self._lock:
+            return {
+                "ingested": self.ingested,
+                "coalesced": self.coalesced,
+                "batches": self.batches,
+                "pending": len(self._moves),
+            }
 
     def __len__(self) -> int:
         return self.pending

@@ -70,8 +70,8 @@ class TrajectoryLedger:
         if window < 1:
             raise ReproError(f"ledger window must be ≥ 1, got {window}")
         self.window = window
-        self._traj_entries: Dict[str, Deque[LedgerEntry]] = {}
-        self._traj_surviving: Dict[str, FrozenSet[str]] = {}
+        self._traj_entries: Dict[str, Deque[LedgerEntry]] = {}  # guarded-by: self._lock
+        self._traj_surviving: Dict[str, FrozenSet[str]] = {}  # guarded-by: self._lock
         #: total records ever accepted (monotone; survives trimming).
         self.recorded = 0
         self._lock = threading.Lock()
@@ -118,25 +118,30 @@ class TrajectoryLedger:
 
     def surviving(self, user_id: str) -> Optional[FrozenSet[str]]:
         """The full-history intersection, or ``None`` before any request."""
-        return self._traj_surviving.get(str(user_id))
+        with self._lock:
+            return self._traj_surviving.get(str(user_id))
 
     def entries(self, user_id: str) -> Tuple[LedgerEntry, ...]:
-        return tuple(self._traj_entries.get(str(user_id), ()))
+        with self._lock:
+            return tuple(self._traj_entries.get(str(user_id), ()))
 
     def users(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._traj_surviving))
+        with self._lock:
+            return tuple(sorted(self._traj_surviving))
 
     def __len__(self) -> int:
-        return len(self._traj_surviving)
+        with self._lock:
+            return len(self._traj_surviving)
 
     def widened_count(self) -> int:
         """Windowed observability: how many recent serves were widened."""
-        return sum(
-            1
-            for window in self._traj_entries.values()
-            for entry in window
-            if entry.widened
-        )
+        with self._lock:
+            return sum(
+                1
+                for window in self._traj_entries.values()
+                for entry in window
+                if entry.widened
+            )
 
     # -- serialization -------------------------------------------------------
 
